@@ -1,0 +1,156 @@
+//! Myerson critical-value payments for monotone allocation rules.
+//!
+//! A deterministic allocation rule is *monotone* (in a reverse auction) if a
+//! winner keeps winning when it lowers its reported cost. By Myerson's
+//! characterization, such a rule paired with the *critical value* — the
+//! supremum reported cost at which the bidder still wins — is truthful.
+//! Greedy baselines (which are monotone but not welfare-optimal, so Clarke
+//! payments would not be truthful for them) use this module.
+
+use crate::bid::Bid;
+
+/// Computes the critical value for `bidder_index` under the allocation rule
+/// `wins(bids) -> bool` by bisection over the reported cost.
+///
+/// Returns `None` if the bidder loses even when bidding 0 (it has no
+/// critical value), otherwise the cost threshold within `tol`.
+///
+/// The rule must be monotone; this is not checked (use
+/// [`is_monotone_for`] in tests).
+///
+/// # Panics
+///
+/// Panics if `upper` is not positive/finite or `tol` is not positive.
+pub fn critical_value<F>(bids: &[Bid], bidder_index: usize, upper: f64, tol: f64, wins: F) -> Option<f64>
+where
+    F: Fn(&[Bid]) -> bool,
+{
+    assert!(upper.is_finite() && upper > 0.0, "upper must be positive");
+    assert!(tol > 0.0, "tol must be positive");
+    let probe = |cost: f64| {
+        let mut b = bids.to_vec();
+        b[bidder_index] = b[bidder_index].with_cost(cost);
+        wins(&b)
+    };
+    if !probe(0.0) {
+        return None;
+    }
+    if probe(upper) {
+        // Wins even at the cap: critical value is at least `upper`.
+        return Some(upper);
+    }
+    let (mut lo, mut hi) = (0.0f64, upper);
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if probe(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Empirically checks monotonicity of an allocation rule for one bidder:
+/// winning at cost `c` must imply winning at every lower probed cost.
+pub fn is_monotone_for<F>(bids: &[Bid], bidder_index: usize, costs: &[f64], wins: F) -> bool
+where
+    F: Fn(&[Bid]) -> bool,
+{
+    let mut sorted = costs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite costs"));
+    let mut seen_loss = false;
+    for &c in &sorted {
+        let mut b = bids.to_vec();
+        b[bidder_index] = b[bidder_index].with_cost(c);
+        let w = wins(&b);
+        if seen_loss && w {
+            return false;
+        }
+        if !w {
+            seen_loss = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bids() -> Vec<Bid> {
+        vec![
+            Bid::new(0, 2.0, 10, 1.0),
+            Bid::new(1, 3.0, 10, 1.0),
+            Bid::new(2, 5.0, 10, 1.0),
+        ]
+    }
+
+    /// Toy monotone rule: the two cheapest bids win.
+    fn two_cheapest(target: usize) -> impl Fn(&[Bid]) -> bool {
+        move |bs: &[Bid]| {
+            let mut order: Vec<usize> = (0..bs.len()).collect();
+            order.sort_by(|&a, &b| bs[a].cost.partial_cmp(&bs[b].cost).unwrap());
+            order[..2].contains(&target)
+        }
+    }
+
+    #[test]
+    fn critical_value_is_third_price() {
+        // Bidder 0 wins while its cost stays below the 2nd-cheapest rival (5.0).
+        let cv = critical_value(&bids(), 0, 100.0, 1e-6, two_cheapest(0)).unwrap();
+        assert!((cv - 5.0).abs() < 1e-4, "critical value {cv}");
+    }
+
+    #[test]
+    fn loser_with_zero_bid_has_none() {
+        // A rule that never selects bidder 2.
+        let never = |_: &[Bid]| false;
+        assert_eq!(critical_value(&bids(), 2, 10.0, 1e-6, never), None);
+    }
+
+    #[test]
+    fn always_winner_hits_upper() {
+        let always = |_: &[Bid]| true;
+        assert_eq!(critical_value(&bids(), 0, 10.0, 1e-6, always), Some(10.0));
+    }
+
+    #[test]
+    fn monotonicity_check_passes_for_monotone_rule() {
+        let probe_costs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        assert!(is_monotone_for(&bids(), 0, &probe_costs, two_cheapest(0)));
+    }
+
+    #[test]
+    fn monotonicity_check_catches_non_monotone() {
+        // Pathological rule: bidder 0 wins only on a middle band of costs.
+        let band = |bs: &[Bid]| (2.5..4.5).contains(&bs[0].cost);
+        let probe_costs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        assert!(!is_monotone_for(&bids(), 0, &probe_costs, band));
+    }
+
+    #[test]
+    fn critical_payment_makes_rule_truthful() {
+        // Utility when reporting r with true cost c: wins(r) * (cv - c).
+        // For any monotone rule + critical payment, truthful report maximizes.
+        let true_cost = 2.0;
+        let rule = two_cheapest(0);
+        let utility = |report: f64| -> f64 {
+            let mut b = bids();
+            b[0] = b[0].with_cost(report);
+            if rule(&b) {
+                let cv = critical_value(&b, 0, 100.0, 1e-6, two_cheapest(0)).unwrap();
+                cv - true_cost
+            } else {
+                0.0
+            }
+        };
+        let truthful = utility(true_cost);
+        for report in [0.0, 1.0, 3.0, 4.9, 5.1, 8.0] {
+            assert!(
+                utility(report) <= truthful + 1e-4,
+                "misreport {report} beats truth"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Auction outcomes: who won, what they are paid.
+
+use serde::{Deserialize, Serialize};
+
+/// One winner's award.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Award {
+    /// Winning bidder id.
+    pub bidder: usize,
+    /// The bidder's *reported* cost.
+    pub cost: f64,
+    /// Platform value attributed to this bidder.
+    pub value: f64,
+    /// Payment the platform transfers to the bidder.
+    pub payment: f64,
+}
+
+/// Result of one auction round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AuctionOutcome {
+    /// Winning bidders with their payments (sorted by bidder id).
+    pub winners: Vec<Award>,
+    /// Objective achieved in the (virtual-)score space the WDP maximized.
+    pub virtual_welfare: f64,
+}
+
+impl AuctionOutcome {
+    /// Creates an outcome, sorting winners by bidder id.
+    pub fn new(mut winners: Vec<Award>, virtual_welfare: f64) -> Self {
+        winners.sort_by_key(|w| w.bidder);
+        AuctionOutcome {
+            winners,
+            virtual_welfare,
+        }
+    }
+
+    /// Whether `bidder` won.
+    pub fn is_winner(&self, bidder: usize) -> bool {
+        self.winners.iter().any(|w| w.bidder == bidder)
+    }
+
+    /// Payment to `bidder`, or `None` if it lost.
+    pub fn payment_of(&self, bidder: usize) -> Option<f64> {
+        self.winners
+            .iter()
+            .find(|w| w.bidder == bidder)
+            .map(|w| w.payment)
+    }
+
+    /// Sum of winner platform values.
+    pub fn total_value(&self) -> f64 {
+        self.winners.iter().map(|w| w.value).sum()
+    }
+
+    /// Sum of winner *reported* costs.
+    pub fn total_cost(&self) -> f64 {
+        self.winners.iter().map(|w| w.cost).sum()
+    }
+
+    /// Sum of payments (the platform's expenditure this round).
+    pub fn total_payment(&self) -> f64 {
+        self.winners.iter().map(|w| w.payment).sum()
+    }
+
+    /// Social welfare at reported costs: value minus cost (payments are
+    /// internal transfers and cancel out).
+    pub fn social_welfare(&self) -> f64 {
+        self.total_value() - self.total_cost()
+    }
+
+    /// Platform (auctioneer) utility: value minus expenditure.
+    pub fn platform_utility(&self) -> f64 {
+        self.total_value() - self.total_payment()
+    }
+
+    /// Winning bidder ids, ascending.
+    pub fn winner_ids(&self) -> Vec<usize> {
+        self.winners.iter().map(|w| w.bidder).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> AuctionOutcome {
+        AuctionOutcome::new(
+            vec![
+                Award {
+                    bidder: 5,
+                    cost: 2.0,
+                    value: 6.0,
+                    payment: 3.0,
+                },
+                Award {
+                    bidder: 1,
+                    cost: 1.0,
+                    value: 4.0,
+                    payment: 1.5,
+                },
+            ],
+            7.0,
+        )
+    }
+
+    #[test]
+    fn winners_sorted_by_id() {
+        let o = outcome();
+        assert_eq!(o.winner_ids(), vec![1, 5]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let o = outcome();
+        assert_eq!(o.total_value(), 10.0);
+        assert_eq!(o.total_cost(), 3.0);
+        assert_eq!(o.total_payment(), 4.5);
+        assert_eq!(o.social_welfare(), 7.0);
+        assert_eq!(o.platform_utility(), 5.5);
+    }
+
+    #[test]
+    fn lookups() {
+        let o = outcome();
+        assert!(o.is_winner(1));
+        assert!(!o.is_winner(2));
+        assert_eq!(o.payment_of(5), Some(3.0));
+        assert_eq!(o.payment_of(9), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let o = AuctionOutcome::default();
+        assert!(o.winners.is_empty());
+        assert_eq!(o.social_welfare(), 0.0);
+    }
+}

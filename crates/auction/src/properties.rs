@@ -1,0 +1,280 @@
+//! Executable mechanism-design property checks.
+//!
+//! These are used three ways: in unit/property tests of this crate, in the
+//! integration suite, and by the experiment harness (E4/E5) to *measure*
+//! truthfulness and individual rationality rather than assume them.
+
+use crate::bid::Bid;
+use crate::outcome::AuctionOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Checks individual rationality at reported costs: every winner is paid at
+/// least its reported cost (within `tol`).
+pub fn individually_rational(outcome: &AuctionOutcome, tol: f64) -> bool {
+    outcome.winners.iter().all(|w| w.payment >= w.cost - tol)
+}
+
+/// Quasi-linear utility of `bidder` with true cost `true_cost` under an
+/// outcome produced from (possibly misreported) bids.
+pub fn utility(outcome: &AuctionOutcome, bidder: usize, true_cost: f64) -> f64 {
+    match outcome.payment_of(bidder) {
+        Some(p) => p - true_cost,
+        None => 0.0,
+    }
+}
+
+/// Result of probing one bidder's incentive to misreport.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthfulnessReport {
+    /// Bidder probed.
+    pub bidder: usize,
+    /// Utility when reporting the true cost.
+    pub truthful_utility: f64,
+    /// Best utility found over all probed misreports.
+    pub best_misreport_utility: f64,
+    /// The misreport factor achieving it (report = factor × true cost).
+    pub best_factor: f64,
+    /// Per-factor utilities, aligned with the probed factor grid.
+    pub utilities: Vec<(f64, f64)>,
+}
+
+impl TruthfulnessReport {
+    /// Maximum gain achievable by lying (≤ tol for a truthful mechanism).
+    pub fn max_gain(&self) -> f64 {
+        self.best_misreport_utility - self.truthful_utility
+    }
+
+    /// Whether no probed misreport improved utility by more than `tol`.
+    pub fn is_truthful(&self, tol: f64) -> bool {
+        self.max_gain() <= tol
+    }
+}
+
+/// Probes whether `bidder_index` can gain by scaling its reported cost by
+/// each factor in `factors`, holding other bids fixed.
+///
+/// `mechanism` maps a full bid profile to an outcome; it is re-run once per
+/// factor plus once truthfully.
+///
+/// # Panics
+///
+/// Panics if `bidder_index` is out of range or a factor produces a negative
+/// report.
+pub fn probe_truthfulness<F>(
+    bids: &[Bid],
+    bidder_index: usize,
+    factors: &[f64],
+    mechanism: F,
+) -> TruthfulnessReport
+where
+    F: Fn(&[Bid]) -> AuctionOutcome,
+{
+    let true_bid = bids[bidder_index];
+    let true_cost = true_bid.cost;
+    let truthful_outcome = mechanism(bids);
+    let truthful_utility = utility(&truthful_outcome, true_bid.bidder, true_cost);
+
+    let mut utilities = Vec::with_capacity(factors.len());
+    let mut best_misreport_utility = f64::NEG_INFINITY;
+    let mut best_factor = 1.0;
+    for &f in factors {
+        let mut profile = bids.to_vec();
+        profile[bidder_index] = true_bid.with_cost(true_cost * f);
+        let out = mechanism(&profile);
+        let u = utility(&out, true_bid.bidder, true_cost);
+        utilities.push((f, u));
+        if u > best_misreport_utility {
+            best_misreport_utility = u;
+            best_factor = f;
+        }
+    }
+    if factors.is_empty() {
+        best_misreport_utility = truthful_utility;
+    }
+    TruthfulnessReport {
+        bidder: true_bid.bidder,
+        truthful_utility,
+        best_misreport_utility,
+        best_factor,
+        utilities,
+    }
+}
+
+/// Standard misreport factor grid used by the harness: 0.25× to 4× the true
+/// cost.
+pub fn default_factor_grid() -> Vec<f64> {
+    vec![
+        0.25, 0.5, 0.75, 0.9, 0.95, 1.0, 1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 4.0,
+    ]
+}
+
+/// Checks that total expenditure across rounds stays within `budget` (within
+/// `tol`).
+pub fn budget_feasible(outcomes: &[AuctionOutcome], budget: f64, tol: f64) -> bool {
+    let spend: f64 = outcomes.iter().map(|o| o.total_payment()).sum();
+    spend <= budget + tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valuation::{ClientValue, Valuation};
+    use crate::vcg::{VcgAuction, VcgConfig};
+
+    fn setup() -> (Vec<Bid>, Valuation, VcgAuction) {
+        let bids = vec![
+            Bid::new(0, 2.0, 10, 1.0),
+            Bid::new(1, 3.0, 12, 0.9),
+            Bid::new(2, 1.0, 4, 0.8),
+            Bid::new(3, 6.0, 9, 1.0),
+        ];
+        let valuation = Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        });
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 1.0,
+            cost_weight: 1.0,
+            max_winners: Some(2),
+            reserve_price: None,
+        });
+        (bids, valuation, auction)
+    }
+
+    #[test]
+    fn vcg_outcome_is_ir() {
+        let (bids, v, a) = setup();
+        let o = a.run(&bids, &v);
+        assert!(individually_rational(&o, 1e-9));
+    }
+
+    #[test]
+    fn vcg_is_truthful_on_probe_grid() {
+        let (bids, v, a) = setup();
+        for i in 0..bids.len() {
+            let report = probe_truthfulness(&bids, i, &default_factor_grid(), |b| a.run(b, &v));
+            assert!(
+                report.is_truthful(1e-9),
+                "bidder {i} gains {} by factor {}",
+                report.max_gain(),
+                report.best_factor
+            );
+        }
+    }
+
+    #[test]
+    fn first_price_rule_is_not_truthful() {
+        // Pay-your-bid with the same allocation: overbidding must help, and
+        // the probe must detect it.
+        let (bids, v, a) = setup();
+        let first_price = |b: &[Bid]| {
+            let mut o = a.run(b, &v);
+            for w in &mut o.winners {
+                w.payment = w.cost;
+            }
+            o
+        };
+        let report = probe_truthfulness(&bids, 0, &default_factor_grid(), first_price);
+        assert!(report.max_gain() > 0.1, "gain {}", report.max_gain());
+        assert!(report.best_factor > 1.0);
+    }
+
+    #[test]
+    fn utility_zero_for_losers() {
+        let (bids, v, a) = setup();
+        let o = a.run(&bids, &v);
+        assert_eq!(utility(&o, 3, 6.0), 0.0);
+    }
+
+    #[test]
+    fn budget_feasibility_check() {
+        let (bids, v, a) = setup();
+        let o = a.run(&bids, &v);
+        let spend = o.total_payment();
+        assert!(budget_feasible(std::slice::from_ref(&o), spend + 1.0, 0.0));
+        assert!(!budget_feasible(&[o.clone(), o], spend, 1e-9));
+    }
+
+    proptest::proptest! {
+        /// DSIC on random instances: no bidder in a random market can gain
+        /// by any probed misreport under the exact top-K VCG auction.
+        #[test]
+        fn vcg_truthful_on_random_instances(
+            costs in proptest::collection::vec(0.05f64..5.0, 2..10),
+            datas in proptest::collection::vec(1usize..40, 10),
+            qualities in proptest::collection::vec(0.1f64..1.0, 10),
+            k in 1usize..5,
+            value_weight in 0.5f64..20.0,
+            cost_weight in 0.5f64..5.0,
+        ) {
+            let bids: Vec<Bid> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Bid::new(i, c, datas[i], qualities[i]))
+                .collect();
+            let valuation = Valuation::Linear(ClientValue {
+                value_per_unit: 0.5,
+                base_value: 0.2,
+            });
+            let auction = VcgAuction::new(VcgConfig {
+                value_weight,
+                cost_weight,
+                max_winners: Some(k),
+                reserve_price: None,
+            });
+            let outcome = auction.run(&bids, &valuation);
+            proptest::prop_assert!(individually_rational(&outcome, 1e-9));
+            for i in 0..bids.len() {
+                let report = probe_truthfulness(&bids, i, &default_factor_grid(), |b| {
+                    auction.run(b, &valuation)
+                });
+                proptest::prop_assert!(
+                    report.is_truthful(1e-9),
+                    "bidder {} gains {} (factor {})",
+                    i,
+                    report.max_gain(),
+                    report.best_factor
+                );
+            }
+        }
+
+        /// Losers never pay / never receive: probing a random loser yields
+        /// zero utility at truth, and winners' utilities equal their pivot.
+        #[test]
+        fn vcg_utility_structure_random(
+            costs in proptest::collection::vec(0.05f64..5.0, 2..8),
+            seed_data in 1usize..30,
+        ) {
+            let bids: Vec<Bid> = costs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Bid::new(i, c, seed_data + i, 0.9))
+                .collect();
+            let valuation = Valuation::Linear(ClientValue {
+                value_per_unit: 0.3,
+                base_value: 0.1,
+            });
+            let auction = VcgAuction::new(VcgConfig::default());
+            let o = auction.run(&bids, &valuation);
+            for b in &bids {
+                let u = utility(&o, b.bidder, b.cost);
+                if o.is_winner(b.bidder) {
+                    proptest::prop_assert!(u >= -1e-9);
+                } else {
+                    proptest::prop_assert!(u == 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn report_grid_alignment() {
+        let (bids, v, a) = setup();
+        let grid = vec![0.5, 1.0, 2.0];
+        let report = probe_truthfulness(&bids, 0, &grid, |b| a.run(b, &v));
+        assert_eq!(report.utilities.len(), 3);
+        assert_eq!(report.utilities[1].0, 1.0);
+        // Utility at factor 1.0 equals the truthful utility.
+        assert!((report.utilities[1].1 - report.truthful_utility).abs() < 1e-12);
+    }
+}

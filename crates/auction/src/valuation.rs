@@ -1,0 +1,119 @@
+//! Platform-side valuation of selected clients.
+//!
+//! LOVM's per-round winner determination is additive across clients, so a
+//! valuation assigns each bid a scalar value `v_i`; set-level concavity is
+//! modelled by applying a concave transform to the per-client effective data
+//! (diminishing returns *within* a client) which keeps the WDP exact.
+
+use crate::bid::Bid;
+use serde::{Deserialize, Serialize};
+
+/// Per-client value parameters shared by the valuation variants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientValue {
+    /// Value per unit of quality-weighted data.
+    pub value_per_unit: f64,
+    /// Flat value for participating at all (covers gradient diversity).
+    pub base_value: f64,
+}
+
+impl Default for ClientValue {
+    fn default() -> Self {
+        ClientValue {
+            value_per_unit: 0.05,
+            base_value: 0.5,
+        }
+    }
+}
+
+/// How the platform values one selected client.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Valuation {
+    /// `v_i = base + u · d_i q_i`.
+    Linear(ClientValue),
+    /// `v_i = base + u · log(1 + d_i q_i)` — diminishing returns in data.
+    Log(ClientValue),
+    /// `v_i = base + u · sqrt(d_i q_i)` — milder diminishing returns.
+    Sqrt(ClientValue),
+}
+
+impl Valuation {
+    /// Value of one selected bid.
+    pub fn client_value(&self, bid: &Bid) -> f64 {
+        let e = bid.effective_data();
+        match *self {
+            Valuation::Linear(p) => p.base_value + p.value_per_unit * e,
+            Valuation::Log(p) => p.base_value + p.value_per_unit * (1.0 + e).ln(),
+            Valuation::Sqrt(p) => p.base_value + p.value_per_unit * e.sqrt(),
+        }
+    }
+
+    /// Total value of a selected set (additive).
+    pub fn set_value(&self, bids: &[Bid]) -> f64 {
+        bids.iter().map(|b| self.client_value(b)).sum()
+    }
+}
+
+impl Default for Valuation {
+    fn default() -> Self {
+        Valuation::Log(ClientValue::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(d: usize, q: f64) -> Bid {
+        Bid::new(0, 1.0, d, q)
+    }
+
+    #[test]
+    fn linear_scales_with_data() {
+        let v = Valuation::Linear(ClientValue {
+            value_per_unit: 2.0,
+            base_value: 1.0,
+        });
+        assert_eq!(v.client_value(&bid(10, 1.0)), 21.0);
+        assert_eq!(v.client_value(&bid(0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn log_has_diminishing_returns() {
+        let v = Valuation::Log(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        });
+        let gain_small = v.client_value(&bid(20, 1.0)) - v.client_value(&bid(10, 1.0));
+        let gain_large = v.client_value(&bid(1010, 1.0)) - v.client_value(&bid(1000, 1.0));
+        assert!(gain_small > gain_large * 5.0);
+    }
+
+    #[test]
+    fn sqrt_monotone_in_quality() {
+        let v = Valuation::Sqrt(ClientValue::default());
+        assert!(v.client_value(&bid(100, 0.9)) > v.client_value(&bid(100, 0.3)));
+    }
+
+    #[test]
+    fn set_value_is_additive() {
+        let v = Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        });
+        let bids = [bid(10, 1.0), bid(5, 1.0)];
+        assert_eq!(v.set_value(&bids), 15.0);
+        assert_eq!(v.set_value(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_variants_monotone_in_effective_data() {
+        for v in [
+            Valuation::Linear(ClientValue::default()),
+            Valuation::Log(ClientValue::default()),
+            Valuation::Sqrt(ClientValue::default()),
+        ] {
+            assert!(v.client_value(&bid(200, 0.8)) > v.client_value(&bid(100, 0.8)));
+        }
+    }
+}

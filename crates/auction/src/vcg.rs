@@ -1,0 +1,397 @@
+//! Clarke-pivot (VCG) procurement auction over a weighted score.
+//!
+//! The mechanism maximizes the *virtual welfare*
+//! `W(S) = Σ_{i∈S} (V·v_i − Q·ĉ_i)` where `V` is the value weight
+//! ([`VcgConfig::value_weight`]), `Q > 0` the cost weight
+//! ([`VcgConfig::cost_weight`]), `v_i` the platform's (verifiable) value for
+//! client `i` and `ĉ_i` the reported cost. Winner `i` is paid
+//!
+//! ```text
+//! p_i = ĉ_i + (W* − W*₋ᵢ) / Q
+//! ```
+//!
+//! where `W*₋ᵢ` is the optimal virtual welfare with `i` excluded. Because
+//! the allocation maximizes `W` exactly and `Q` is bid-independent, this is
+//! the Clarke pivot rule expressed in money: reporting `ĉ_i = c_i` is a
+//! dominant strategy, and `p_i ≥ ĉ_i` (individual rationality) follows from
+//! `W* ≥ W*₋ᵢ`.
+
+use crate::bid::Bid;
+use crate::outcome::{AuctionOutcome, Award};
+use crate::valuation::Valuation;
+use crate::wdp::{solve, SolverKind, WdpInstance, WdpItem};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one VCG round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcgConfig {
+    /// Weight on platform value in the virtual welfare (`V ≥ 0`).
+    pub value_weight: f64,
+    /// Weight on reported cost in the virtual welfare (`Q > 0`).
+    pub cost_weight: f64,
+    /// Cardinality cap on winners.
+    pub max_winners: Option<usize>,
+    /// Reserve price: bids reporting a cost above it are excluded and no
+    /// payment exceeds it. With exact allocation the critical report
+    /// becomes `min(standard pivot price, reserve)`, so truthfulness is
+    /// preserved. `None` disables the reserve.
+    pub reserve_price: Option<f64>,
+}
+
+impl Default for VcgConfig {
+    fn default() -> Self {
+        VcgConfig {
+            value_weight: 1.0,
+            cost_weight: 1.0,
+            max_winners: None,
+            reserve_price: None,
+        }
+    }
+}
+
+/// A sealed-bid VCG procurement auction (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcgAuction {
+    config: VcgConfig,
+}
+
+impl VcgAuction {
+    /// Creates the auction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cost_weight <= 0`, `value_weight < 0`, or either weight is
+    /// non-finite.
+    pub fn new(config: VcgConfig) -> Self {
+        assert!(
+            config.cost_weight.is_finite() && config.cost_weight > 0.0,
+            "cost_weight must be finite and positive"
+        );
+        assert!(
+            config.value_weight.is_finite() && config.value_weight >= 0.0,
+            "value_weight must be finite and non-negative"
+        );
+        if let Some(r) = config.reserve_price {
+            assert!(r.is_finite() && r >= 0.0, "reserve_price must be finite and >= 0");
+        }
+        VcgAuction { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VcgConfig {
+        &self.config
+    }
+
+    /// Builds the winner-determination instance for the given bids. Bids
+    /// whose reported cost exceeds the reserve price get weight −∞-like
+    /// exclusion (never selected).
+    pub fn instance(&self, bids: &[Bid], valuation: &Valuation) -> WdpInstance {
+        let items = bids
+            .iter()
+            .map(|b| {
+                let above_reserve = self
+                    .config
+                    .reserve_price
+                    .is_some_and(|r| b.cost > r);
+                WdpItem {
+                    bidder: b.bidder,
+                    weight: if above_reserve {
+                        f64::MIN
+                    } else {
+                        self.config.value_weight * valuation.client_value(b)
+                            - self.config.cost_weight * b.cost
+                    },
+                    cost: b.cost,
+                }
+            })
+            .collect();
+        let mut inst = WdpInstance::new(items);
+        if let Some(k) = self.config.max_winners {
+            inst = inst.with_max_winners(k);
+        }
+        inst
+    }
+
+    /// Runs the auction: exact winner determination plus Clarke payments.
+    ///
+    /// Runtime is `O(n log n)`: with no budget constraint the optimum is the
+    /// top-K positive-score set and every Clarke pivot differs from the
+    /// grand optimum only by the displaced marginal candidate.
+    pub fn run(&self, bids: &[Bid], valuation: &Valuation) -> AuctionOutcome {
+        let inst = self.instance(bids, valuation);
+        let sol = solve(&inst, SolverKind::Exact);
+        let w_star = sol.objective;
+        let q = self.config.cost_weight;
+
+        // The displaced candidate: best positive-score item not selected.
+        let selected_set: std::collections::HashSet<usize> = sol.selected.iter().copied().collect();
+        let mut displaced = 0.0f64;
+        for (i, item) in inst.items.iter().enumerate() {
+            if !selected_set.contains(&i) && item.weight > displaced {
+                displaced = item.weight;
+            }
+        }
+
+        let cardinality_binds = self
+            .config
+            .max_winners
+            .is_some_and(|k| sol.selected.len() >= k);
+
+        let winners = sol
+            .selected
+            .iter()
+            .map(|&i| {
+                let item = inst.items[i];
+                let bid = &bids[i];
+                // W*₋ᵢ = W* − w_i + (displaced candidate if the cap binds).
+                let w_minus_i = w_star - item.weight + if cardinality_binds { displaced } else { 0.0 };
+                let mut payment = bid.cost + (w_star - w_minus_i) / q;
+                // The reserve caps the critical report, hence the payment.
+                if let Some(r) = self.config.reserve_price {
+                    payment = payment.min(r);
+                }
+                Award {
+                    bidder: bid.bidder,
+                    cost: bid.cost,
+                    value: valuation.client_value(bid),
+                    payment,
+                }
+            })
+            .collect();
+        AuctionOutcome::new(winners, w_star)
+    }
+
+    /// Runs the auction with an arbitrary (budget-capped) instance and the
+    /// generic Clarke pivot computed by re-solving without each winner.
+    ///
+    /// Use an exact `solver` for truthfulness; a greedy solver voids the
+    /// VCG guarantee (use critical-value payments instead — see
+    /// [`crate::critical`]).
+    pub fn run_with_budget(
+        &self,
+        bids: &[Bid],
+        valuation: &Valuation,
+        budget: f64,
+        solver: SolverKind,
+    ) -> AuctionOutcome {
+        let inst = self.instance(bids, valuation).with_budget(budget);
+        let sol = solve(&inst, solver);
+        let w_star = sol.objective;
+        let q = self.config.cost_weight;
+        let winners = sol
+            .selected
+            .iter()
+            .map(|&i| {
+                let bid = &bids[i];
+                let reduced = inst.without_item(i);
+                let w_minus_i = solve(&reduced, solver).objective;
+                // With an exact solver the pivot is in [0, w_i]; clamp at 0
+                // to stay IR if an approximate solver is supplied anyway.
+                let pivot = (w_star - w_minus_i).max(0.0);
+                let payment = bid.cost + pivot / q;
+                Award {
+                    bidder: bid.bidder,
+                    cost: bid.cost,
+                    value: valuation.client_value(bid),
+                    payment,
+                }
+            })
+            .collect();
+        AuctionOutcome::new(winners, w_star)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::valuation::ClientValue;
+
+    fn linear() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    fn bid(id: usize, cost: f64, data: usize) -> Bid {
+        Bid::new(id, cost, data, 1.0)
+    }
+
+    #[test]
+    fn selects_positive_virtual_scores() {
+        // scores: 10-2=8, 5-7=-2, 3-1=2
+        let bids = vec![bid(0, 2.0, 10), bid(1, 7.0, 5), bid(2, 1.0, 3)];
+        let auction = VcgAuction::new(VcgConfig::default());
+        let o = auction.run(&bids, &linear());
+        assert_eq!(o.winner_ids(), vec![0, 2]);
+        assert!((o.virtual_welfare - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unconstrained_pays_marginal_contribution() {
+        // Without a cap, W*₋ᵢ = W* − w_i, so p_i = c_i + w_i / Q.
+        let bids = vec![bid(0, 2.0, 10), bid(1, 1.0, 3)];
+        let auction = VcgAuction::new(VcgConfig::default());
+        let o = auction.run(&bids, &linear());
+        assert!((o.payment_of(0).unwrap() - (2.0 + 8.0)).abs() < 1e-9);
+        assert!((o.payment_of(1).unwrap() - (1.0 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_pays_displacement() {
+        // scores: A=8, B=5, C=3. K=2 → winners A, B.
+        // p_A = c_A + (w_A − w_C)/Q, p_B = c_B + (w_B − w_C)/Q.
+        let bids = vec![bid(0, 2.0, 10), bid(1, 1.0, 6), bid(2, 1.0, 4)];
+        let auction = VcgAuction::new(VcgConfig {
+            max_winners: Some(2),
+            ..VcgConfig::default()
+        });
+        let o = auction.run(&bids, &linear());
+        assert_eq!(o.winner_ids(), vec![0, 1]);
+        assert!((o.payment_of(0).unwrap() - (2.0 + (8.0 - 3.0))).abs() < 1e-9);
+        assert!((o.payment_of(1).unwrap() - (1.0 + (5.0 - 3.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_not_binding_behaves_unconstrained() {
+        let bids = vec![bid(0, 2.0, 10), bid(1, 1.0, 6)];
+        let capped = VcgAuction::new(VcgConfig {
+            max_winners: Some(5),
+            ..VcgConfig::default()
+        })
+        .run(&bids, &linear());
+        let free = VcgAuction::new(VcgConfig::default()).run(&bids, &linear());
+        assert_eq!(capped, free);
+    }
+
+    #[test]
+    fn payments_cover_reported_cost() {
+        let bids = vec![
+            bid(0, 2.0, 10),
+            bid(1, 7.0, 9),
+            bid(2, 1.0, 3),
+            bid(3, 0.5, 2),
+        ];
+        let auction = VcgAuction::new(VcgConfig {
+            max_winners: Some(2),
+            ..VcgConfig::default()
+        });
+        let o = auction.run(&bids, &linear());
+        for w in &o.winners {
+            assert!(w.payment >= w.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cost_weight_scales_payments() {
+        // Larger Q shrinks the money bonus (the virtual pivot is divided by Q).
+        let bids = vec![bid(0, 2.0, 10)];
+        let pay = |q: f64| {
+            VcgAuction::new(VcgConfig {
+                value_weight: 1.0,
+                cost_weight: q,
+                max_winners: None,
+                reserve_price: None,
+            })
+            .run(&bids, &linear())
+            .payment_of(0)
+        };
+        let p1 = pay(1.0).unwrap();
+        let p4 = pay(4.0).unwrap();
+        assert!(p4 < p1);
+        assert!(p4 >= 2.0);
+    }
+
+    #[test]
+    fn budgeted_run_matches_unbudgeted_when_loose() {
+        let bids = vec![bid(0, 2.0, 10), bid(1, 1.0, 6)];
+        let auction = VcgAuction::new(VcgConfig::default());
+        let loose = auction.run_with_budget(&bids, &linear(), 1e6, SolverKind::Exhaustive);
+        let free = auction.run(&bids, &linear());
+        assert_eq!(loose.winner_ids(), free.winner_ids());
+        for w in &loose.winners {
+            assert!((w.payment - free.payment_of(w.bidder).unwrap()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn budgeted_run_respects_budget_on_costs() {
+        let bids = vec![bid(0, 5.0, 10), bid(1, 4.0, 8), bid(2, 3.0, 6)];
+        let auction = VcgAuction::new(VcgConfig::default());
+        let o = auction.run_with_budget(&bids, &linear(), 7.0, SolverKind::Exhaustive);
+        assert!(o.total_cost() <= 7.0 + 1e-9);
+        assert!(!o.winners.is_empty());
+    }
+
+    #[test]
+    fn empty_bids_empty_outcome() {
+        let auction = VcgAuction::new(VcgConfig::default());
+        let o = auction.run(&[], &linear());
+        assert!(o.winners.is_empty());
+        assert_eq!(o.virtual_welfare, 0.0);
+    }
+
+    #[test]
+    fn reserve_excludes_expensive_bids() {
+        let bids = vec![bid(0, 2.0, 10), bid(1, 6.0, 50)];
+        let auction = VcgAuction::new(VcgConfig {
+            reserve_price: Some(5.0),
+            ..VcgConfig::default()
+        });
+        let o = auction.run(&bids, &linear());
+        assert_eq!(o.winner_ids(), vec![0]);
+    }
+
+    #[test]
+    fn reserve_caps_payment() {
+        // Single winner, unconstrained: uncapped payment would be
+        // c + w = 2 + 8 = 10; reserve 5 caps it.
+        let bids = vec![bid(0, 2.0, 10)];
+        let auction = VcgAuction::new(VcgConfig {
+            reserve_price: Some(5.0),
+            ..VcgConfig::default()
+        });
+        let o = auction.run(&bids, &linear());
+        assert_eq!(o.payment_of(0), Some(5.0));
+    }
+
+    #[test]
+    fn reserve_preserves_truthfulness_and_ir() {
+        use crate::properties::{default_factor_grid, individually_rational, probe_truthfulness};
+        let bids = vec![bid(0, 2.0, 10), bid(1, 1.0, 6), bid(2, 3.0, 8)];
+        let auction = VcgAuction::new(VcgConfig {
+            max_winners: Some(2),
+            reserve_price: Some(4.0),
+            ..VcgConfig::default()
+        });
+        let o = auction.run(&bids, &linear());
+        assert!(individually_rational(&o, 1e-9));
+        for i in 0..bids.len() {
+            let report =
+                probe_truthfulness(&bids, i, &default_factor_grid(), |b| auction.run(b, &linear()));
+            assert!(
+                report.is_truthful(1e-9),
+                "bidder {i} gains {}",
+                report.max_gain()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve_price must be finite")]
+    fn rejects_negative_reserve() {
+        let _ = VcgAuction::new(VcgConfig {
+            reserve_price: Some(-1.0),
+            ..VcgConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cost_weight must be finite and positive")]
+    fn rejects_zero_cost_weight() {
+        let _ = VcgAuction::new(VcgConfig {
+            cost_weight: 0.0,
+            ..VcgConfig::default()
+        });
+    }
+}

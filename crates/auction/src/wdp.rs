@@ -1,0 +1,639 @@
+//! Winner-determination problem (WDP) solvers.
+//!
+//! The per-round problem is: given items with *score* `w_i` (already
+//! combining platform value and weighted cost, e.g. `w_i = V·v_i − Q·c_i`)
+//! and money cost `c_i`, choose a subset maximizing `Σ w_i` subject to an
+//! optional cardinality cap and an optional budget cap on `Σ c_i`.
+//!
+//! Exact solutions are required for VCG truthfulness; this module provides
+//! exact solvers for every constraint combination used by LOVM, plus a
+//! greedy approximation and a fractional upper bound used by baselines and
+//! the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One candidate in a winner-determination instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WdpItem {
+    /// Stable bidder identifier carried through to the outcome.
+    pub bidder: usize,
+    /// Selection score (may be negative; negative items are never selected).
+    pub weight: f64,
+    /// Money cost counted against the budget constraint (must be ≥ 0).
+    pub cost: f64,
+}
+
+/// A winner-determination instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WdpInstance {
+    /// Candidate items.
+    pub items: Vec<WdpItem>,
+    /// Maximum number of winners (`None` = unlimited).
+    pub max_winners: Option<usize>,
+    /// Budget cap on total selected cost (`None` = unlimited).
+    pub budget: Option<f64>,
+}
+
+impl WdpInstance {
+    /// Creates an unconstrained instance.
+    pub fn new(items: Vec<WdpItem>) -> Self {
+        WdpInstance {
+            items,
+            max_winners: None,
+            budget: None,
+        }
+    }
+
+    /// Adds a cardinality cap.
+    pub fn with_max_winners(mut self, k: usize) -> Self {
+        self.max_winners = Some(k);
+        self
+    }
+
+    /// Adds a budget cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is negative or non-finite.
+    pub fn with_budget(mut self, budget: f64) -> Self {
+        assert!(
+            budget.is_finite() && budget >= 0.0,
+            "budget must be finite and >= 0"
+        );
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Objective value of a candidate selection (indices into `items`).
+    pub fn objective(&self, selected: &[usize]) -> f64 {
+        selected.iter().map(|&i| self.items[i].weight).sum()
+    }
+
+    /// Total cost of a candidate selection.
+    pub fn total_cost(&self, selected: &[usize]) -> f64 {
+        selected.iter().map(|&i| self.items[i].cost).sum()
+    }
+
+    /// Whether a selection satisfies both constraints.
+    pub fn feasible(&self, selected: &[usize]) -> bool {
+        if let Some(k) = self.max_winners {
+            if selected.len() > k {
+                return false;
+            }
+        }
+        if let Some(b) = self.budget {
+            if self.total_cost(selected) > b + 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns the instance with item `idx` removed (for Clarke pivots).
+    pub fn without_item(&self, idx: usize) -> WdpInstance {
+        let mut items = self.items.clone();
+        items.remove(idx);
+        WdpInstance {
+            items,
+            max_winners: self.max_winners,
+            budget: self.budget,
+        }
+    }
+}
+
+/// A solved winner-determination instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WdpSolution {
+    /// Indices into [`WdpInstance::items`] of the selected items.
+    pub selected: Vec<usize>,
+    /// Achieved objective `Σ w_i`.
+    pub objective: f64,
+}
+
+impl WdpSolution {
+    fn from_indices(inst: &WdpInstance, mut selected: Vec<usize>) -> Self {
+        selected.sort_unstable();
+        let objective = inst.objective(&selected);
+        WdpSolution {
+            selected,
+            objective,
+        }
+    }
+}
+
+/// Which algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Automatically picks an exact algorithm for the constraint shape.
+    Exact,
+    /// Brute-force over all subsets (requires ≤ 25 items).
+    Exhaustive,
+    /// Budget-constrained dynamic program with this cost grid resolution.
+    Knapsack {
+        /// Number of grid cells the budget is discretized into.
+        grid: usize,
+    },
+    /// Greedy by weight (cardinality) / weight-per-cost density (budget).
+    GreedyDensity,
+}
+
+/// Solves a winner-determination instance.
+///
+/// `SolverKind::Exact` dispatches to:
+/// * top-K selection when no budget constraint is present (exact),
+/// * exhaustive search when ≤ 25 items (exact),
+/// * knapsack DP with a fine grid otherwise (exact up to cost rounding;
+///   rounding is upward so the returned selection is always feasible).
+///
+/// # Panics
+///
+/// Panics if `Exhaustive` is requested for more than 25 items, or item
+/// costs are negative/non-finite when a budget constraint is present.
+pub fn solve(inst: &WdpInstance, kind: SolverKind) -> WdpSolution {
+    match kind {
+        SolverKind::Exact => match inst.budget {
+            None => top_k(inst),
+            Some(_) if inst.items.len() <= 25 => exhaustive(inst),
+            Some(_) => knapsack(inst, 4000),
+        },
+        SolverKind::Exhaustive => exhaustive(inst),
+        SolverKind::Knapsack { grid } => match inst.budget {
+            Some(_) => knapsack(inst, grid),
+            None => top_k(inst),
+        },
+        SolverKind::GreedyDensity => greedy_density(inst),
+    }
+}
+
+/// Exact solver for instances without a budget constraint: select the top-K
+/// positive-weight items.
+fn top_k(inst: &WdpInstance) -> WdpSolution {
+    let k = inst.max_winners.unwrap_or(inst.items.len());
+    let mut order: Vec<usize> = (0..inst.items.len())
+        .filter(|&i| inst.items[i].weight > 0.0)
+        .collect();
+    order.sort_by(|&a, &b| {
+        inst.items[b]
+            .weight
+            .partial_cmp(&inst.items[a].weight)
+            .expect("weights are finite")
+    });
+    order.truncate(k);
+    WdpSolution::from_indices(inst, order)
+}
+
+/// Brute-force exact solver.
+fn exhaustive(inst: &WdpInstance) -> WdpSolution {
+    let n = inst.items.len();
+    assert!(n <= 25, "exhaustive solver limited to 25 items, got {n}");
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_obj = 0.0f64;
+    for mask in 0u32..(1u32 << n) {
+        let sel: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+        if !inst.feasible(&sel) {
+            continue;
+        }
+        let obj = inst.objective(&sel);
+        if obj > best_obj + 1e-15 {
+            best_obj = obj;
+            best = sel;
+        }
+    }
+    WdpSolution::from_indices(inst, best)
+}
+
+/// Budget-constrained 0/1 knapsack DP over a discretized cost grid.
+///
+/// Costs are rounded *down* to grid cells (which keeps tight optimal packs
+/// representable) and the reconstructed selection is then repaired to true
+/// feasibility by dropping lowest-density items; with a fine grid the
+/// objective loss is negligible. A cardinality constraint, when present, is
+/// handled by adding a count dimension.
+fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
+    let budget = inst.budget.expect("knapsack requires a budget");
+    assert!(grid >= 1, "grid must be at least 1");
+    for it in &inst.items {
+        assert!(
+            it.cost.is_finite() && it.cost >= 0.0,
+            "knapsack requires non-negative finite costs"
+        );
+    }
+    // Candidate items: positive weight and individually affordable.
+    let cand: Vec<usize> = (0..inst.items.len())
+        .filter(|&i| inst.items[i].weight > 0.0 && inst.items[i].cost <= budget + 1e-12)
+        .collect();
+    if cand.is_empty() {
+        return WdpSolution::from_indices(inst, Vec::new());
+    }
+    let cell = if budget > 0.0 { budget / grid as f64 } else { 1.0 };
+    let gcost = |i: usize| -> usize {
+        if budget == 0.0 {
+            // Only zero-cost items fit.
+            if inst.items[i].cost > 0.0 {
+                grid + 1
+            } else {
+                0
+            }
+        } else {
+            (inst.items[i].cost / cell).floor() as usize
+        }
+    };
+    let width = grid + 1;
+    let selected = match inst.max_winners {
+        // No cardinality cap: 1-D DP over the cost grid. `taken[t][c]`
+        // records that candidate t strictly improved state c; walking
+        // candidates backwards and following the first set flag at the
+        // current state is the standard exact reconstruction.
+        None => {
+            let mut dp = vec![0.0f64; width];
+            let mut taken: Vec<Vec<bool>> = Vec::with_capacity(cand.len());
+            for &i in &cand {
+                let gc = gcost(i);
+                let w = inst.items[i].weight;
+                let mut tk = vec![false; width];
+                if gc <= grid {
+                    for c in (gc..width).rev() {
+                        let candidate = dp[c - gc] + w;
+                        if candidate > dp[c] + 1e-15 {
+                            dp[c] = candidate;
+                            tk[c] = true;
+                        }
+                    }
+                }
+                taken.push(tk);
+            }
+            let mut bc = 0usize;
+            for (c, &v) in dp.iter().enumerate() {
+                if v > dp[bc] + 1e-15 {
+                    bc = c;
+                }
+            }
+            let mut selected = Vec::new();
+            let mut c = bc;
+            for t in (0..cand.len()).rev() {
+                if taken[t][c] {
+                    let i = cand[t];
+                    selected.push(i);
+                    c -= gcost(i);
+                }
+            }
+            selected
+        }
+        // Cardinality cap: add a count dimension. Memory is
+        // O(items · k · grid) bits, so cap the table size and coarsen the
+        // grid if an absurd combination is requested.
+        Some(k) => {
+            let kmax = k.min(cand.len());
+            let max_cells: usize = 1 << 28; // 256M flags ≈ 256 MB worst case
+            let width = if cand.len() * (kmax + 1) * width > max_cells {
+                (max_cells / (cand.len() * (kmax + 1))).max(64)
+            } else {
+                width
+            };
+            let grid_eff = width - 1;
+            let cell_eff = if budget > 0.0 {
+                budget / grid_eff as f64
+            } else {
+                1.0
+            };
+            let gcost_eff = |i: usize| -> usize {
+                if budget == 0.0 {
+                    if inst.items[i].cost > 0.0 {
+                        grid_eff + 1
+                    } else {
+                        0
+                    }
+                } else {
+                    (inst.items[i].cost / cell_eff).floor() as usize
+                }
+            };
+            let mut dp = vec![vec![0.0f64; width]; kmax + 1];
+            let mut taken: Vec<Vec<bool>> = Vec::with_capacity(cand.len());
+            for &i in &cand {
+                let gc = gcost_eff(i);
+                let w = inst.items[i].weight;
+                let mut tk = vec![false; (kmax + 1) * width];
+                if gc <= grid_eff {
+                    for j in (1..=kmax).rev() {
+                        for c in (gc..width).rev() {
+                            let candidate = dp[j - 1][c - gc] + w;
+                            if candidate > dp[j][c] + 1e-15 {
+                                dp[j][c] = candidate;
+                                tk[j * width + c] = true;
+                            }
+                        }
+                    }
+                }
+                taken.push(tk);
+            }
+            let (mut bj, mut bc, mut best) = (0usize, 0usize, 0.0f64);
+            for (j, row) in dp.iter().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    if v > best + 1e-15 {
+                        best = v;
+                        bj = j;
+                        bc = c;
+                    }
+                }
+            }
+            let mut selected = Vec::new();
+            let mut j = bj;
+            let mut c = bc;
+            for t in (0..cand.len()).rev() {
+                if j == 0 {
+                    break;
+                }
+                if taken[t][j * width + c] {
+                    let i = cand[t];
+                    selected.push(i);
+                    c -= gcost_eff(i);
+                    j -= 1;
+                }
+            }
+            selected
+        }
+    };
+    // Repair: floor rounding may overshoot the true budget by up to one
+    // cell per item; drop lowest-density selections until feasible.
+    let mut selected = selected;
+    let mut spent: f64 = selected.iter().map(|&i| inst.items[i].cost).sum();
+    while spent > budget + 1e-9 && !selected.is_empty() {
+        let (pos, _) = selected
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                let da = inst.items[a].weight / inst.items[a].cost.max(1e-12);
+                let db = inst.items[b].weight / inst.items[b].cost.max(1e-12);
+                da.partial_cmp(&db).expect("densities are finite")
+            })
+            .expect("non-empty selection");
+        let dropped = selected.remove(pos);
+        spent -= inst.items[dropped].cost;
+    }
+    WdpSolution::from_indices(inst, selected)
+}
+
+/// Greedy approximation: by weight when only cardinality binds, by
+/// weight/cost density under a budget.
+fn greedy_density(inst: &WdpInstance) -> WdpSolution {
+    let mut order: Vec<usize> = (0..inst.items.len())
+        .filter(|&i| inst.items[i].weight > 0.0)
+        .collect();
+    match inst.budget {
+        None => order.sort_by(|&a, &b| {
+            inst.items[b]
+                .weight
+                .partial_cmp(&inst.items[a].weight)
+                .expect("weights are finite")
+        }),
+        Some(_) => order.sort_by(|&a, &b| {
+            let da = inst.items[a].weight / inst.items[a].cost.max(1e-12);
+            let db = inst.items[b].weight / inst.items[b].cost.max(1e-12);
+            db.partial_cmp(&da).expect("densities are finite")
+        }),
+    }
+    let k = inst.max_winners.unwrap_or(inst.items.len());
+    let mut selected = Vec::new();
+    let mut spent = 0.0;
+    for i in order {
+        if selected.len() >= k {
+            break;
+        }
+        if let Some(b) = inst.budget {
+            if spent + inst.items[i].cost > b + 1e-12 {
+                continue;
+            }
+        }
+        spent += inst.items[i].cost;
+        selected.push(i);
+    }
+    WdpSolution::from_indices(inst, selected)
+}
+
+/// Fractional (LP-relaxation) upper bound on the optimum of a
+/// budget-constrained instance; equals the exact optimum when no budget is
+/// present. Used as the denominator in competitive-ratio plots.
+pub fn fractional_upper_bound(inst: &WdpInstance) -> f64 {
+    match inst.budget {
+        None => top_k(inst).objective,
+        Some(budget) => {
+            let mut order: Vec<usize> = (0..inst.items.len())
+                .filter(|&i| inst.items[i].weight > 0.0)
+                .collect();
+            order.sort_by(|&a, &b| {
+                let da = inst.items[a].weight / inst.items[a].cost.max(1e-12);
+                let db = inst.items[b].weight / inst.items[b].cost.max(1e-12);
+                db.partial_cmp(&da).expect("densities are finite")
+            });
+            let k = inst.max_winners.unwrap_or(inst.items.len());
+            let mut remaining = budget;
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for i in order {
+                if count >= k || remaining <= 0.0 {
+                    break;
+                }
+                let it = inst.items[i];
+                if it.cost <= remaining {
+                    total += it.weight;
+                    remaining -= it.cost;
+                    count += 1;
+                } else if it.cost > 0.0 {
+                    total += it.weight * remaining / it.cost;
+                    remaining = 0.0;
+                }
+            }
+            total
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn item(bidder: usize, weight: f64, cost: f64) -> WdpItem {
+        WdpItem {
+            bidder,
+            weight,
+            cost,
+        }
+    }
+
+    #[test]
+    fn top_k_selects_heaviest_positive() {
+        let inst = WdpInstance::new(vec![
+            item(0, 3.0, 1.0),
+            item(1, -1.0, 1.0),
+            item(2, 5.0, 1.0),
+            item(3, 1.0, 1.0),
+        ])
+        .with_max_winners(2);
+        let sol = solve(&inst, SolverKind::Exact);
+        assert_eq!(sol.selected, vec![0, 2]);
+        assert_eq!(sol.objective, 8.0);
+    }
+
+    #[test]
+    fn unconstrained_takes_all_positive() {
+        let inst = WdpInstance::new(vec![item(0, 1.0, 0.0), item(1, -2.0, 0.0), item(2, 0.5, 0.0)]);
+        let sol = solve(&inst, SolverKind::Exact);
+        assert_eq!(sol.selected, vec![0, 2]);
+    }
+
+    #[test]
+    fn exhaustive_respects_budget() {
+        // Best unbudgeted = {0, 1} (weight 10), but budget only allows {1, 2}.
+        let inst = WdpInstance::new(vec![
+            item(0, 6.0, 10.0),
+            item(1, 4.0, 4.0),
+            item(2, 3.0, 3.0),
+        ])
+        .with_budget(8.0);
+        let sol = solve(&inst, SolverKind::Exhaustive);
+        assert_eq!(sol.selected, vec![1, 2]);
+        assert_eq!(sol.objective, 7.0);
+    }
+
+    #[test]
+    fn knapsack_matches_exhaustive_small() {
+        let inst = WdpInstance::new(vec![
+            item(0, 6.0, 10.0),
+            item(1, 4.0, 4.0),
+            item(2, 3.0, 3.0),
+            item(3, 2.5, 2.0),
+        ])
+        .with_budget(9.0);
+        let ex = solve(&inst, SolverKind::Exhaustive);
+        let kn = solve(&inst, SolverKind::Knapsack { grid: 2000 });
+        assert!((ex.objective - kn.objective).abs() < 0.05);
+        assert!(inst.feasible(&kn.selected));
+    }
+
+    #[test]
+    fn knapsack_with_cardinality() {
+        let inst = WdpInstance::new(vec![
+            item(0, 5.0, 1.0),
+            item(1, 4.0, 1.0),
+            item(2, 3.0, 1.0),
+        ])
+        .with_budget(10.0)
+        .with_max_winners(2);
+        let sol = solve(&inst, SolverKind::Knapsack { grid: 100 });
+        assert_eq!(sol.selected, vec![0, 1]);
+    }
+
+    #[test]
+    fn knapsack_zero_budget_only_free_items() {
+        let inst = WdpInstance::new(vec![item(0, 5.0, 1.0), item(1, 2.0, 0.0)]).with_budget(0.0);
+        let sol = solve(&inst, SolverKind::Knapsack { grid: 100 });
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    fn greedy_density_feasible_and_reasonable() {
+        let inst = WdpInstance::new(vec![
+            item(0, 10.0, 10.0), // density 1.0
+            item(1, 6.0, 3.0),   // density 2.0
+            item(2, 5.0, 3.0),   // density 1.67
+        ])
+        .with_budget(6.0);
+        let sol = solve(&inst, SolverKind::GreedyDensity);
+        assert_eq!(sol.selected, vec![1, 2]);
+        assert!(inst.feasible(&sol.selected));
+    }
+
+    #[test]
+    fn fractional_bound_dominates_exact() {
+        let inst = WdpInstance::new(vec![
+            item(0, 6.0, 5.0),
+            item(1, 4.0, 4.0),
+            item(2, 3.0, 3.0),
+        ])
+        .with_budget(7.0);
+        let exact = solve(&inst, SolverKind::Exhaustive);
+        let bound = fractional_upper_bound(&inst);
+        assert!(bound >= exact.objective - 1e-9);
+    }
+
+    #[test]
+    fn without_item_shifts_indices() {
+        let inst = WdpInstance::new(vec![item(0, 1.0, 1.0), item(1, 2.0, 2.0), item(2, 3.0, 3.0)]);
+        let reduced = inst.without_item(1);
+        assert_eq!(reduced.items.len(), 2);
+        assert_eq!(reduced.items[1].bidder, 2);
+    }
+
+    #[test]
+    fn empty_instance_empty_solution() {
+        let inst = WdpInstance::new(vec![]);
+        for kind in [
+            SolverKind::Exact,
+            SolverKind::Exhaustive,
+            SolverKind::GreedyDensity,
+        ] {
+            let sol = solve(&inst, kind);
+            assert!(sol.selected.is_empty());
+            assert_eq!(sol.objective, 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive solver limited")]
+    fn exhaustive_size_guard() {
+        let items: Vec<WdpItem> = (0..30).map(|i| item(i, 1.0, 1.0)).collect();
+        let _ = solve(&WdpInstance::new(items), SolverKind::Exhaustive);
+    }
+
+    proptest! {
+        /// Exact dispatch must match brute force on small instances.
+        #[test]
+        fn exact_matches_exhaustive(
+            weights in proptest::collection::vec(-5.0f64..10.0, 1..10),
+            costs in proptest::collection::vec(0.0f64..5.0, 10),
+            k in 1usize..6,
+            use_budget in proptest::bool::ANY,
+            budget in 0.0f64..15.0,
+        ) {
+            let items: Vec<WdpItem> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| item(i, w, costs[i]))
+                .collect();
+            let mut inst = WdpInstance::new(items).with_max_winners(k);
+            if use_budget {
+                inst = inst.with_budget(budget);
+            }
+            let exact = solve(&inst, SolverKind::Exact);
+            let brute = solve(&inst, SolverKind::Exhaustive);
+            // Knapsack grid rounding may lose a sliver of objective; the
+            // no-budget path must be exactly optimal.
+            let tol = if use_budget { 0.1 } else { 1e-9 };
+            prop_assert!(exact.objective >= brute.objective - tol,
+                "exact {} < brute {}", exact.objective, brute.objective);
+            prop_assert!(inst.feasible(&exact.selected));
+        }
+
+        /// Greedy is always feasible and never exceeds the exact optimum.
+        #[test]
+        fn greedy_feasible_and_bounded(
+            weights in proptest::collection::vec(0.1f64..10.0, 1..12),
+            costs in proptest::collection::vec(0.1f64..5.0, 12),
+            budget in 1.0f64..20.0,
+        ) {
+            let items: Vec<WdpItem> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| item(i, w, costs[i]))
+                .collect();
+            let inst = WdpInstance::new(items).with_budget(budget);
+            let greedy = solve(&inst, SolverKind::GreedyDensity);
+            let brute = solve(&inst, SolverKind::Exhaustive);
+            prop_assert!(inst.feasible(&greedy.selected));
+            prop_assert!(greedy.objective <= brute.objective + 1e-9);
+            let bound = fractional_upper_bound(&inst);
+            prop_assert!(bound >= brute.objective - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Incentive- and budget-agnostic FedAvg.
+
+use auction::bid::Bid;
+use auction::outcome::{AuctionOutcome, Award};
+use auction::valuation::Valuation;
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use serde::{Deserialize, Serialize};
+
+/// Recruits every present client and reimburses its reported cost.
+///
+/// This is plain FedAvg with cost reimbursement: the accuracy upper bound
+/// (maximum participation) and the budget-violation worst case (expenditure
+/// is whatever the clients ask). E2/E6 plot it as the "no mechanism"
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllAvailable {
+    valuation: Valuation,
+}
+
+impl AllAvailable {
+    /// Creates the mechanism.
+    pub fn new(valuation: Valuation) -> Self {
+        AllAvailable { valuation }
+    }
+}
+
+impl Mechanism for AllAvailable {
+    fn name(&self) -> String {
+        "AllAvailable".into()
+    }
+
+    fn select(&mut self, _info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        let mut welfare = 0.0;
+        let awards = bids
+            .iter()
+            .map(|b| {
+                let value = self.valuation.client_value(b);
+                welfare += value - b.cost;
+                Award {
+                    bidder: b.bidder,
+                    cost: b.cost,
+                    value,
+                    payment: b.cost,
+                }
+            })
+            .collect();
+        AuctionOutcome::new(awards, welfare)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::valuation::ClientValue;
+
+    fn val() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    #[test]
+    fn recruits_everyone() {
+        let bids = vec![
+            Bid::new(0, 1.0, 5, 1.0),
+            Bid::new(1, 100.0, 5, 1.0), // even negative-welfare clients
+        ];
+        let mut m = AllAvailable::new(val());
+        let info = RoundInfo {
+            round: 0,
+            horizon: 1,
+            total_budget: 1.0,
+            spent_so_far: 0.0,
+        };
+        let o = m.select(&info, &bids);
+        assert_eq!(o.winners.len(), 2);
+        assert_eq!(o.payment_of(1), Some(100.0)); // budget-agnostic
+        assert_eq!(o.total_payment(), 101.0);
+    }
+
+    #[test]
+    fn empty_round() {
+        let mut m = AllAvailable::new(val());
+        let info = RoundInfo {
+            round: 0,
+            horizon: 1,
+            total_budget: 1.0,
+            spent_so_far: 0.0,
+        };
+        assert!(m.select(&info, &[]).winners.is_empty());
+    }
+}

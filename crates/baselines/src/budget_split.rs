@@ -1,0 +1,209 @@
+//! Budget-split greedy auction with critical-value payments.
+
+use auction::bid::Bid;
+use auction::critical::critical_value;
+use auction::outcome::{AuctionOutcome, Award};
+use auction::valuation::Valuation;
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use serde::{Deserialize, Serialize};
+
+/// Splits the *remaining* budget evenly across remaining rounds, then runs
+/// a greedy value-per-cost auction within that per-round allowance, paying
+/// Myerson critical values (the allocation is monotone in reported cost, so
+/// this is truthful).
+///
+/// Myopia is the point: it cannot bank budget for rounds with better bids,
+/// which is exactly what LOVM's virtual queue achieves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSplitGreedy {
+    valuation: Valuation,
+    /// Cap on winners per round.
+    max_winners: Option<usize>,
+}
+
+impl BudgetSplitGreedy {
+    /// Creates the mechanism.
+    pub fn new(valuation: Valuation, max_winners: Option<usize>) -> Self {
+        BudgetSplitGreedy {
+            valuation,
+            max_winners,
+        }
+    }
+
+    /// The greedy allocation: winners under a per-round cost allowance.
+    fn allocate(&self, allowance: f64, bids: &[Bid]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..bids.len())
+            .filter(|&i| {
+                let v = self.valuation.client_value(&bids[i]);
+                v > bids[i].cost // positive welfare only
+            })
+            .collect();
+        order.sort_by(|&a, &b| {
+            let da = self.valuation.client_value(&bids[a]) / bids[a].cost.max(1e-9);
+            let db = self.valuation.client_value(&bids[b]) / bids[b].cost.max(1e-9);
+            db.partial_cmp(&da).expect("finite densities")
+        });
+        let k = self.max_winners.unwrap_or(bids.len());
+        let mut winners = Vec::new();
+        let mut spent = 0.0;
+        for i in order {
+            if winners.len() >= k {
+                break;
+            }
+            if spent + bids[i].cost <= allowance + 1e-12 {
+                spent += bids[i].cost;
+                winners.push(i);
+            }
+        }
+        winners
+    }
+}
+
+impl Mechanism for BudgetSplitGreedy {
+    fn name(&self) -> String {
+        "BudgetSplitGreedy".into()
+    }
+
+    fn select(&mut self, info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        let allowance = (info.remaining_budget() / info.rounds_remaining().max(1) as f64).max(0.0);
+        let winner_indices = self.allocate(allowance, bids);
+        let winner_set: std::collections::HashSet<usize> =
+            winner_indices.iter().copied().collect();
+
+        let mut awards = Vec::with_capacity(winner_indices.len());
+        let mut welfare = 0.0;
+        for &i in &winner_indices {
+            let value = self.valuation.client_value(&bids[i]);
+            // Critical value: the highest report at which i still wins.
+            // Upper bound: its value (beyond that, welfare goes negative and
+            // it is excluded regardless of budget).
+            let upper = value.max(bids[i].cost) + 1e-6;
+            let me = *self;
+            let cv = critical_value(bids, i, upper, 1e-6, move |b| {
+                me.allocate(allowance, b).contains(&i)
+            })
+            .unwrap_or(bids[i].cost);
+            let payment = cv.max(bids[i].cost);
+            welfare += value - bids[i].cost;
+            awards.push(Award {
+                bidder: bids[i].bidder,
+                cost: bids[i].cost,
+                value,
+                payment,
+            });
+        }
+        let _ = winner_set;
+        AuctionOutcome::new(awards, welfare)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::properties::{
+        default_factor_grid, individually_rational, probe_truthfulness,
+    };
+    use auction::valuation::ClientValue;
+
+    fn val() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    fn info() -> RoundInfo {
+        RoundInfo {
+            round: 0,
+            horizon: 10,
+            total_budget: 50.0, // 5.0 per round
+            spent_so_far: 0.0,
+        }
+    }
+
+    fn bids() -> Vec<Bid> {
+        vec![
+            Bid::new(0, 1.0, 5, 1.0), // density 5
+            Bid::new(1, 2.0, 6, 1.0), // density 3
+            Bid::new(2, 3.0, 4, 1.0), // density 1.33
+            Bid::new(3, 4.0, 2, 1.0), // negative welfare
+        ]
+    }
+
+    #[test]
+    fn greedy_respects_allowance() {
+        let mut m = BudgetSplitGreedy::new(val(), None);
+        let o = m.select(&info(), &bids());
+        // Allowance 5.0: take bidder 0 (1.0), bidder 1 (2.0), skip 2? 1+2+3=6 > 5.
+        assert_eq!(o.winner_ids(), vec![0, 1]);
+        assert!(o.total_cost() <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn negative_welfare_excluded() {
+        let mut m = BudgetSplitGreedy::new(val(), None);
+        let o = m.select(&info(), &bids());
+        assert!(!o.is_winner(3));
+    }
+
+    #[test]
+    fn payments_are_ir() {
+        let mut m = BudgetSplitGreedy::new(val(), None);
+        let o = m.select(&info(), &bids());
+        assert!(individually_rational(&o, 1e-6));
+    }
+
+    #[test]
+    fn truthful_on_probe_grid() {
+        let all = bids();
+        for i in 0..3 {
+            let report = probe_truthfulness(&all, i, &default_factor_grid(), |b| {
+                let mut m = BudgetSplitGreedy::new(val(), None);
+                m.select(&info(), b)
+            });
+            assert!(
+                report.is_truthful(1e-3),
+                "bidder {i} gains {} at factor {}",
+                report.max_gain(),
+                report.best_factor
+            );
+        }
+    }
+
+    #[test]
+    fn max_winners_cap_applies() {
+        let mut m = BudgetSplitGreedy::new(val(), Some(1));
+        let o = m.select(&info(), &bids());
+        assert_eq!(o.winners.len(), 1);
+        assert_eq!(o.winner_ids(), vec![0]); // best density
+    }
+
+    #[test]
+    fn allowance_tracks_remaining_budget() {
+        let mut m = BudgetSplitGreedy::new(val(), None);
+        let tight = RoundInfo {
+            round: 9,
+            horizon: 10,
+            total_budget: 50.0,
+            spent_so_far: 49.5, // only 0.5 left for the last round
+        };
+        let o = m.select(&tight, &bids());
+        assert!(o.total_cost() <= 0.5 + 1e-9);
+        assert!(o.winners.is_empty()); // cheapest bid costs 1.0
+    }
+
+    #[test]
+    fn overspent_budget_yields_no_winners() {
+        let mut m = BudgetSplitGreedy::new(val(), None);
+        let broke = RoundInfo {
+            round: 5,
+            horizon: 10,
+            total_budget: 10.0,
+            spent_so_far: 12.0,
+        };
+        let o = m.select(&broke, &bids());
+        assert!(o.winners.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Posted-price recruiting.
+
+use auction::bid::Bid;
+use auction::outcome::{AuctionOutcome, Award};
+use auction::valuation::Valuation;
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use serde::{Deserialize, Serialize};
+
+/// Posts a fixed price `p̄`; every present client with reported cost
+/// `ĉ_i ≤ p̄` is recruited (cheapest first, until the per-round budget
+/// `B/R` runs out or the winner cap binds) and paid exactly `p̄`.
+///
+/// Trivially truthful (the payment never depends on the report; reporting
+/// above your cost only loses you profitable rounds) and extremely simple —
+/// but value-blind and unable to adapt to bid quality, which E1/E6 expose.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FixedPrice {
+    price: f64,
+    valuation: Valuation,
+    max_winners: Option<usize>,
+}
+
+impl FixedPrice {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `price` is negative or non-finite.
+    pub fn new(price: f64, valuation: Valuation, max_winners: Option<usize>) -> Self {
+        assert!(
+            price.is_finite() && price >= 0.0,
+            "price must be finite and >= 0"
+        );
+        FixedPrice {
+            price,
+            valuation,
+            max_winners,
+        }
+    }
+
+    /// The posted price.
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+}
+
+impl Mechanism for FixedPrice {
+    fn name(&self) -> String {
+        format!("FixedPrice({})", self.price)
+    }
+
+    fn select(&mut self, info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        let allowance = info.budget_per_round();
+        let mut accepters: Vec<usize> = (0..bids.len())
+            .filter(|&i| bids[i].cost <= self.price)
+            .collect();
+        // Cheapest first so the budget recruits as many as possible.
+        accepters.sort_by(|&a, &b| {
+            bids[a]
+                .cost
+                .partial_cmp(&bids[b].cost)
+                .expect("finite costs")
+        });
+        let k = self.max_winners.unwrap_or(bids.len());
+        let mut awards = Vec::new();
+        let mut spent = 0.0;
+        let mut welfare = 0.0;
+        for i in accepters {
+            if awards.len() >= k || spent + self.price > allowance + 1e-12 {
+                break;
+            }
+            let value = self.valuation.client_value(&bids[i]);
+            spent += self.price;
+            welfare += value - bids[i].cost;
+            awards.push(Award {
+                bidder: bids[i].bidder,
+                cost: bids[i].cost,
+                value,
+                payment: self.price,
+            });
+        }
+        AuctionOutcome::new(awards, welfare)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::properties::{default_factor_grid, probe_truthfulness};
+    use auction::valuation::ClientValue;
+
+    fn val() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    fn info() -> RoundInfo {
+        RoundInfo {
+            round: 0,
+            horizon: 10,
+            total_budget: 30.0, // 3.0 per round
+            spent_so_far: 0.0,
+        }
+    }
+
+    #[test]
+    fn recruits_below_price_cheapest_first() {
+        let bids = vec![
+            Bid::new(0, 2.0, 5, 1.0),
+            Bid::new(1, 0.5, 5, 1.0),
+            Bid::new(2, 1.2, 5, 1.0),
+            Bid::new(3, 3.0, 5, 1.0), // above price
+        ];
+        let mut m = FixedPrice::new(1.5, val(), None);
+        let o = m.select(&info(), &bids);
+        // Price 1.5, allowance 3.0 → at most 2 winners: the two cheapest.
+        assert_eq!(o.winner_ids(), vec![1, 2]);
+        for w in &o.winners {
+            assert_eq!(w.payment, 1.5);
+        }
+    }
+
+    #[test]
+    fn budget_caps_recruitment() {
+        let bids: Vec<Bid> = (0..10).map(|i| Bid::new(i, 0.1, 5, 1.0)).collect();
+        let mut m = FixedPrice::new(1.0, val(), None);
+        let o = m.select(&info(), &bids);
+        assert_eq!(o.winners.len(), 3); // 3.0 allowance / 1.0 price
+        assert!((o.total_payment() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn winner_cap_applies() {
+        let bids: Vec<Bid> = (0..10).map(|i| Bid::new(i, 0.1, 5, 1.0)).collect();
+        let mut m = FixedPrice::new(0.2, val(), Some(2));
+        let o = m.select(&info(), &bids);
+        assert_eq!(o.winners.len(), 2);
+    }
+
+    #[test]
+    fn truthful_probe() {
+        let bids = vec![
+            Bid::new(0, 1.0, 5, 1.0),
+            Bid::new(1, 0.8, 4, 1.0),
+            Bid::new(2, 2.5, 6, 1.0),
+        ];
+        for i in 0..bids.len() {
+            let report = probe_truthfulness(&bids, i, &default_factor_grid(), |b| {
+                let mut m = FixedPrice::new(1.5, val(), None);
+                m.select(&info(), b)
+            });
+            assert!(
+                report.is_truthful(1e-9),
+                "bidder {i} gains {}",
+                report.max_gain()
+            );
+        }
+    }
+
+    #[test]
+    fn ir_holds_at_reported_cost() {
+        // Winners are paid price ≥ their report by construction.
+        let bids = vec![Bid::new(0, 1.0, 5, 1.0)];
+        let mut m = FixedPrice::new(1.5, val(), None);
+        let o = m.select(&info(), &bids);
+        assert!(o.payment_of(0).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn nobody_below_price_no_winners() {
+        let bids = vec![Bid::new(0, 5.0, 5, 1.0)];
+        let mut m = FixedPrice::new(1.0, val(), None);
+        let o = m.select(&info(), &bids);
+        assert!(o.winners.is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # baselines — comparator mechanisms
+//!
+//! Every mechanism LOVM is evaluated against, all implementing
+//! [`lovm_core::mechanism::Mechanism`] so the harness can swap them in:
+//!
+//! * [`BudgetSplitGreedy`] — splits the remaining budget evenly over the
+//!   remaining rounds and runs a greedy density auction with Myerson
+//!   critical-value payments (truthful but myopic),
+//! * [`MyopicVcg`] — per-round welfare-maximizing VCG with a hard
+//!   per-round cost cap `B/R` (truthful, ignores the long-term structure),
+//! * [`ProportionalShare`] — Singer's budget-feasible mechanism applied
+//!   per round (truthful *and* payment-budget-feasible, still myopic),
+//! * [`FixedPrice`] — posted-price recruiting (truthful, no adaptivity),
+//! * [`RandomK`] — uniformly random winners paid their bid (the
+//!   non-truthful strawman; shows why incentives matter),
+//! * [`AllAvailable`] — recruits everyone and reimburses reported cost
+//!   (incentive- and budget-agnostic FedAvg; the accuracy upper bound and
+//!   budget-violation lower bound).
+
+pub mod all_available;
+pub mod budget_split;
+pub mod fixed_price;
+pub mod myopic;
+pub mod proportional_share;
+pub mod random_k;
+
+pub use all_available::AllAvailable;
+pub use budget_split::BudgetSplitGreedy;
+pub use fixed_price::FixedPrice;
+pub use myopic::MyopicVcg;
+pub use proportional_share::ProportionalShare;
+pub use random_k::RandomK;

@@ -1,0 +1,232 @@
+//! Per-round welfare-maximizing auction with a hard per-round budget cap.
+
+use auction::bid::Bid;
+use auction::critical::critical_value;
+use auction::outcome::{AuctionOutcome, Award};
+use auction::valuation::Valuation;
+use auction::wdp::{solve, SolverKind, WdpInstance, WdpItem};
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use serde::{Deserialize, Serialize};
+
+/// Maximizes per-round welfare `Σ (v_i − ĉ_i)` subject to the selected
+/// set's *reported cost* staying within the equal-split cap `B/R`, with
+/// **Myerson critical-value payments**.
+///
+/// Clarke (VCG) payments are *not* truthful here: the budget cap makes the
+/// feasible set depend on reports, so underreporting can admit extra
+/// winners and inflate the pivot (our unit tests demonstrate a profitable
+/// 0.25× misreport under Clarke). The exact knapsack allocation *is*
+/// monotone in each reported cost, so the critical value — the highest
+/// report at which the bidder still wins, found by bisection — restores
+/// dominant-strategy truthfulness (Myerson's lemma).
+///
+/// The mechanism remains myopic: it cannot bank budget across rounds,
+/// which is LOVM's advantage in E1/E8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MyopicVcg {
+    valuation: Valuation,
+    max_winners: Option<usize>,
+    /// Knapsack grid used when more than 12 bids are present.
+    grid: usize,
+}
+
+impl MyopicVcg {
+    /// Creates the mechanism with a default solver grid of 800 cells.
+    pub fn new(valuation: Valuation, max_winners: Option<usize>) -> Self {
+        MyopicVcg {
+            valuation,
+            max_winners,
+            grid: 800,
+        }
+    }
+
+    /// Overrides the knapsack grid resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid == 0`.
+    pub fn with_grid(mut self, grid: usize) -> Self {
+        assert!(grid > 0, "grid must be positive");
+        self.grid = grid;
+        self
+    }
+
+    /// Exact welfare-maximizing allocation under the cost cap. Returns
+    /// *positions* into `bids`.
+    fn allocate(&self, cap: f64, bids: &[Bid]) -> Vec<usize> {
+        let items: Vec<WdpItem> = bids
+            .iter()
+            .enumerate()
+            .map(|(i, b)| WdpItem {
+                bidder: i, // positions, so critical-value probes line up
+                weight: self.valuation.client_value(b) - b.cost,
+                cost: b.cost,
+            })
+            .collect();
+        let mut inst = WdpInstance::new(items).with_budget(cap);
+        if let Some(k) = self.max_winners {
+            inst = inst.with_max_winners(k);
+        }
+        let solver = if bids.len() <= 12 {
+            SolverKind::Exhaustive
+        } else {
+            SolverKind::Knapsack { grid: self.grid }
+        };
+        solve(&inst, solver).selected
+    }
+}
+
+impl Mechanism for MyopicVcg {
+    fn name(&self) -> String {
+        "MyopicVCG".into()
+    }
+
+    fn select(&mut self, info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        let cap = info.budget_per_round();
+        let winners = self.allocate(cap, bids);
+        let mut welfare = 0.0;
+        let awards = winners
+            .iter()
+            .map(|&i| {
+                let value = self.valuation.client_value(&bids[i]);
+                // Critical report: cannot exceed the value (welfare must stay
+                // positive) nor the cap (individual feasibility).
+                let upper = value.min(cap).max(bids[i].cost) + 1e-6;
+                let me = *self;
+                let cv = critical_value(bids, i, upper, 1e-7, move |b| {
+                    me.allocate(cap, b).contains(&i)
+                })
+                .unwrap_or(bids[i].cost);
+                let payment = cv.max(bids[i].cost);
+                welfare += value - bids[i].cost;
+                Award {
+                    bidder: bids[i].bidder,
+                    cost: bids[i].cost,
+                    value,
+                    payment,
+                }
+            })
+            .collect();
+        AuctionOutcome::new(awards, welfare)
+    }
+
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::properties::{
+        default_factor_grid, individually_rational, probe_truthfulness, utility,
+    };
+    use auction::valuation::ClientValue;
+    use auction::vcg::{VcgAuction, VcgConfig};
+
+    fn val() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    fn info() -> RoundInfo {
+        RoundInfo {
+            round: 0,
+            horizon: 10,
+            total_budget: 40.0, // cap 4.0 per round
+            spent_so_far: 0.0,
+        }
+    }
+
+    fn bids() -> Vec<Bid> {
+        vec![
+            Bid::new(0, 1.0, 6, 1.0),
+            Bid::new(1, 2.0, 5, 1.0),
+            Bid::new(2, 3.0, 9, 1.0),
+        ]
+    }
+
+    #[test]
+    fn respects_cost_cap() {
+        let mut m = MyopicVcg::new(val(), None);
+        let o = m.select(&info(), &bids());
+        assert!(o.total_cost() <= 4.0 + 1e-9);
+        assert!(!o.winners.is_empty());
+    }
+
+    #[test]
+    fn maximizes_welfare_within_cap() {
+        // Welfare: b0=5, b1=3, b2=6. Cap 4: {0, 2} costs 4 → welfare 11.
+        let mut m = MyopicVcg::new(val(), None);
+        let o = m.select(&info(), &bids());
+        assert_eq!(o.winner_ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn ir_and_truthful_small() {
+        let all = bids();
+        let mut m = MyopicVcg::new(val(), None);
+        let o = m.select(&info(), &all);
+        assert!(individually_rational(&o, 1e-6));
+        for i in 0..all.len() {
+            let report = probe_truthfulness(&all, i, &default_factor_grid(), |b| {
+                let mut m = MyopicVcg::new(val(), None);
+                m.select(&info(), b)
+            });
+            assert!(
+                report.is_truthful(1e-3),
+                "bidder {i} gains {}",
+                report.max_gain()
+            );
+        }
+    }
+
+    /// Documents why critical values are required: budget-capped Clarke
+    /// payments admit a profitable underreport (bidder 2 at 0.25× frees
+    /// budget for bidder 1, inflating its own pivot).
+    #[test]
+    fn clarke_payments_would_not_be_truthful_here() {
+        let all = bids();
+        let clarke = |b: &[Bid]| {
+            VcgAuction::new(VcgConfig {
+                value_weight: 1.0,
+                cost_weight: 1.0,
+                max_winners: None,
+            reserve_price: None,
+        })
+            .run_with_budget(b, &val(), 4.0, SolverKind::Exhaustive)
+        };
+        let truthful = utility(&clarke(&all), 2, 3.0);
+        let mut lying = all.clone();
+        lying[2] = lying[2].with_cost(0.75);
+        let lied = utility(&clarke(&lying), 2, 3.0);
+        assert!(
+            lied > truthful + 1.0,
+            "expected the Clarke counterexample: truthful {truthful}, lied {lied}"
+        );
+    }
+
+    #[test]
+    fn large_instance_uses_knapsack_and_stays_capped() {
+        let many: Vec<Bid> = (0..60)
+            .map(|i| Bid::new(i, 0.5 + (i % 7) as f64 * 0.3, 2 + i % 10, 1.0))
+            .collect();
+        let mut m = MyopicVcg::new(val(), None).with_grid(400);
+        let o = m.select(&info(), &many);
+        assert!(o.total_cost() <= 4.0 + 1e-9);
+        assert!(individually_rational(&o, 1e-6));
+    }
+
+    #[test]
+    fn winner_cap_applies() {
+        let mut m = MyopicVcg::new(val(), Some(1));
+        let o = m.select(&info(), &bids());
+        assert_eq!(o.winners.len(), 1);
+        assert_eq!(o.winner_ids(), vec![2]); // highest welfare within cap
+    }
+
+    #[test]
+    fn name_stable() {
+        assert_eq!(MyopicVcg::new(val(), None).name(), "MyopicVCG");
+    }
+}

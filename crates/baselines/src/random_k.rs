@@ -1,0 +1,177 @@
+//! Random selection paid first-price — the non-truthful strawman.
+
+use auction::bid::Bid;
+use auction::outcome::{AuctionOutcome, Award};
+use auction::valuation::Valuation;
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Selects `k` present clients uniformly at random each round and pays each
+/// its *reported* cost (first-price).
+///
+/// Not truthful: a rational client inflates its report without affecting
+/// its selection probability, so realized expenditure drifts upward under
+/// strategic bidding. E4 uses this mechanism to show the probe detecting a
+/// profitable misreport, and E1/E6 use it as the value-blind selection
+/// baseline.
+#[derive(Debug)]
+pub struct RandomK {
+    k: usize,
+    valuation: Valuation,
+    seed: u64,
+    rng: StdRng,
+}
+
+impl RandomK {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, valuation: Valuation, seed: u64) -> Self {
+        assert!(k > 0, "k must be positive");
+        RandomK {
+            k,
+            valuation,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Mechanism for RandomK {
+    fn name(&self) -> String {
+        format!("Random{}", self.k)
+    }
+
+    fn select(&mut self, _info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        if bids.is_empty() {
+            return AuctionOutcome::default();
+        }
+        let k = self.k.min(bids.len());
+        // Partial Fisher–Yates over bid indices.
+        let mut idx: Vec<usize> = (0..bids.len()).collect();
+        for i in 0..k {
+            let j = self.rng.random_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let mut welfare = 0.0;
+        let awards = idx[..k]
+            .iter()
+            .map(|&i| {
+                let value = self.valuation.client_value(&bids[i]);
+                welfare += value - bids[i].cost;
+                Award {
+                    bidder: bids[i].bidder,
+                    cost: bids[i].cost,
+                    value,
+                    payment: bids[i].cost, // first-price
+                }
+            })
+            .collect();
+        AuctionOutcome::new(awards, welfare)
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::properties::{default_factor_grid, probe_truthfulness};
+    use auction::valuation::ClientValue;
+
+    fn val() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    fn info() -> RoundInfo {
+        RoundInfo {
+            round: 0,
+            horizon: 10,
+            total_budget: 100.0,
+            spent_so_far: 0.0,
+        }
+    }
+
+    fn bids(n: usize) -> Vec<Bid> {
+        (0..n).map(|i| Bid::new(i, 1.0 + i as f64, 5, 1.0)).collect()
+    }
+
+    #[test]
+    fn selects_exactly_k() {
+        let mut m = RandomK::new(3, val(), 0);
+        let o = m.select(&info(), &bids(10));
+        assert_eq!(o.winners.len(), 3);
+        // Distinct winners.
+        let ids = o.winner_ids();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+    }
+
+    #[test]
+    fn clamps_k_to_population() {
+        let mut m = RandomK::new(5, val(), 0);
+        let o = m.select(&info(), &bids(2));
+        assert_eq!(o.winners.len(), 2);
+        assert!(m.select(&info(), &[]).winners.is_empty());
+    }
+
+    #[test]
+    fn pays_first_price() {
+        let mut m = RandomK::new(2, val(), 1);
+        let o = m.select(&info(), &bids(4));
+        for w in &o.winners {
+            assert_eq!(w.payment, w.cost);
+        }
+    }
+
+    #[test]
+    fn selection_uniform_ish() {
+        let mut counts = vec![0usize; 5];
+        let mut m = RandomK::new(1, val(), 2);
+        for _ in 0..5000 {
+            let o = m.select(&info(), &bids(5));
+            counts[o.winners[0].bidder] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 5000.0;
+            assert!((frac - 0.2).abs() < 0.03, "non-uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn probe_detects_profitable_overbidding() {
+        // Overbidding raises the payment without affecting selection, so the
+        // probe must find positive gain — this validates the E4 methodology
+        // on a known-broken mechanism.
+        let all = bids(4);
+        // Average over many rounds by reusing one RNG stream inside the probe.
+        let report = probe_truthfulness(&all, 0, &default_factor_grid(), |b| {
+            let mut m = RandomK::new(4, val(), 3); // k = n → always selected
+            m.select(&info(), b)
+        });
+        assert!(
+            report.max_gain() > 0.5,
+            "expected profitable misreport, gain {}",
+            report.max_gain()
+        );
+        assert!(report.best_factor > 1.0);
+    }
+
+    #[test]
+    fn reset_restores_stream() {
+        let mut m = RandomK::new(2, val(), 7);
+        let a = m.select(&info(), &bids(10)).winner_ids();
+        m.reset();
+        let b = m.select(&info(), &bids(10)).winner_ids();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,66 @@
+//! Federated-learning substrate microbenchmarks: one local training pass
+//! and one server aggregation (the non-mechanism cost of a round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedsim::client::{LocalTrainer, LocalTrainerConfig};
+use fedsim::data::partition::{partition, PartitionStrategy};
+use fedsim::data::synth::{gaussian_blobs, BlobSpec};
+use fedsim::model::{LogisticRegression, Mlp};
+use fedsim::optim::OptimizerKind;
+use fedsim::server::aggregate_weighted;
+use std::hint::black_box;
+
+fn bench_local_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_training_round");
+    let ds = gaussian_blobs(&BlobSpec::new(10, 32, 100), 1);
+    let parts = partition(&ds, 10, PartitionStrategy::Iid, 1);
+    let shard = parts[0].dataset(&ds);
+    let config = LocalTrainerConfig {
+        local_epochs: 1,
+        batch_size: 32,
+        optimizer: OptimizerKind::Sgd { lr: 0.1 },
+        ..LocalTrainerConfig::default()
+    };
+
+    let logistic = LogisticRegression::new(32, 10);
+    let trainer = LocalTrainer::new(0, shard.clone(), config);
+    group.bench_function("logistic_32f_10c", |b| {
+        b.iter(|| trainer.train(black_box(&logistic), 7))
+    });
+
+    let mlp = Mlp::new(32, 64, 10, 2);
+    let trainer_mlp = LocalTrainer::new(0, shard, config);
+    group.bench_function("mlp_32f_64h_10c", |b| {
+        b.iter(|| trainer_mlp.train(black_box(&mlp), 7))
+    });
+    group.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedavg_aggregate");
+    let ds = gaussian_blobs(&BlobSpec::new(10, 32, 40), 2);
+    for n_clients in [10usize, 100] {
+        let model = LogisticRegression::new(32, 10);
+        let parts = partition(&ds, n_clients, PartitionStrategy::Iid, 2);
+        let updates: Vec<_> = parts
+            .iter()
+            .map(|p| {
+                let trainer = LocalTrainer::new(
+                    p.client_id,
+                    p.dataset(&ds),
+                    LocalTrainerConfig::default(),
+                );
+                trainer.train(&model, p.client_id as u64)
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n_clients),
+            &updates,
+            |b, updates| b.iter(|| aggregate_weighted(black_box(updates))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_training, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! End-to-end mechanism round benchmarks: the full LOVM round (scoring +
+//! exact WDP + Clarke payments + queue update) vs the baselines, at
+//! realistic population sizes.
+
+use auction::bid::Bid;
+use auction::valuation::Valuation;
+use baselines::{BudgetSplitGreedy, FixedPrice, MyopicVcg};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lovm_core::lovm::{Lovm, LovmConfig};
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use workload::Scenario;
+
+fn bids(n: usize, seed: u64) -> Vec<Bid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Bid::new(
+                i,
+                rng.random_range(0.2..3.0),
+                rng.random_range(50..500),
+                rng.random_range(0.5..1.0),
+            )
+        })
+        .collect()
+}
+
+fn info(n: usize) -> RoundInfo {
+    let s = Scenario::large(n);
+    RoundInfo {
+        round: 50,
+        horizon: s.horizon,
+        total_budget: s.total_budget,
+        spent_so_far: 40.0 * n as f64 / 100.0,
+    }
+}
+
+fn bench_lovm_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lovm_round");
+    for n in [100usize, 1000, 10000] {
+        let all = bids(n, 1);
+        let s = Scenario::large(n);
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&s, 50.0).with_max_winners(20));
+        let ri = info(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &all, |b, all| {
+            b.iter(|| mech.select(black_box(&ri), black_box(all)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_round_n200");
+    group.sample_size(20);
+    let n = 200;
+    let all = bids(n, 2);
+    let ri = info(n);
+    let valuation = Valuation::default();
+
+    let mut myopic = MyopicVcg::new(valuation, None).with_grid(400);
+    group.bench_function("myopic_vcg_critical", |b| {
+        b.iter(|| myopic.select(black_box(&ri), black_box(&all)))
+    });
+
+    let mut greedy = BudgetSplitGreedy::new(valuation, None);
+    group.bench_function("budget_split_greedy", |b| {
+        b.iter(|| greedy.select(black_box(&ri), black_box(&all)))
+    });
+
+    let mut fixed = FixedPrice::new(1.2, valuation, None);
+    group.bench_function("fixed_price", |b| {
+        b.iter(|| fixed.select(black_box(&ri), black_box(&all)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lovm_round, bench_baseline_rounds);
+criterion_main!(benches);

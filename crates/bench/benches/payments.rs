@@ -1,0 +1,68 @@
+//! Payment-rule microbenchmarks: one full VCG round (allocation + Clarke
+//! pivots) vs critical-value bisection payments.
+
+use auction::bid::Bid;
+use auction::critical::critical_value;
+use auction::valuation::Valuation;
+use auction::vcg::{VcgAuction, VcgConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bids(n: usize, seed: u64) -> Vec<Bid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Bid::new(
+                i,
+                rng.random_range(0.2..3.0),
+                rng.random_range(50..500),
+                rng.random_range(0.5..1.0),
+            )
+        })
+        .collect()
+}
+
+fn bench_vcg_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vcg_full_round");
+    let valuation = Valuation::default();
+    for n in [100usize, 1000, 10000] {
+        let all = bids(n, 1);
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 50.0,
+            cost_weight: 5.0,
+            max_winners: Some(20),
+            reserve_price: None,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(n), &all, |b, all| {
+            b.iter(|| auction.run(black_box(all), &valuation))
+        });
+    }
+    group.finish();
+}
+
+fn bench_critical_value(c: &mut Criterion) {
+    let mut group = c.benchmark_group("critical_value_bisection");
+    let valuation = Valuation::default();
+    for n in [50usize, 200] {
+        let all = bids(n, 2);
+        // Monotone rule: top-10 by value/cost density.
+        let wins = move |bs: &[Bid]| -> bool {
+            let mut order: Vec<usize> = (0..bs.len()).collect();
+            order.sort_by(|&a, &b| {
+                let da = valuation.client_value(&bs[a]) / bs[a].cost.max(1e-9);
+                let db = valuation.client_value(&bs[b]) / bs[b].cost.max(1e-9);
+                db.partial_cmp(&da).unwrap()
+            });
+            order[..10].contains(&0)
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &all, |b, all| {
+            b.iter(|| critical_value(black_box(all), 0, 10.0, 1e-6, wins))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vcg_round, bench_critical_value);
+criterion_main!(benches);

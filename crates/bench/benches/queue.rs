@@ -1,0 +1,39 @@
+//! Drift-plus-penalty controller microbenchmarks: queue update and weight
+//! computation throughput (these sit on the mechanism's per-round critical
+//! path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lyapunov::dpp::{DppConfig, DriftPlusPenalty};
+use lyapunov::queue::VirtualQueue;
+use std::hint::black_box;
+
+fn bench_queue_update(c: &mut Criterion) {
+    c.bench_function("virtual_queue_update", |b| {
+        let mut q = VirtualQueue::new();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 1.3) % 5.0;
+            q.update(black_box(x), black_box(2.0))
+        })
+    });
+}
+
+fn bench_dpp_round(c: &mut Criterion) {
+    c.bench_function("dpp_weights_plus_observe", |b| {
+        let mut ctl = DriftPlusPenalty::new(DppConfig {
+            v: 50.0,
+            budget_per_round: 2.0,
+            min_cost_weight: 1.0,
+        });
+        let mut x = 0.0f64;
+        b.iter(|| {
+            let w = ctl.weights();
+            x = (x + 0.7) % 4.0;
+            ctl.observe_spend(black_box(x));
+            black_box(w)
+        })
+    });
+}
+
+criterion_group!(benches, bench_queue_update, bench_dpp_round);
+criterion_main!(benches);

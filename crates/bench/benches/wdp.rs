@@ -1,0 +1,58 @@
+//! Winner-determination solver microbenchmarks (supports E7's latency
+//! table): exact top-K vs greedy density vs knapsack DP across instance
+//! sizes.
+
+use auction::wdp::{solve, SolverKind, WdpInstance, WdpItem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn instance(n: usize, seed: u64) -> WdpInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items: Vec<WdpItem> = (0..n)
+        .map(|bidder| WdpItem {
+            bidder,
+            weight: rng.random_range(-1.0..10.0),
+            cost: rng.random_range(0.1..3.0),
+        })
+        .collect();
+    WdpInstance::new(items)
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wdp_topk_exact");
+    for n in [100usize, 1000, 10000] {
+        let inst = instance(n, 1).with_max_winners(20);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve(black_box(inst), SolverKind::Exact))
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wdp_greedy_density");
+    for n in [100usize, 1000, 10000] {
+        let inst = instance(n, 2).with_budget(n as f64 * 0.2).with_max_winners(20);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve(black_box(inst), SolverKind::GreedyDensity))
+        });
+    }
+    group.finish();
+}
+
+fn bench_knapsack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wdp_knapsack_dp");
+    group.sample_size(20);
+    for n in [50usize, 200, 1000] {
+        let inst = instance(n, 3).with_budget(n as f64 * 0.2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| solve(black_box(inst), SolverKind::Knapsack { grid: 800 }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk, bench_greedy, bench_knapsack);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! E11 — Robustness across energy-harvesting regimes: LOVM keeps budget
+//! feasibility and welfare across constant, bursty (Bernoulli), correlated
+//! (Markov on/off), and diurnal (solar) harvesting, adapting recruitment
+//! to whoever currently has energy.
+
+use bench::{header, scale_scenario};
+use energy::harvest::HarvesterKind;
+use lovm_core::lovm::{Lovm, LovmConfig};
+use lovm_core::simulation::simulate;
+use metrics::stats::jain_fairness;
+use metrics::table::Table;
+use workload::population::EnergyGroup;
+use workload::Scenario;
+
+/// Builds the energy-heterogeneous scenario with every group using the
+/// given harvesting family at matched mean rates.
+fn with_harvesting(kind_of: impl Fn(f64, usize) -> HarvesterKind, name: &str) -> Scenario {
+    let mut s = Scenario::energy_heterogeneous();
+    s.name = name.to_string();
+    let cycles = [1.0, 5.0, 10.0, 20.0];
+    s.population.energy_groups = cycles
+        .iter()
+        .enumerate()
+        .map(|(g, &cycle)| EnergyGroup {
+            harvester: kind_of(s.training_energy / cycle, g),
+            battery_capacity: 2.0 * s.training_energy,
+        })
+        .collect();
+    s
+}
+
+fn main() {
+    let base = scale_scenario(Scenario::energy_heterogeneous());
+    let seed = 43;
+    header(
+        "E11",
+        "welfare/feasibility/participation across harvesting processes (matched mean rates)",
+        &base,
+        seed,
+    );
+
+    let scenarios: Vec<Scenario> = vec![
+        with_harvesting(|rate, _| HarvesterKind::Constant { rate }, "constant"),
+        with_harvesting(
+            |rate, _| HarvesterKind::Bernoulli {
+                p: 0.2,
+                amount: rate / 0.2,
+            },
+            "bernoulli-bursts",
+        ),
+        with_harvesting(
+            |rate, _| HarvesterKind::MarkovOnOff {
+                p_on_off: 0.1,
+                p_off_on: 0.1,
+                rate_on: 2.0 * rate, // stationary P(on) = 0.5
+            },
+            "markov-on-off",
+        ),
+        with_harvesting(
+            |rate, g| HarvesterKind::Solar {
+                day_length: 48,
+                peak: rate * std::f64::consts::PI, // mean = peak/pi
+                phase: g * 12,
+                noise: 0.3,
+            },
+            "solar-diurnal",
+        ),
+    ];
+
+    let mut table = Table::new(vec![
+        "harvesting".into(),
+        "welfare".into(),
+        "spend/B".into(),
+        "feasible".into(),
+        "avg bidders/round".into(),
+        "avg winners/round".into(),
+        "Jain(wins)".into(),
+    ]);
+
+    for mut s in scenarios {
+        s = scale_scenario(s);
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&s, 40.0));
+        let result = simulate(&mut mech, &s, seed);
+        let spend = result.ledger.total_payment();
+        let winners = result.series.get("winners").unwrap();
+        let avg_winners: f64 = winners.iter().sum::<f64>() / winners.len() as f64;
+        let avg_bidders: f64 = result
+            .bids_per_round
+            .iter()
+            .map(|b| b.len() as f64)
+            .sum::<f64>()
+            / result.bids_per_round.len() as f64;
+        let wins = result.ledger.win_counts(s.population.num_clients);
+        table.row(vec![
+            s.name.clone(),
+            format!("{:.1}", result.ledger.social_welfare()),
+            format!("{:.3}", spend / s.total_budget),
+            if spend <= s.total_budget * 1.05 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            format!("{avg_bidders:.1}"),
+            format!("{avg_winners:.2}"),
+            format!("{:.3}", jain_fairness(&wins)),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "expected: feasibility holds in every regime; bursty/diurnal regimes reduce the \
+         available bidder pool but LOVM's queue re-times spending to compensate."
+    );
+}

@@ -1,0 +1,98 @@
+//! E13 (robustness) — Adaptive strategic bidders: clients that hill-climb
+//! their misreport factor on realized utility converge to (near-)truthful
+//! reporting under LOVM and the truthful baselines, and drift to maximal
+//! overbidding under a pay-as-bid control. Dominant-strategy truthfulness
+//! is thereby demonstrated *dynamically*, without assuming rational agents
+//! know the mechanism.
+
+use auction::outcome::{AuctionOutcome, Award};
+use auction::valuation::Valuation;
+use baselines::{BudgetSplitGreedy, MyopicVcg};
+use bench::{header, scaled};
+use lovm_core::adaptive::{run_adaptive, AdaptiveConfig};
+use lovm_core::lovm::{Lovm, LovmConfig};
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use metrics::table::Table;
+use workload::Scenario;
+
+/// Pay-as-bid control: recruit everyone, pay the report.
+struct PayAsBid(Valuation);
+
+impl Mechanism for PayAsBid {
+    fn name(&self) -> String {
+        "PayAsBid (control)".into()
+    }
+    fn select(&mut self, _info: &RoundInfo, bids: &[auction::bid::Bid]) -> AuctionOutcome {
+        let awards = bids
+            .iter()
+            .map(|b| Award {
+                bidder: b.bidder,
+                cost: b.cost,
+                value: self.0.client_value(b),
+                payment: b.cost,
+            })
+            .collect();
+        AuctionOutcome::new(awards, 0.0)
+    }
+    fn reset(&mut self) {}
+}
+
+fn main() {
+    let scenario = Scenario::standard();
+    let seed = 53;
+    header(
+        "E13",
+        "adaptive bidders: mean |ln(report/true)| over learning epochs (→ 0 = truth)",
+        &scenario,
+        seed,
+    );
+    let epochs = scaled(60);
+    let config = AdaptiveConfig::default();
+    println!(
+        "epochs {epochs} x {} rounds; exploration step {}, p={}\n",
+        config.epoch_len, config.step, config.explore_prob
+    );
+    let valuation = scenario.valuation;
+
+    let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Lovm::new(LovmConfig::for_scenario(&scenario, 50.0))),
+        Box::new(MyopicVcg::new(valuation, None)),
+        Box::new(BudgetSplitGreedy::new(valuation, None)),
+        Box::new(PayAsBid(valuation)),
+    ];
+
+    let sample_epochs: Vec<usize> = (1..=6).map(|i| epochs * i / 6).collect();
+    let mut headers = vec!["dishonesty @epoch".to_string()];
+    headers.extend(sample_epochs.iter().map(|e| e.to_string()));
+    let mut table = Table::new(headers);
+    let mut summary = Table::new(vec![
+        "mechanism".into(),
+        "final dishonesty".into(),
+        "factors > 1.5".into(),
+        "platform spend".into(),
+    ]);
+
+    for mech in &mut mechanisms {
+        let result = run_adaptive(mech.as_mut(), &scenario, &config, epochs, seed);
+        let mut cells = vec![result.mechanism.clone()];
+        for &e in &sample_epochs {
+            cells.push(format!("{:.3}", result.dishonesty[e - 1]));
+        }
+        table.row(cells);
+        let inflated = result.final_factors.iter().filter(|&&f| f > 1.5).count();
+        summary.row(vec![
+            result.mechanism.clone(),
+            format!("{:.3}", result.final_dishonesty()),
+            format!("{inflated}/{}", result.final_factors.len()),
+            format!("{:.1}", result.ledger.total_payment()),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!("{}", summary.to_markdown());
+    println!(
+        "expected: truthful mechanisms hold dishonesty at the exploration-noise floor; \
+         the pay-as-bid control climbs as learners discover overbidding (its spend \
+         inflates correspondingly)."
+    );
+}

@@ -1,0 +1,140 @@
+//! E1 — Cumulative social welfare vs rounds: LOVM tracks the offline
+//! oracle and dominates every budget-feasible online baseline.
+//!
+//! Regenerates the paper-style "welfare vs time" figure as a checkpoint
+//! table plus final competitive ratios.
+
+use bench::{checkpoints, header, roster, scale_scenario, series_table};
+use lovm_core::offline::{competitive_ratio, offline_benchmark};
+use lovm_core::simulation::simulate;
+use metrics::table::Table;
+use workload::Scenario;
+
+fn main() {
+    let scenario = scale_scenario(Scenario::standard());
+    let seed = 42;
+    header(
+        "E1",
+        "cumulative social welfare vs rounds (higher is better)",
+        &scenario,
+        seed,
+    );
+
+    let points = checkpoints(scenario.horizon, 8);
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut finals: Vec<(String, f64, f64)> = Vec::new(); // (name, welfare, spend)
+    let mut oracle_bids = None;
+
+    for mech in &mut roster(&scenario, 50.0, seed) {
+        let result = simulate(mech.as_mut(), &scenario, seed);
+        let cum = result.cumulative_welfare();
+        finals.push((
+            result.mechanism.clone(),
+            *cum.last().unwrap(),
+            result.ledger.total_payment(),
+        ));
+        rows.push((result.mechanism.clone(), cum));
+        if oracle_bids.is_none() {
+            oracle_bids = Some(result.bids_per_round);
+        }
+    }
+
+    let oracle = offline_benchmark(
+        &oracle_bids.expect("at least one run"),
+        &scenario.valuation,
+        scenario.total_budget,
+    );
+    // The oracle is a single number; show it as a flat reference row.
+    rows.push((
+        "OfflineOracle(final)".into(),
+        vec![oracle.welfare; scenario.horizon],
+    ));
+
+    println!(
+        "{}",
+        series_table("cumulative welfare", &points, &rows, 1).to_markdown()
+    );
+    let chart_series: Vec<(&str, &[f64])> = rows
+        .iter()
+        .map(|(name, s)| (name.as_str(), s.as_slice()))
+        .collect();
+    println!("{}", metrics::plot::ascii_chart(&chart_series, 72, 16));
+
+    let mut summary = Table::new(vec![
+        "mechanism".into(),
+        "final welfare".into(),
+        "competitive ratio".into(),
+        "spend".into(),
+        "budget-feasible".into(),
+    ]);
+    for (name, welfare, spend) in &finals {
+        summary.row(vec![
+            name.clone(),
+            format!("{welfare:.1}"),
+            format!("{:.3}", competitive_ratio(*welfare, &oracle)),
+            format!("{spend:.1}"),
+            if *spend <= scenario.total_budget * 1.02 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    summary.row(vec![
+        "OfflineOracle".into(),
+        format!("{:.1}", oracle.welfare),
+        "1.000".into(),
+        format!("{:.1}", oracle.spend),
+        "yes".into(),
+    ]);
+    println!("{}", summary.to_markdown());
+    println!(
+        "fractional LP upper bound on any policy: {:.1}",
+        oracle.fractional_bound
+    );
+
+    // Error bars: welfare mean ± std over 5 seeds for the headline
+    // mechanisms (LOVM vs the best feasible myopic baseline vs the oracle).
+    println!("\n### Multi-seed stability (5 seeds)\n");
+    let seeds = [42u64, 43, 44, 45, 46];
+    let mut stability = Table::new(vec![
+        "mechanism".into(),
+        "welfare mean".into(),
+        "welfare std".into(),
+        "ratio mean".into(),
+    ]);
+    let mut rows_stats: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
+    for &s in &seeds {
+        let mut lovm = lovm_core::lovm::Lovm::new(lovm_core::lovm::LovmConfig::for_scenario(
+            &scenario, 50.0,
+        ));
+        let mut greedy =
+            baselines::BudgetSplitGreedy::new(scenario.valuation, None);
+        for (name, mech) in [
+            ("LOVM(V=50)", &mut lovm as &mut dyn lovm_core::mechanism::Mechanism),
+            ("BudgetSplitGreedy", &mut greedy as &mut dyn lovm_core::mechanism::Mechanism),
+        ] {
+            let r = simulate(mech, &scenario, s);
+            let o = offline_benchmark(&r.bids_per_round, &scenario.valuation, scenario.total_budget);
+            let w = r.ledger.social_welfare();
+            match rows_stats.iter_mut().find(|(n, _, _)| n == name) {
+                Some((_, ws, rs)) => {
+                    ws.push(w);
+                    rs.push(competitive_ratio(w, &o));
+                }
+                None => rows_stats.push((name.to_string(), vec![w], vec![competitive_ratio(w, &o)])),
+            }
+        }
+    }
+    for (name, ws, rs) in &rows_stats {
+        let stat = metrics::stats::Summary::of(ws);
+        let ratio_mean = rs.iter().sum::<f64>() / rs.len() as f64;
+        stability.row(vec![
+            name.clone(),
+            format!("{:.1}", stat.mean),
+            format!("{:.1}", stat.std),
+            format!("{ratio_mean:.3}"),
+        ]);
+    }
+    println!("{}", stability.to_markdown());
+}

@@ -1,0 +1,82 @@
+//! E2 — Long-term budget feasibility and queue stability: LOVM's
+//! time-average expenditure converges to the budget rate ρ from above
+//! (after the O(V) transient) and its virtual queue stabilizes, while
+//! budget-agnostic baselines drift.
+
+use bench::{checkpoints, header, roster_with_upper_bound, scale_scenario, series_table};
+use lovm_core::simulation::simulate;
+use metrics::table::Table;
+use workload::Scenario;
+
+fn main() {
+    let scenario = scale_scenario(Scenario::standard());
+    let seed = 7;
+    header(
+        "E2",
+        "time-average spend vs rounds (must approach rho) + LOVM queue stability",
+        &scenario,
+        seed,
+    );
+    let rho = scenario.budget_per_round();
+    println!("budget rate rho = {rho:.3}\n");
+
+    let points = checkpoints(scenario.horizon, 8);
+    let mut avg_rows: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut backlog_row: Option<Vec<f64>> = None;
+    let mut totals: Vec<(String, f64)> = Vec::new();
+
+    for mech in &mut roster_with_upper_bound(&scenario, 50.0, seed) {
+        let result = simulate(mech.as_mut(), &scenario, seed);
+        avg_rows.push((result.mechanism.clone(), result.average_spend()));
+        totals.push((result.mechanism.clone(), result.ledger.total_payment()));
+        if result.mechanism.starts_with("LOVM") {
+            backlog_row = Some(result.series.get("backlog").unwrap().to_vec());
+        }
+    }
+
+    println!(
+        "{}",
+        series_table("avg spend/round", &points, &avg_rows, 3).to_markdown()
+    );
+    // Chart without the AllAvailable outlier so the interesting band is
+    // visible.
+    let chart_series: Vec<(&str, &[f64])> = avg_rows
+        .iter()
+        .filter(|(name, _)| !name.starts_with("AllAvailable"))
+        .map(|(name, s)| (name.as_str(), s.as_slice()))
+        .collect();
+    println!("{}", metrics::plot::ascii_chart(&chart_series, 72, 14));
+
+    if let Some(backlog) = backlog_row {
+        println!(
+            "{}",
+            series_table(
+                "LOVM queue backlog Q(t)",
+                &points,
+                &[("LOVM".to_string(), backlog.clone())],
+                2
+            )
+            .to_markdown()
+        );
+        // Stability: Q(t)/t at the end.
+        let rate = backlog.last().unwrap() / backlog.len() as f64;
+        println!("final Q(t)/t = {rate:.5} (→ 0 means mean-rate stable)\n");
+    }
+
+    let mut summary = Table::new(vec![
+        "mechanism".into(),
+        "total spend".into(),
+        "budget".into(),
+        "violation %".into(),
+    ]);
+    for (name, spend) in &totals {
+        let violation = ((spend / scenario.total_budget) - 1.0) * 100.0;
+        summary.row(vec![
+            name.clone(),
+            format!("{spend:.1}"),
+            format!("{:.1}", scenario.total_budget),
+            format!("{:+.1}", violation),
+        ]);
+    }
+    println!("{}", summary.to_markdown());
+}

@@ -1,0 +1,113 @@
+//! E4 — Truthfulness (DSIC): a client's utility, as a function of its
+//! misreport factor, peaks at truthful reporting under LOVM and the
+//! truthful baselines; the non-truthful RandomK (pay-as-bid) control shows
+//! the probe detecting profitable overbidding.
+
+use auction::properties::probe_truthfulness;
+use auction::valuation::Valuation;
+use baselines::{BudgetSplitGreedy, MyopicVcg, RandomK};
+use bench::header;
+use lovm_core::lovm::{Lovm, LovmConfig};
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use metrics::table::Table;
+use workload::population::generate;
+use workload::Scenario;
+
+fn main() {
+    let scenario = Scenario::standard();
+    let seed = 19;
+    header(
+        "E4",
+        "client utility vs misreport factor (peak must be at 1.0x for truthful mechanisms)",
+        &scenario,
+        seed,
+    );
+
+    let profiles = generate(&scenario.population, seed);
+    let bids: Vec<_> = profiles.iter().map(|p| p.truthful_bid()).collect();
+    let factors = [0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.5, 2.0, 4.0];
+    let info = RoundInfo {
+        round: 0,
+        horizon: scenario.horizon,
+        total_budget: scenario.total_budget,
+        spent_so_far: 0.0,
+    };
+    let valuation = Valuation::default();
+
+    // Probe a representative sample of clients (cheap/expensive/median by
+    // cost) for each mechanism; report per-factor utilities for the median
+    // client and the max gain over all probed clients.
+    let mut by_cost: Vec<usize> = (0..bids.len()).collect();
+    by_cost.sort_by(|&a, &b| bids[a].cost.partial_cmp(&bids[b].cost).unwrap());
+    let targets = [
+        by_cost[2],
+        by_cost[bids.len() / 4],
+        by_cost[bids.len() / 2],
+        by_cost[3 * bids.len() / 4],
+        by_cost[bids.len() - 3],
+    ];
+
+    type MechFactory = Box<dyn Fn() -> Box<dyn Mechanism>>;
+    let factories: Vec<(&str, MechFactory)> = vec![
+        (
+            "LOVM",
+            Box::new({
+                let s = scenario.clone();
+                move || Box::new(Lovm::new(LovmConfig::for_scenario(&s, 50.0)))
+            }),
+        ),
+        (
+            "MyopicVCG",
+            Box::new(move || Box::new(MyopicVcg::new(valuation, None))),
+        ),
+        (
+            "BudgetSplitGreedy",
+            Box::new(move || Box::new(BudgetSplitGreedy::new(valuation, None))),
+        ),
+        ("RandomK (non-truthful control)", {
+            let n = bids.len();
+            Box::new(move || Box::new(RandomK::new(n, valuation, 5)))
+        }),
+    ];
+
+    let mut util_table = Table::new({
+        let mut h = vec!["mechanism (median client)".to_string()];
+        h.extend(factors.iter().map(|f| format!("{f}x")));
+        h
+    });
+    let mut gain_table = Table::new(vec![
+        "mechanism".into(),
+        "max gain over probed clients".into(),
+        "truthful".into(),
+    ]);
+
+    for (label, factory) in &factories {
+        let mut max_gain = f64::NEG_INFINITY;
+        let mut median_utilities = Vec::new();
+        for &t in &targets {
+            let report = probe_truthfulness(&bids, t, &factors, |b| {
+                let mut m = factory();
+                m.select(&info, b)
+            });
+            max_gain = max_gain.max(report.max_gain());
+            if t == by_cost[bids.len() / 2] {
+                median_utilities = report.utilities.clone();
+            }
+        }
+        let mut cells = vec![label.to_string()];
+        cells.extend(median_utilities.iter().map(|(_, u)| format!("{u:.3}")));
+        util_table.row(cells);
+        gain_table.row(vec![
+            label.to_string(),
+            format!("{max_gain:.4}"),
+            if max_gain <= 1e-3 { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    println!("{}", util_table.to_markdown());
+    println!("{}", gain_table.to_markdown());
+    println!(
+        "expected shape: utility rows peak at the 1.0x column for every mechanism except the \
+         RandomK pay-as-bid control, whose utility increases with overbidding."
+    );
+}

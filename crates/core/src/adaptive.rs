@@ -1,0 +1,264 @@
+//! Adaptive strategic bidders: do learning agents converge to truth?
+//!
+//! Dominant-strategy truthfulness is a *static* property; this module tests
+//! its *dynamic* consequence: a population of clients that know nothing
+//! about mechanism design and simply hill-climb their misreport factor on
+//! realized utility should converge toward factor 1.0 under a truthful
+//! mechanism — and drift away from it under a manipulable one. This is the
+//! robustness experiment E13.
+
+use crate::ledger::EconomicLedger;
+use crate::mechanism::{Mechanism, RoundInfo};
+use crate::simulation::Market;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use workload::Scenario;
+
+/// Configuration of the adaptive-bidding dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Rounds per adaptation epoch (utilities are compared across epochs).
+    pub epoch_len: usize,
+    /// Multiplicative exploration step for the misreport factor.
+    pub step: f64,
+    /// Probability of exploring (vs exploiting the incumbent factor).
+    pub explore_prob: f64,
+    /// Clamp range for factors.
+    pub factor_range: (f64, f64),
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            epoch_len: 20,
+            step: 1.15,
+            explore_prob: 0.5,
+            factor_range: (0.25, 4.0),
+        }
+    }
+}
+
+/// Result of an adaptive-bidding run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Mean absolute log-deviation of factors from 1.0 after each epoch
+    /// (the "dishonesty" trajectory; → 0 means convergence to truth).
+    pub dishonesty: Vec<f64>,
+    /// Final per-client factors.
+    pub final_factors: Vec<f64>,
+    /// Ledger over the whole run (utilities at *true* costs).
+    pub ledger: EconomicLedger,
+}
+
+impl AdaptiveResult {
+    /// Mean |ln factor| in the last epoch.
+    pub fn final_dishonesty(&self) -> f64 {
+        self.dishonesty.last().copied().unwrap_or(0.0)
+    }
+}
+
+fn mean_abs_log(factors: &[f64]) -> f64 {
+    factors.iter().map(|f| f.ln().abs()).sum::<f64>() / factors.len().max(1) as f64
+}
+
+/// Runs the adaptive-bidding dynamic: every client keeps a misreport
+/// factor; each epoch, a random half of the clients perturb their factor
+/// (multiply or divide by `step`), keep it if epoch utility improved, and
+/// revert otherwise.
+///
+/// # Panics
+///
+/// Panics if `epoch_len == 0` or the factor range is invalid.
+pub fn run_adaptive(
+    mechanism: &mut dyn Mechanism,
+    scenario: &Scenario,
+    config: &AdaptiveConfig,
+    epochs: usize,
+    seed: u64,
+) -> AdaptiveResult {
+    assert!(config.epoch_len > 0, "epoch_len must be positive");
+    assert!(
+        config.factor_range.0 > 0.0 && config.factor_range.0 <= config.factor_range.1,
+        "invalid factor range"
+    );
+    mechanism.reset();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xAD_AB1D);
+    let base_market = Market::new(scenario, seed);
+    let profiles = base_market.profiles().to_vec();
+    let n = profiles.len();
+
+    let mut factors = vec![1.0f64; n];
+    let mut last_epoch_utility = vec![f64::NEG_INFINITY; n];
+    let mut prev_factors = factors.clone();
+    let mut dishonesty = Vec::with_capacity(epochs);
+    let mut ledger = EconomicLedger::new();
+    let mut spent = 0.0;
+    let mut round = 0usize;
+
+    // One long market drives availability/energy; factors are applied to
+    // the sealed bids on top of it.
+    let mut market = Market::new(scenario, seed);
+    let horizon = epochs * config.epoch_len;
+
+    for _ in 0..epochs {
+        // Perturb: each client explores with probability explore_prob.
+        prev_factors.copy_from_slice(&factors);
+        for (i, f) in factors.iter_mut().enumerate() {
+            let _ = i;
+            if rng.random::<f64>() < config.explore_prob {
+                if rng.random::<f64>() < 0.5 {
+                    *f *= config.step;
+                } else {
+                    *f /= config.step;
+                }
+                *f = f.clamp(config.factor_range.0, config.factor_range.1);
+            }
+        }
+
+        let mut epoch_utility = vec![0.0f64; n];
+        for _ in 0..config.epoch_len {
+            let bids: Vec<_> = market
+                .round_bids()
+                .into_iter()
+                .map(|b| {
+                    let f = factors[b.bidder];
+                    b.with_cost(b.cost * f)
+                })
+                .collect();
+            let info = RoundInfo {
+                round,
+                horizon,
+                total_budget: scenario.total_budget,
+                spent_so_far: spent,
+            };
+            let outcome = mechanism.select(&info, &bids);
+            market.consume_energy(&outcome.winner_ids());
+            spent += outcome.total_payment();
+            for w in &outcome.winners {
+                epoch_utility[w.bidder] += w.payment - profiles[w.bidder].true_cost;
+            }
+            ledger.record(&outcome, |id| profiles[id].true_cost);
+            round += 1;
+        }
+
+        // Keep strict improvements only; ties and regressions revert to
+        // the incumbent factor (otherwise zero-utility losers random-walk).
+        for i in 0..n {
+            if last_epoch_utility[i] == f64::NEG_INFINITY
+                || epoch_utility[i] > last_epoch_utility[i] + 1e-9
+            {
+                last_epoch_utility[i] = epoch_utility[i];
+            } else {
+                factors[i] = prev_factors[i];
+            }
+        }
+        dishonesty.push(mean_abs_log(&factors));
+    }
+
+    AdaptiveResult {
+        mechanism: mechanism.name(),
+        dishonesty,
+        final_factors: factors,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lovm::{Lovm, LovmConfig};
+    use auction::outcome::{AuctionOutcome, Award};
+    use auction::valuation::Valuation;
+
+    fn scenario() -> Scenario {
+        let mut s = Scenario::small();
+        s.horizon = 10_000; // irrelevant; epochs control the run
+        s
+    }
+
+    /// Pay-as-bid: select everyone, pay the report — overbidding always
+    /// helps, so learners must drift to the factor cap.
+    struct PayAsBid(Valuation);
+    impl Mechanism for PayAsBid {
+        fn name(&self) -> String {
+            "PayAsBid".into()
+        }
+        fn select(&mut self, _info: &RoundInfo, bids: &[auction::bid::Bid]) -> AuctionOutcome {
+            let awards = bids
+                .iter()
+                .map(|b| Award {
+                    bidder: b.bidder,
+                    cost: b.cost,
+                    value: self.0.client_value(b),
+                    payment: b.cost,
+                })
+                .collect();
+            AuctionOutcome::new(awards, 0.0)
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn learners_drift_to_cap_under_pay_as_bid() {
+        let s = scenario();
+        let mut mech = PayAsBid(s.valuation);
+        let result = run_adaptive(&mut mech, &s, &AdaptiveConfig::default(), 40, 3);
+        // Overbidding is always profitable: final dishonesty must be large
+        // and factors pushed toward the upper clamp.
+        assert!(
+            result.final_dishonesty() > 0.5,
+            "dishonesty {} too low for a manipulable mechanism",
+            result.final_dishonesty()
+        );
+        let above = result.final_factors.iter().filter(|&&f| f > 1.5).count();
+        assert!(
+            above > result.final_factors.len() / 2,
+            "most factors should exceed 1.5: {above}"
+        );
+    }
+
+    #[test]
+    fn learners_stay_near_truth_under_lovm() {
+        let s = scenario();
+        let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+        let lovm_result = run_adaptive(&mut lovm, &s, &AdaptiveConfig::default(), 40, 3);
+        let mut pab = PayAsBid(s.valuation);
+        let pab_result = run_adaptive(&mut pab, &s, &AdaptiveConfig::default(), 40, 3);
+        // Exploration noise keeps dishonesty above zero, but the truthful
+        // mechanism must stay far below the manipulable one.
+        assert!(
+            lovm_result.final_dishonesty() < pab_result.final_dishonesty() * 0.6,
+            "LOVM {} vs PayAsBid {}",
+            lovm_result.final_dishonesty(),
+            pab_result.final_dishonesty()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = scenario();
+        let run = || {
+            let mut mech = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+            run_adaptive(&mut mech, &s, &AdaptiveConfig::default(), 10, 7)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.dishonesty, b.dishonesty);
+        assert_eq!(a.final_factors, b.final_factors);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch_len must be positive")]
+    fn rejects_zero_epoch() {
+        let s = scenario();
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+        let cfg = AdaptiveConfig {
+            epoch_len: 0,
+            ..AdaptiveConfig::default()
+        };
+        let _ = run_adaptive(&mut mech, &s, &cfg, 1, 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Economic bookkeeping across a whole run, with invariant checks.
+
+use auction::outcome::AuctionOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-client cumulative account.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ClientAccount {
+    /// Rounds won.
+    pub wins: usize,
+    /// Total payments received.
+    pub earned: f64,
+    /// Total true cost incurred (training actually performed).
+    pub cost_incurred: f64,
+}
+
+impl ClientAccount {
+    /// Realized quasi-linear utility.
+    pub fn utility(&self) -> f64 {
+        self.earned - self.cost_incurred
+    }
+}
+
+/// Aggregated economics of one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct EconomicLedger {
+    rounds: usize,
+    total_value: f64,
+    total_reported_cost: f64,
+    total_true_cost: f64,
+    total_payment: f64,
+    accounts: BTreeMap<usize, ClientAccount>,
+}
+
+impl EconomicLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one round's outcome. `true_cost_of` maps a bidder id to its
+    /// true (not reported) cost, so realized welfare is measured at truth.
+    pub fn record<F>(&mut self, outcome: &AuctionOutcome, mut true_cost_of: F)
+    where
+        F: FnMut(usize) -> f64,
+    {
+        self.rounds += 1;
+        for w in &outcome.winners {
+            let true_cost = true_cost_of(w.bidder);
+            self.total_value += w.value;
+            self.total_reported_cost += w.cost;
+            self.total_true_cost += true_cost;
+            self.total_payment += w.payment;
+            let acct = self.accounts.entry(w.bidder).or_default();
+            acct.wins += 1;
+            acct.earned += w.payment;
+            acct.cost_incurred += true_cost;
+        }
+    }
+
+    /// Rounds recorded.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Total platform value accrued.
+    pub fn total_value(&self) -> f64 {
+        self.total_value
+    }
+
+    /// Total payments made (platform expenditure).
+    pub fn total_payment(&self) -> f64 {
+        self.total_payment
+    }
+
+    /// Total true cost incurred by clients.
+    pub fn total_true_cost(&self) -> f64 {
+        self.total_true_cost
+    }
+
+    /// Realized social welfare: value − true cost.
+    pub fn social_welfare(&self) -> f64 {
+        self.total_value - self.total_true_cost
+    }
+
+    /// Platform utility: value − expenditure.
+    pub fn platform_utility(&self) -> f64 {
+        self.total_value - self.total_payment
+    }
+
+    /// Aggregate client utility: payments − true costs.
+    pub fn client_utility(&self) -> f64 {
+        self.total_payment - self.total_true_cost
+    }
+
+    /// Per-client accounts (sorted by id).
+    pub fn accounts(&self) -> &BTreeMap<usize, ClientAccount> {
+        &self.accounts
+    }
+
+    /// Win counts indexed densely over `0..n` (clients that never won get
+    /// 0); used for fairness metrics.
+    pub fn win_counts(&self, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|id| self.accounts.get(&id).map_or(0.0, |a| a.wins as f64))
+            .collect()
+    }
+
+    /// Checks internal consistency: aggregates equal the sum of per-client
+    /// accounts, and welfare identities hold.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let earned: f64 = self.accounts.values().map(|a| a.earned).sum();
+        if (earned - self.total_payment).abs() > 1e-6 {
+            return Err(format!(
+                "payment mismatch: accounts {earned} vs total {}",
+                self.total_payment
+            ));
+        }
+        let cost: f64 = self.accounts.values().map(|a| a.cost_incurred).sum();
+        if (cost - self.total_true_cost).abs() > 1e-6 {
+            return Err(format!(
+                "cost mismatch: accounts {cost} vs total {}",
+                self.total_true_cost
+            ));
+        }
+        let identity =
+            self.social_welfare() - (self.platform_utility() + self.client_utility());
+        if identity.abs() > 1e-6 {
+            return Err(format!("welfare identity violated by {identity}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::outcome::Award;
+
+    fn outcome(bidder: usize, cost: f64, value: f64, payment: f64) -> AuctionOutcome {
+        AuctionOutcome::new(
+            vec![Award {
+                bidder,
+                cost,
+                value,
+                payment,
+            }],
+            value - cost,
+        )
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut l = EconomicLedger::new();
+        l.record(&outcome(0, 1.0, 5.0, 2.0), |_| 1.0);
+        l.record(&outcome(1, 2.0, 6.0, 3.0), |_| 2.0);
+        l.record(&AuctionOutcome::default(), |_| 0.0);
+        assert_eq!(l.rounds(), 3);
+        assert_eq!(l.total_value(), 11.0);
+        assert_eq!(l.total_payment(), 5.0);
+        assert_eq!(l.total_true_cost(), 3.0);
+        assert_eq!(l.social_welfare(), 8.0);
+        assert_eq!(l.platform_utility(), 6.0);
+        assert_eq!(l.client_utility(), 2.0);
+        l.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn misreport_separates_reported_and_true_cost() {
+        let mut l = EconomicLedger::new();
+        // Reported cost 3.0 but true cost 1.0.
+        l.record(&outcome(0, 3.0, 5.0, 3.5), |_| 1.0);
+        assert_eq!(l.total_true_cost(), 1.0);
+        assert_eq!(l.social_welfare(), 4.0);
+        let acct = l.accounts()[&0];
+        assert_eq!(acct.utility(), 2.5);
+    }
+
+    #[test]
+    fn win_counts_dense() {
+        let mut l = EconomicLedger::new();
+        l.record(&outcome(2, 1.0, 2.0, 1.0), |_| 1.0);
+        l.record(&outcome(2, 1.0, 2.0, 1.0), |_| 1.0);
+        assert_eq!(l.win_counts(4), vec![0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn welfare_identity_always_holds() {
+        let mut l = EconomicLedger::new();
+        for i in 0..10 {
+            l.record(
+                &outcome(i, i as f64, 2.0 * i as f64, 1.5 * i as f64),
+                |id| id as f64 * 0.8,
+            );
+        }
+        l.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,190 @@
+//! The mechanism interface shared by LOVM and every baseline.
+
+use auction::bid::Bid;
+use auction::outcome::AuctionOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Public per-round information every mechanism may condition on.
+///
+/// Online mechanisms must not see the future; this struct is the complete
+/// observable state at round `round`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundInfo {
+    /// Current round, `0 ≤ round < horizon`.
+    pub round: usize,
+    /// Total number of rounds.
+    pub horizon: usize,
+    /// Total long-term budget.
+    pub total_budget: f64,
+    /// Expenditure already committed in previous rounds.
+    pub spent_so_far: f64,
+}
+
+impl RoundInfo {
+    /// Budget rate ρ = total budget / horizon.
+    pub fn budget_per_round(&self) -> f64 {
+        self.total_budget / self.horizon.max(1) as f64
+    }
+
+    /// Budget not yet spent (can be negative if the mechanism overran).
+    pub fn remaining_budget(&self) -> f64 {
+        self.total_budget - self.spent_so_far
+    }
+
+    /// Rounds left including the current one.
+    pub fn rounds_remaining(&self) -> usize {
+        self.horizon.saturating_sub(self.round)
+    }
+}
+
+/// An online client-recruitment mechanism.
+///
+/// Implementations decide winners and payments from the current round's
+/// sealed bids and their own internal state. The simulator calls
+/// [`Mechanism::select`] once per round, in order, and never reveals future
+/// bids.
+pub trait Mechanism {
+    /// Stable display name used in tables and figures.
+    fn name(&self) -> String;
+
+    /// Runs one auction round.
+    fn select(&mut self, info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome;
+
+    /// Optional internal-state telemetry (e.g. LOVM's virtual-queue
+    /// backlog), recorded by the simulator when present.
+    fn backlog(&self) -> Option<f64> {
+        None
+    }
+
+    /// Resets all internal state so the same instance can run a fresh
+    /// simulation.
+    fn reset(&mut self);
+}
+
+/// Enforces a *hard* total budget around any inner mechanism: once a
+/// round's payments would push cumulative expenditure past
+/// [`RoundInfo::total_budget`], the round is cancelled (no winners).
+///
+/// Used by the accuracy experiment (E6) to compare mechanisms under the
+/// same hard feasibility rule: budget-agnostic mechanisms burn out early
+/// and stop learning, while pacing mechanisms keep recruiting to the end.
+#[derive(Debug, Clone)]
+pub struct HardBudgetCap<M> {
+    inner: M,
+    spent: f64,
+}
+
+impl<M: Mechanism> HardBudgetCap<M> {
+    /// Wraps the inner mechanism.
+    pub fn new(inner: M) -> Self {
+        HardBudgetCap { inner, spent: 0.0 }
+    }
+
+    /// Expenditure committed so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+}
+
+impl<M: Mechanism> Mechanism for HardBudgetCap<M> {
+    fn name(&self) -> String {
+        format!("{}+cap", self.inner.name())
+    }
+
+    fn select(&mut self, info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        let outcome = self.inner.select(info, bids);
+        let payment = outcome.total_payment();
+        if self.spent + payment > info.total_budget + 1e-9 {
+            // Cancel the round; the inner mechanism has already updated its
+            // internal state (e.g. LOVM's queue sees the spend), which is
+            // the conservative behaviour.
+            return AuctionOutcome::default();
+        }
+        self.spent += payment;
+        outcome
+    }
+
+    fn backlog(&self) -> Option<f64> {
+        self.inner.backlog()
+    }
+
+    fn reset(&mut self) {
+        self.spent = 0.0;
+        self.inner.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::bid::Bid;
+    use auction::outcome::Award;
+
+    /// Test double that always awards one winner at a fixed payment.
+    struct FlatPay(f64);
+    impl Mechanism for FlatPay {
+        fn name(&self) -> String {
+            "FlatPay".into()
+        }
+        fn select(&mut self, _info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+            if bids.is_empty() {
+                return AuctionOutcome::default();
+            }
+            AuctionOutcome::new(
+                vec![Award {
+                    bidder: bids[0].bidder,
+                    cost: bids[0].cost,
+                    value: 1.0,
+                    payment: self.0,
+                }],
+                1.0,
+            )
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn hard_cap_cancels_rounds_beyond_budget() {
+        let mut capped = HardBudgetCap::new(FlatPay(3.0));
+        let info = RoundInfo {
+            round: 0,
+            horizon: 10,
+            total_budget: 7.0,
+            spent_so_far: 0.0,
+        };
+        let bids = vec![Bid::new(0, 1.0, 10, 1.0)];
+        assert_eq!(capped.select(&info, &bids).winners.len(), 1); // 3
+        assert_eq!(capped.select(&info, &bids).winners.len(), 1); // 6
+        assert!(capped.select(&info, &bids).winners.is_empty()); // 9 > 7
+        assert_eq!(capped.spent(), 6.0);
+        capped.reset();
+        assert_eq!(capped.spent(), 0.0);
+        assert_eq!(capped.name(), "FlatPay+cap");
+    }
+
+    #[test]
+    fn round_info_derived_quantities() {
+        let info = RoundInfo {
+            round: 10,
+            horizon: 100,
+            total_budget: 500.0,
+            spent_so_far: 120.0,
+        };
+        assert!((info.budget_per_round() - 5.0).abs() < 1e-12);
+        assert!((info.remaining_budget() - 380.0).abs() < 1e-12);
+        assert_eq!(info.rounds_remaining(), 90);
+    }
+
+    #[test]
+    fn round_info_degenerate() {
+        let info = RoundInfo {
+            round: 5,
+            horizon: 0,
+            total_budget: 10.0,
+            spent_so_far: 20.0,
+        };
+        assert_eq!(info.budget_per_round(), 10.0);
+        assert_eq!(info.remaining_budget(), -10.0);
+        assert_eq!(info.rounds_remaining(), 0);
+    }
+}

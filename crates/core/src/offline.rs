@@ -1,0 +1,177 @@
+//! The offline full-information oracle.
+//!
+//! Given the *entire* horizon of sealed bids in advance, the first-best
+//! policy pays every recruited client exactly its cost and maximizes total
+//! welfare subject to the total budget — a 0/1 knapsack over all
+//! (round, client) pairs. Online mechanisms are evaluated against this
+//! oracle (competitive ratio / regret, experiment E1).
+
+use auction::bid::Bid;
+use auction::valuation::Valuation;
+use auction::wdp::{fractional_upper_bound, solve, SolverKind, WdpInstance, WdpItem};
+use serde::{Deserialize, Serialize};
+
+/// Result of the offline optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineBenchmark {
+    /// Welfare of the (near-exact) integral knapsack optimum.
+    pub welfare: f64,
+    /// Fractional LP upper bound (≥ any feasible policy's welfare).
+    pub fractional_bound: f64,
+    /// Number of (round, client) recruitments in the integral solution.
+    pub recruitments: usize,
+    /// Total cost (= expenditure, since the oracle pays cost) used.
+    pub spend: f64,
+}
+
+/// Solves the offline problem over the recorded bids of a run.
+///
+/// Per-round cardinality caps are *not* applied, making this a (slightly
+/// loose) upper bound whenever a cap binds — the conservative direction for
+/// competitive-ratio claims.
+pub fn offline_benchmark(
+    bids_per_round: &[Vec<Bid>],
+    valuation: &Valuation,
+    total_budget: f64,
+) -> OfflineBenchmark {
+    let mut items = Vec::new();
+    for bids in bids_per_round {
+        for b in bids {
+            let welfare = valuation.client_value(b) - b.cost;
+            if welfare > 0.0 {
+                items.push(WdpItem {
+                    bidder: b.bidder,
+                    weight: welfare,
+                    cost: b.cost,
+                });
+            }
+        }
+    }
+    let inst = WdpInstance::new(items).with_budget(total_budget);
+    let fractional_bound = fractional_upper_bound(&inst);
+    let sol = solve(&inst, SolverKind::Knapsack { grid: 4000 });
+    let spend = inst.total_cost(&sol.selected);
+    OfflineBenchmark {
+        welfare: sol.objective,
+        fractional_bound,
+        recruitments: sol.selected.len(),
+        spend,
+    }
+}
+
+/// Competitive ratio of an online run against the oracle (0 when the
+/// oracle achieves nothing).
+pub fn competitive_ratio(online_welfare: f64, oracle: &OfflineBenchmark) -> f64 {
+    if oracle.welfare <= 0.0 {
+        if online_welfare <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        online_welfare / oracle.welfare
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::valuation::ClientValue;
+
+    fn val() -> Valuation {
+        Valuation::Linear(ClientValue {
+            value_per_unit: 1.0,
+            base_value: 0.0,
+        })
+    }
+
+    fn bid(id: usize, cost: f64, data: usize) -> Bid {
+        Bid::new(id, cost, data, 1.0)
+    }
+
+    #[test]
+    fn oracle_picks_best_within_budget() {
+        // Round 1: (value 10, cost 4), (value 3, cost 3);
+        // Round 2: (value 8, cost 4). Budget 8 → take both value-10 and
+        // value-8 items: welfare (10-4)+(8-4) = 10.
+        let rounds = vec![
+            vec![bid(0, 4.0, 10), bid(1, 3.0, 3)],
+            vec![bid(2, 4.0, 8)],
+        ];
+        let o = offline_benchmark(&rounds, &val(), 8.0);
+        assert!((o.welfare - 10.0).abs() < 0.1, "welfare {}", o.welfare);
+        assert_eq!(o.recruitments, 2);
+        assert!(o.spend <= 8.0 + 1e-9);
+        assert!(o.fractional_bound >= o.welfare - 1e-9);
+    }
+
+    #[test]
+    fn oracle_skips_negative_welfare() {
+        let rounds = vec![vec![bid(0, 100.0, 10)]];
+        let o = offline_benchmark(&rounds, &val(), 1000.0);
+        assert_eq!(o.welfare, 0.0);
+        assert_eq!(o.recruitments, 0);
+    }
+
+    #[test]
+    fn unconstrained_budget_takes_all_positive() {
+        let rounds = vec![
+            vec![bid(0, 1.0, 10), bid(1, 2.0, 10)],
+            vec![bid(0, 1.0, 10)],
+        ];
+        let o = offline_benchmark(&rounds, &val(), 1e9);
+        assert!((o.welfare - (9.0 + 8.0 + 9.0)).abs() < 0.1);
+        assert_eq!(o.recruitments, 3);
+    }
+
+    #[test]
+    fn competitive_ratio_behaviour() {
+        let oracle = OfflineBenchmark {
+            welfare: 10.0,
+            fractional_bound: 11.0,
+            recruitments: 2,
+            spend: 5.0,
+        };
+        assert!((competitive_ratio(8.0, &oracle) - 0.8).abs() < 1e-12);
+        let zero = OfflineBenchmark {
+            welfare: 0.0,
+            fractional_bound: 0.0,
+            recruitments: 0,
+            spend: 0.0,
+        };
+        assert_eq!(competitive_ratio(0.0, &zero), 1.0);
+        assert_eq!(competitive_ratio(1.0, &zero), f64::INFINITY);
+    }
+
+    #[test]
+    fn oracle_dominates_any_feasible_online_policy() {
+        // Simple check: a greedy "spend as you go" policy never beats the
+        // oracle on the same bid stream.
+        let rounds: Vec<Vec<Bid>> = (0..50)
+            .map(|r| {
+                (0..5)
+                    .map(|i| bid(i, 0.5 + ((r * 5 + i) % 7) as f64 * 0.5, 2 + (i * r) % 9))
+                    .collect()
+            })
+            .collect();
+        let budget = 30.0;
+        let oracle = offline_benchmark(&rounds, &val(), budget);
+
+        let mut spent = 0.0;
+        let mut online_welfare = 0.0;
+        for bids in &rounds {
+            for b in bids {
+                let w = val().client_value(b) - b.cost;
+                if w > 0.0 && spent + b.cost <= budget {
+                    spent += b.cost;
+                    online_welfare += w;
+                }
+            }
+        }
+        assert!(
+            oracle.fractional_bound >= online_welfare - 1e-9,
+            "oracle bound {} < online {online_welfare}",
+            oracle.fractional_bound
+        );
+    }
+}

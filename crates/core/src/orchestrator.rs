@@ -1,0 +1,254 @@
+//! Couples a mechanism to an actual federated training run.
+//!
+//! The economic simulator ([`crate::simulation`]) measures welfare; this
+//! module measures *learning*: winners chosen by the mechanism really train
+//! (local SGD on their shard) and the global model's test accuracy is the
+//! experiment output (E6/E11).
+
+use crate::ledger::EconomicLedger;
+use crate::mechanism::{Mechanism, RoundInfo};
+use crate::simulation::Market;
+use fedsim::data::Dataset;
+use fedsim::model::Model;
+use fedsim::training::FederatedRun;
+use metrics::series::SeriesSet;
+use workload::population::ClientProfile;
+use workload::Scenario;
+
+/// Result of an FL-coupled run.
+#[derive(Debug)]
+pub struct FlRunResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// `(round, test accuracy)` samples, every `eval_every` rounds plus the
+    /// final round.
+    pub accuracy: Vec<(usize, f64)>,
+    /// Per-round economic series (same names as the economic simulator).
+    pub series: SeriesSet,
+    /// Aggregated economics.
+    pub ledger: EconomicLedger,
+}
+
+impl FlRunResult {
+    /// Test accuracy after the final round.
+    pub fn final_accuracy(&self) -> f64 {
+        self.accuracy.last().map(|&(_, a)| a).unwrap_or(0.0)
+    }
+}
+
+/// Rewrites profiles so each client's bid `data_size` matches its actual
+/// federated shard size (the platform verifies data commitments).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn align_profiles_to_shards(
+    profiles: &[ClientProfile],
+    shard_sizes: &[usize],
+) -> Vec<ClientProfile> {
+    assert_eq!(
+        profiles.len(),
+        shard_sizes.len(),
+        "profiles and shards must align"
+    );
+    profiles
+        .iter()
+        .zip(shard_sizes.iter())
+        .map(|(p, &s)| ClientProfile {
+            data_size: s,
+            ..*p
+        })
+        .collect()
+}
+
+/// Runs `scenario.horizon` federated rounds where participation is decided
+/// by the mechanism over the market's sealed bids.
+///
+/// `eval_every` controls how often test accuracy is measured (it is always
+/// measured on the last round). The scenario's population must have exactly
+/// as many clients as the federated run.
+///
+/// # Panics
+///
+/// Panics if the scenario population size differs from `run.num_clients()`.
+pub fn run_fl<M: Model>(
+    mechanism: &mut dyn Mechanism,
+    run: &mut FederatedRun<M>,
+    test: &Dataset,
+    scenario: &Scenario,
+    eval_every: usize,
+    seed: u64,
+) -> FlRunResult {
+    assert_eq!(
+        scenario.population.num_clients,
+        run.num_clients(),
+        "scenario population must match the federated run"
+    );
+    mechanism.reset();
+    let market = Market::new(scenario, seed);
+    let market = {
+        // Align bid data sizes with real shard sizes.
+        let aligned = align_profiles_to_shards(market.profiles(), &run.shard_sizes());
+        Market::with_profiles(scenario, aligned, seed)
+    };
+    run_fl_market(mechanism, run, test, scenario, market, eval_every)
+}
+
+/// [`run_fl`] with an explicit market (e.g. a misreporting one).
+pub fn run_fl_market<M: Model>(
+    mechanism: &mut dyn Mechanism,
+    run: &mut FederatedRun<M>,
+    test: &Dataset,
+    scenario: &Scenario,
+    mut market: Market,
+    eval_every: usize,
+) -> FlRunResult {
+    let eval_every = eval_every.max(1);
+    let mut series = SeriesSet::new();
+    let mut ledger = EconomicLedger::new();
+    let mut accuracy = Vec::new();
+    let mut spent = 0.0;
+
+    for round in 0..scenario.horizon {
+        let bids = market.round_bids();
+        let info = RoundInfo {
+            round,
+            horizon: scenario.horizon,
+            total_budget: scenario.total_budget,
+            spent_so_far: spent,
+        };
+        let outcome = mechanism.select(&info, &bids);
+        let winners = outcome.winner_ids();
+        market.consume_energy(&winners);
+
+        // The winners actually train.
+        let report = run.round(&winners);
+
+        spent += outcome.total_payment();
+        series.push("spend", outcome.total_payment());
+        series.push("winners", winners.len() as f64);
+        series.push("train_loss", report.mean_train_loss);
+        let true_welfare: f64 = outcome
+            .winners
+            .iter()
+            .map(|w| w.value - market.true_cost(w.bidder))
+            .sum();
+        series.push("welfare", true_welfare);
+        if let Some(b) = mechanism.backlog() {
+            series.push("backlog", b);
+        }
+        ledger.record(&outcome, |id| market.true_cost(id));
+
+        if (round + 1) % eval_every == 0 || round + 1 == scenario.horizon {
+            accuracy.push((round + 1, run.evaluate(test)));
+        }
+    }
+
+    ledger
+        .check_invariants()
+        .expect("ledger invariants must hold after a run");
+
+    FlRunResult {
+        mechanism: mechanism.name(),
+        accuracy,
+        series,
+        ledger,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lovm::{Lovm, LovmConfig};
+    use auction::valuation::{ClientValue, Valuation};
+    use fedsim::data::partition::{partition, PartitionStrategy};
+    use fedsim::data::synth::{gaussian_blobs, BlobSpec};
+    use fedsim::model::LogisticRegression;
+    use fedsim::training::RunConfig;
+    use workload::population::{CostDistribution, PopulationConfig};
+    use workload::AvailabilityKind;
+
+    fn tiny_scenario(n: usize, horizon: usize) -> Scenario {
+        Scenario {
+            name: "tiny-fl".into(),
+            population: PopulationConfig {
+                num_clients: n,
+                cost: CostDistribution::Uniform { lo: 0.5, hi: 1.5 },
+                data_size: (10, 10),
+                quality: (0.8, 1.0),
+                energy_groups: Vec::new(),
+            },
+            availability: AvailabilityKind::Full,
+            horizon,
+            total_budget: 2.0 * horizon as f64,
+            training_energy: 1.0,
+            valuation: Valuation::default(),
+        }
+    }
+
+    fn setup(n: usize) -> (FederatedRun<LogisticRegression>, Dataset) {
+        let ds = gaussian_blobs(&BlobSpec::new(3, 6, 80), 3);
+        let (train, test) = ds.split_at(180);
+        let parts = partition(&train, n, PartitionStrategy::Iid, 3);
+        let run = FederatedRun::new(
+            LogisticRegression::new(6, 3),
+            parts,
+            train,
+            RunConfig::default(),
+        );
+        (run, test)
+    }
+
+    #[test]
+    fn fl_run_improves_accuracy_and_respects_economics() {
+        let scenario = tiny_scenario(8, 40);
+        let (mut run, test) = setup(8);
+        let before = run.evaluate(&test);
+        let mut mech = Lovm::new(
+            LovmConfig::for_scenario(&scenario, 30.0).with_valuation(Valuation::Linear(
+                ClientValue {
+                    value_per_unit: 0.05,
+                    base_value: 1.0,
+                },
+            )),
+        );
+        let result = run_fl(&mut mech, &mut run, &test, &scenario, 10, 11);
+        assert_eq!(result.accuracy.len(), 4);
+        let after = result.final_accuracy();
+        assert!(
+            after > before + 0.2,
+            "accuracy {before} -> {after} did not improve"
+        );
+        // The long-term budget holds in steady state (the O(V) warm-up
+        // transient is excluded): the last half of the run must spend at or
+        // below the budget rate.
+        let spend = result.series.get("spend").unwrap();
+        let late = &spend[20..];
+        let late_avg = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(
+            late_avg <= scenario.budget_per_round() * 1.2,
+            "steady-state spend {late_avg} exceeds rate {}",
+            scenario.budget_per_round()
+        );
+        assert!(result.ledger.rounds() == 40);
+    }
+
+    #[test]
+    fn align_profiles_overwrites_data_size() {
+        let scenario = tiny_scenario(3, 5);
+        let profiles = workload::population::generate(&scenario.population, 0);
+        let aligned = align_profiles_to_shards(&profiles, &[7, 8, 9]);
+        assert_eq!(aligned[0].data_size, 7);
+        assert_eq!(aligned[2].data_size, 9);
+        assert_eq!(aligned[1].true_cost, profiles[1].true_cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario population must match")]
+    fn population_mismatch_rejected() {
+        let scenario = tiny_scenario(5, 5);
+        let (mut run, test) = setup(4);
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 10.0));
+        let _ = run_fl(&mut mech, &mut run, &test, &scenario, 1, 0);
+    }
+}

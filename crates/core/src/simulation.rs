@@ -1,0 +1,349 @@
+//! The marketplace simulator: availability + energy + bids → mechanism →
+//! telemetry.
+
+use crate::ledger::EconomicLedger;
+use crate::mechanism::{Mechanism, RoundInfo};
+use auction::bid::Bid;
+use auction::outcome::AuctionOutcome;
+use energy::battery::Battery;
+use energy::harvest::Harvester;
+use metrics::series::SeriesSet;
+use workload::availability::AvailabilityProcess;
+use workload::population::{generate, ClientProfile};
+use workload::Scenario;
+
+/// Per-client energy state in the market (only for populations with energy
+/// groups).
+#[derive(Debug)]
+struct EnergyState {
+    battery: Battery,
+    harvester: Harvester,
+}
+
+/// A live marketplace over a scenario: who is present, who has energy, and
+/// what they bid.
+#[derive(Debug)]
+pub struct Market {
+    profiles: Vec<ClientProfile>,
+    availability: AvailabilityProcess,
+    energy: Vec<Option<EnergyState>>,
+    training_energy: f64,
+    misreport: Option<(usize, f64)>,
+    uniform_misreport: Option<f64>,
+}
+
+impl Market {
+    /// Builds the market for a scenario, deterministically per seed.
+    pub fn new(scenario: &Scenario, seed: u64) -> Self {
+        let profiles = generate(&scenario.population, seed);
+        Self::with_profiles(scenario, profiles, seed)
+    }
+
+    /// Builds the market with explicit client profiles (e.g. profiles whose
+    /// data sizes were aligned to real federated shards).
+    pub fn with_profiles(scenario: &Scenario, profiles: Vec<ClientProfile>, seed: u64) -> Self {
+        let availability = AvailabilityProcess::new(
+            scenario.availability,
+            profiles.len(),
+            seed.wrapping_add(0x5EED_ABA1),
+        );
+        let energy = profiles
+            .iter()
+            .map(|p| {
+                p.energy.map(|g| EnergyState {
+                    battery: Battery::with_level(g.battery_capacity, g.battery_capacity),
+                    harvester: Harvester::new(
+                        g.harvester,
+                        seed.wrapping_mul(0x9E37_79B9).wrapping_add(p.id as u64),
+                    ),
+                })
+            })
+            .collect();
+        Market {
+            profiles,
+            availability,
+            energy,
+            training_energy: scenario.training_energy,
+            misreport: None,
+            uniform_misreport: None,
+        }
+    }
+
+    /// Makes one client misreport its cost by a multiplicative factor in
+    /// every round (for truthfulness probes).
+    pub fn with_misreport(mut self, bidder: usize, factor: f64) -> Self {
+        self.misreport = Some((bidder, factor));
+        self
+    }
+
+    /// Makes *every* client misreport by the same factor — models a
+    /// strategic population facing a non-truthful mechanism (e.g. uniform
+    /// bid inflation against pay-as-bid rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn with_uniform_misreport(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0");
+        self.uniform_misreport = Some(factor);
+        self
+    }
+
+    /// The immutable client profiles.
+    pub fn profiles(&self) -> &[ClientProfile] {
+        &self.profiles
+    }
+
+    /// True cost of a client.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn true_cost(&self, id: usize) -> f64 {
+        self.profiles[id].true_cost
+    }
+
+    /// Advances one round: harvests energy, samples presence, and returns
+    /// the sealed bids of clients that are present *and* energy-capable.
+    pub fn round_bids(&mut self) -> Vec<Bid> {
+        // Harvest for everyone (energy arrives whether or not you bid).
+        for state in self.energy.iter_mut().flatten() {
+            let e = state.harvester.step();
+            state.battery.charge(e);
+        }
+        let present = self.availability.step();
+        present
+            .into_iter()
+            .filter(|&id| match &self.energy[id] {
+                Some(s) => s.battery.can_supply(self.training_energy),
+                None => true,
+            })
+            .map(|id| {
+                let p = &self.profiles[id];
+                match (self.misreport, self.uniform_misreport) {
+                    (Some((b, f)), _) if b == id => p.misreport_bid(f),
+                    (_, Some(f)) => p.misreport_bid(f),
+                    _ => p.truthful_bid(),
+                }
+            })
+            .collect()
+    }
+
+    /// Consumes training energy for the given winners.
+    pub fn consume_energy(&mut self, winners: &[usize]) {
+        for &id in winners {
+            if let Some(state) = self.energy.get_mut(id).and_then(|s| s.as_mut()) {
+                // Winners were filtered by can_supply, so this succeeds.
+                let ok = state.battery.try_consume(self.training_energy);
+                debug_assert!(ok, "winner {id} lacked energy it bid with");
+            }
+        }
+    }
+}
+
+/// Everything a simulated run produced.
+#[derive(Debug)]
+pub struct SimulationResult {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Per-round series: `spend`, `welfare`, `value`, `winners`, `backlog`
+    /// (when the mechanism exposes one), `avg_spend` (running average).
+    pub series: SeriesSet,
+    /// Aggregated economics.
+    pub ledger: EconomicLedger,
+    /// Raw per-round outcomes.
+    pub outcomes: Vec<AuctionOutcome>,
+    /// The sealed bids of every round (the offline oracle replays these).
+    pub bids_per_round: Vec<Vec<Bid>>,
+}
+
+impl SimulationResult {
+    /// Cumulative realized social welfare trajectory.
+    pub fn cumulative_welfare(&self) -> Vec<f64> {
+        self.series
+            .cumulative("welfare")
+            .expect("welfare series always recorded")
+    }
+
+    /// Time-average spend trajectory.
+    pub fn average_spend(&self) -> Vec<f64> {
+        self.series
+            .get("avg_spend")
+            .expect("avg_spend series always recorded")
+            .to_vec()
+    }
+}
+
+/// Runs a mechanism over a scenario. The mechanism is `reset` first so the
+/// same instance can be reused across seeds.
+pub fn simulate(mechanism: &mut dyn Mechanism, scenario: &Scenario, seed: u64) -> SimulationResult {
+    simulate_market(mechanism, scenario, Market::new(scenario, seed))
+}
+
+/// Runs a mechanism over an explicit (possibly misreporting) market.
+pub fn simulate_market(
+    mechanism: &mut dyn Mechanism,
+    scenario: &Scenario,
+    mut market: Market,
+) -> SimulationResult {
+    mechanism.reset();
+    let mut series = SeriesSet::new();
+    let mut ledger = EconomicLedger::new();
+    let mut outcomes = Vec::with_capacity(scenario.horizon);
+    let mut bids_per_round = Vec::with_capacity(scenario.horizon);
+    let mut spent = 0.0;
+    let mut spend_sum = 0.0;
+
+    for round in 0..scenario.horizon {
+        let bids = market.round_bids();
+        let info = RoundInfo {
+            round,
+            horizon: scenario.horizon,
+            total_budget: scenario.total_budget,
+            spent_so_far: spent,
+        };
+        let outcome = mechanism.select(&info, &bids);
+        let winner_ids = outcome.winner_ids();
+        market.consume_energy(&winner_ids);
+
+        let spend = outcome.total_payment();
+        spent += spend;
+        spend_sum += spend;
+        let true_welfare: f64 = outcome
+            .winners
+            .iter()
+            .map(|w| w.value - market.true_cost(w.bidder))
+            .sum();
+
+        series.push("spend", spend);
+        series.push("avg_spend", spend_sum / (round + 1) as f64);
+        series.push("welfare", true_welfare);
+        series.push("value", outcome.total_value());
+        series.push("winners", winner_ids.len() as f64);
+        if let Some(b) = mechanism.backlog() {
+            series.push("backlog", b);
+        }
+
+        ledger.record(&outcome, |id| market.true_cost(id));
+        outcomes.push(outcome);
+        bids_per_round.push(bids);
+    }
+
+    ledger
+        .check_invariants()
+        .expect("ledger invariants must hold after a run");
+
+    SimulationResult {
+        mechanism: mechanism.name(),
+        scenario: scenario.name.clone(),
+        series,
+        ledger,
+        outcomes,
+        bids_per_round,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lovm::{Lovm, LovmConfig};
+
+    #[test]
+    fn simulate_small_scenario_runs() {
+        let scenario = Scenario::small();
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let r = simulate(&mut mech, &scenario, 1);
+        assert_eq!(r.outcomes.len(), 200);
+        assert_eq!(r.bids_per_round.len(), 200);
+        assert_eq!(r.series.get("spend").unwrap().len(), 200);
+        assert_eq!(r.series.get("backlog").unwrap().len(), 200);
+        assert!(r.ledger.total_payment() > 0.0);
+        assert_eq!(r.mechanism, "LOVM(V=20)");
+        assert_eq!(r.scenario, "small");
+    }
+
+    #[test]
+    fn long_term_budget_met_on_average() {
+        let scenario = Scenario::small();
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 10.0));
+        let r = simulate(&mut mech, &scenario, 2);
+        let avg = r.average_spend();
+        let final_avg = *avg.last().unwrap();
+        assert!(
+            final_avg <= scenario.budget_per_round() * 1.1,
+            "avg spend {final_avg} vs rate {}",
+            scenario.budget_per_round()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let scenario = Scenario::small();
+        let mut m1 = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let mut m2 = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let a = simulate(&mut m1, &scenario, 7);
+        let b = simulate(&mut m2, &scenario, 7);
+        assert_eq!(a.cumulative_welfare(), b.cumulative_welfare());
+        assert_eq!(a.ledger, b.ledger);
+    }
+
+    #[test]
+    fn reset_between_runs() {
+        // Re-running the same mechanism instance gives identical results
+        // because simulate() resets it.
+        let scenario = Scenario::small();
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let a = simulate(&mut mech, &scenario, 3);
+        let b = simulate(&mut mech, &scenario, 3);
+        assert_eq!(a.ledger, b.ledger);
+    }
+
+    #[test]
+    fn energy_scenario_limits_bidders() {
+        let scenario = Scenario::energy_heterogeneous();
+        let mut market = Market::new(&scenario, 5);
+        // Drain everyone's initial charge by winning repeatedly.
+        let all: Vec<usize> = (0..scenario.population.num_clients).collect();
+        let first = market.round_bids().len();
+        assert_eq!(first, scenario.population.num_clients); // all start charged
+        market.consume_energy(&all);
+        market.consume_energy(&all); // second consume drains remaining capacity
+        let later = market.round_bids().len();
+        assert!(
+            later < first,
+            "slow harvesters should be unable to bid: {later} vs {first}"
+        );
+    }
+
+    #[test]
+    fn uniform_misreport_scales_all_bids() {
+        let scenario = Scenario::small();
+        let mut honest = Market::new(&scenario, 9);
+        let mut inflated = Market::new(&scenario, 9).with_uniform_misreport(1.5);
+        let hb = honest.round_bids();
+        let ib = inflated.round_bids();
+        for (h, i) in hb.iter().zip(ib.iter()) {
+            assert!((i.cost - 1.5 * h.cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn misreport_market_changes_one_bid() {
+        let scenario = Scenario::small();
+        let mut honest = Market::new(&scenario, 9);
+        let mut liar = Market::new(&scenario, 9).with_misreport(0, 2.0);
+        let hb = honest.round_bids();
+        let lb = liar.round_bids();
+        assert_eq!(hb.len(), lb.len());
+        let h0 = hb.iter().find(|b| b.bidder == 0).unwrap();
+        let l0 = lb.iter().find(|b| b.bidder == 0).unwrap();
+        assert!((l0.cost - 2.0 * h0.cost).abs() < 1e-12);
+        for (h, l) in hb.iter().zip(lb.iter()) {
+            if h.bidder != 0 {
+                assert_eq!(h.cost, l.cost);
+            }
+        }
+    }
+}

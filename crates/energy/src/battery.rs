@@ -1,0 +1,166 @@
+//! A finite-capacity energy store.
+
+use serde::{Deserialize, Serialize};
+
+/// A battery holding harvested energy (joules, abstract units).
+///
+/// # Example
+///
+/// ```
+/// use energy::battery::Battery;
+/// let mut b = Battery::new(10.0);
+/// b.charge(4.0);
+/// assert!(b.try_consume(3.0));
+/// assert!(!b.try_consume(3.0)); // only 1.0 left
+/// assert_eq!(b.level(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    capacity: f64,
+    level: f64,
+}
+
+impl Battery {
+    /// Creates an empty battery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive"
+        );
+        Battery {
+            capacity,
+            level: 0.0,
+        }
+    }
+
+    /// Creates a battery at the given initial level (clamped to capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not positive or `level` is negative.
+    pub fn with_level(capacity: f64, level: f64) -> Self {
+        assert!(level >= 0.0, "level must be non-negative");
+        let mut b = Battery::new(capacity);
+        b.level = level.min(capacity);
+        b
+    }
+
+    /// Maximum energy the battery can hold.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Current stored energy.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// Fill fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.level / self.capacity
+    }
+
+    /// Adds harvested energy; overflow beyond capacity is lost. Returns the
+    /// amount actually stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or non-finite.
+    pub fn charge(&mut self, amount: f64) -> f64 {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "charge amount must be non-negative"
+        );
+        let stored = (self.capacity - self.level).min(amount);
+        self.level += stored;
+        stored
+    }
+
+    /// Attempts to withdraw `amount`; succeeds atomically or not at all.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount` is negative or non-finite.
+    pub fn try_consume(&mut self, amount: f64) -> bool {
+        assert!(
+            amount.is_finite() && amount >= 0.0,
+            "consume amount must be non-negative"
+        );
+        if self.level + 1e-12 >= amount {
+            self.level = (self.level - amount).max(0.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether at least `amount` of energy is stored.
+    pub fn can_supply(&self, amount: f64) -> bool {
+        self.level + 1e-12 >= amount
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_clamps_at_capacity() {
+        let mut b = Battery::new(5.0);
+        assert_eq!(b.charge(3.0), 3.0);
+        assert_eq!(b.charge(4.0), 2.0); // only 2 fits
+        assert_eq!(b.level(), 5.0);
+        assert_eq!(b.fraction(), 1.0);
+    }
+
+    #[test]
+    fn consume_is_atomic() {
+        let mut b = Battery::with_level(10.0, 2.0);
+        assert!(!b.try_consume(5.0));
+        assert_eq!(b.level(), 2.0); // untouched on failure
+        assert!(b.try_consume(2.0));
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn can_supply_matches_consume() {
+        let b = Battery::with_level(10.0, 3.0);
+        assert!(b.can_supply(3.0));
+        assert!(!b.can_supply(3.1));
+    }
+
+    #[test]
+    fn with_level_clamps() {
+        let b = Battery::with_level(5.0, 100.0);
+        assert_eq!(b.level(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = Battery::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "charge amount must be non-negative")]
+    fn rejects_negative_charge() {
+        let mut b = Battery::new(1.0);
+        b.charge(-1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn level_always_in_bounds(ops in proptest::collection::vec((proptest::bool::ANY, 0.0f64..20.0), 1..100)) {
+            let mut b = Battery::new(10.0);
+            for (is_charge, amt) in ops {
+                if is_charge { b.charge(amt); } else { let _ = b.try_consume(amt); }
+                proptest::prop_assert!(b.level() >= 0.0);
+                proptest::prop_assert!(b.level() <= b.capacity() + 1e-12);
+            }
+        }
+    }
+}

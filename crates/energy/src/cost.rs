@@ -1,0 +1,195 @@
+//! Per-round training energy costs and the combined client energy profile.
+
+use crate::battery::Battery;
+use crate::harvest::{Harvester, HarvesterKind};
+use serde::{Deserialize, Serialize};
+
+/// Energy cost of performing one global round of local training.
+///
+/// `cost = compute_per_example · examples · local_epochs + comm_cost`,
+/// the standard affine model (computation scales with data processed,
+/// communication is size-of-model and thus constant per round).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingCostModel {
+    /// Energy per training example per local epoch.
+    pub compute_per_example: f64,
+    /// Number of local epochs per round.
+    pub local_epochs: usize,
+    /// Energy per round for uploading/downloading the model.
+    pub comm_cost: f64,
+}
+
+impl Default for TrainingCostModel {
+    fn default() -> Self {
+        TrainingCostModel {
+            compute_per_example: 0.001,
+            local_epochs: 1,
+            comm_cost: 0.1,
+        }
+    }
+}
+
+impl TrainingCostModel {
+    /// Energy needed for one round of training over `examples` data points.
+    pub fn round_cost(&self, examples: usize) -> f64 {
+        self.compute_per_example * examples as f64 * self.local_epochs.max(1) as f64
+            + self.comm_cost
+    }
+}
+
+/// The full energy state of one client: harvester + battery + cost model.
+///
+/// Drives availability in the online auction: a client can bid in a round
+/// only if its battery holds one round's training energy.
+#[derive(Debug)]
+pub struct ClientEnergyProfile {
+    harvester: Harvester,
+    battery: Battery,
+    cost_model: TrainingCostModel,
+    examples: usize,
+}
+
+impl ClientEnergyProfile {
+    /// Creates a profile. The battery starts full (devices are deployed
+    /// charged).
+    pub fn new(
+        kind: HarvesterKind,
+        battery_capacity: f64,
+        cost_model: TrainingCostModel,
+        examples: usize,
+        seed: u64,
+    ) -> Self {
+        ClientEnergyProfile {
+            harvester: Harvester::new(kind, seed),
+            battery: Battery::with_level(battery_capacity, battery_capacity),
+            cost_model,
+            examples,
+        }
+    }
+
+    /// Energy required for one round of training.
+    pub fn round_cost(&self) -> f64 {
+        self.cost_model.round_cost(self.examples)
+    }
+
+    /// Battery state.
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Whether the client currently has energy for one training round.
+    pub fn can_train(&self) -> bool {
+        self.battery.can_supply(self.round_cost())
+    }
+
+    /// Advances one round: harvest energy into the battery. Returns the
+    /// amount harvested (pre-clamp).
+    pub fn harvest(&mut self) -> f64 {
+        let e = self.harvester.step();
+        self.battery.charge(e);
+        e
+    }
+
+    /// Consumes one round's training energy; returns `false` (and leaves the
+    /// battery untouched) if there is not enough.
+    pub fn consume_training(&mut self) -> bool {
+        let c = self.round_cost();
+        self.battery.try_consume(c)
+    }
+
+    /// The client's *energy renewal cycle*: expected rounds of harvesting
+    /// needed to fund one round of training (∞ if the mean rate is 0).
+    pub fn renewal_cycle(&self) -> f64 {
+        let rate = self.harvester.kind().mean_rate();
+        if rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.round_cost() / rate
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(rate: f64) -> ClientEnergyProfile {
+        ClientEnergyProfile::new(
+            HarvesterKind::Constant { rate },
+            10.0,
+            TrainingCostModel {
+                compute_per_example: 0.01,
+                local_epochs: 2,
+                comm_cost: 0.5,
+            },
+            100, // round cost = 0.01*100*2 + 0.5 = 2.5
+            0,
+        )
+    }
+
+    #[test]
+    fn round_cost_affine() {
+        let m = TrainingCostModel {
+            compute_per_example: 0.002,
+            local_epochs: 3,
+            comm_cost: 0.4,
+        };
+        assert!((m.round_cost(500) - (0.002 * 500.0 * 3.0 + 0.4)).abs() < 1e-12);
+        assert_eq!(m.round_cost(0), 0.4);
+    }
+
+    #[test]
+    fn starts_charged_and_trains() {
+        let mut p = profile(0.0);
+        assert!(p.can_train());
+        assert!(p.consume_training());
+        // 10.0 funds exactly four rounds at 2.5 each.
+        assert!(p.consume_training());
+        assert!(p.consume_training());
+        assert!(p.consume_training());
+        assert!(!p.can_train());
+        assert!(!p.consume_training());
+    }
+
+    #[test]
+    fn harvest_refills() {
+        let mut p = profile(1.0);
+        for _ in 0..4 {
+            p.consume_training();
+        }
+        assert!(!p.can_train());
+        // Harvest 1.0/round: after 3 rounds, 3.0 ≥ 2.5.
+        p.harvest();
+        p.harvest();
+        assert!(!p.can_train());
+        p.harvest();
+        assert!(p.can_train());
+    }
+
+    #[test]
+    fn renewal_cycle_matches_rates() {
+        let p = profile(0.5);
+        assert!((p.renewal_cycle() - 5.0).abs() < 1e-12);
+        let p0 = profile(0.0);
+        assert!(p0.renewal_cycle().is_infinite());
+    }
+
+    #[test]
+    fn intermittent_availability_pattern() {
+        // A client whose renewal cycle is 5 trains roughly once per 5 rounds
+        // in steady state when it always trains as soon as possible.
+        let mut p = profile(0.5);
+        let mut trained = 0;
+        for _ in 0..1000 {
+            p.harvest();
+            if p.can_train() && p.consume_training() {
+                trained += 1;
+            }
+        }
+        // Initial battery funds 4 extra rounds; steady state is 1000/5 = 200.
+        assert!(
+            (trained as i64 - 204).abs() <= 2,
+            "trained {trained}, expected ≈ 204"
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! Ambient-energy harvesting processes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parametric families of harvesting processes. Each produces a
+/// non-negative amount of energy per (global FL) round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HarvesterKind {
+    /// Constant trickle: `rate` per round. With training cost `E·rate` this
+    /// reproduces the "energy renewal cycle of E rounds" model.
+    Constant {
+        /// Energy per round.
+        rate: f64,
+    },
+    /// Bernoulli bursts: with probability `p` harvest `amount`, else 0
+    /// (e.g. kinetic harvesting from motion events).
+    Bernoulli {
+        /// Burst probability per round.
+        p: f64,
+        /// Burst size.
+        amount: f64,
+    },
+    /// Two-state Markov (Gilbert) model: in the On state harvest `rate_on`
+    /// per round, in Off harvest 0 (e.g. cloud cover for solar).
+    MarkovOnOff {
+        /// P(On → Off) per round.
+        p_on_off: f64,
+        /// P(Off → On) per round.
+        p_off_on: f64,
+        /// Harvest rate while On.
+        rate_on: f64,
+    },
+    /// Diurnal solar: a clipped sinusoid with period `day_length` rounds,
+    /// peak `peak`, phase offset `phase` (rounds), plus multiplicative
+    /// noise of the given relative standard deviation.
+    Solar {
+        /// Rounds per simulated day.
+        day_length: usize,
+        /// Peak harvest rate at local noon.
+        peak: f64,
+        /// Phase offset in rounds (device longitude / orientation).
+        phase: usize,
+        /// Relative noise std (cloud flicker), ≥ 0.
+        noise: f64,
+    },
+}
+
+impl HarvesterKind {
+    /// Long-run mean harvest rate of the process (exact, not sampled).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            HarvesterKind::Constant { rate } => rate,
+            HarvesterKind::Bernoulli { p, amount } => p * amount,
+            HarvesterKind::MarkovOnOff {
+                p_on_off,
+                p_off_on,
+                rate_on,
+            } => {
+                // Stationary P(On) = p_off_on / (p_on_off + p_off_on).
+                let denom = p_on_off + p_off_on;
+                if denom <= 0.0 {
+                    rate_on // absorbing On (we start On)
+                } else {
+                    rate_on * p_off_on / denom
+                }
+            }
+            HarvesterKind::Solar {
+                day_length, peak, ..
+            } => {
+                // Mean of max(0, sin) over a period is 1/π.
+                let _ = day_length;
+                peak / std::f64::consts::PI
+            }
+        }
+    }
+}
+
+/// A stateful harvester: a [`HarvesterKind`] plus its RNG and Markov state.
+#[derive(Debug)]
+pub struct Harvester {
+    kind: HarvesterKind,
+    rng: StdRng,
+    round: u64,
+    markov_on: bool,
+}
+
+impl Harvester {
+    /// Creates a harvester with its own deterministic random stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind's parameters are out of domain (negative rates,
+    /// probabilities outside `[0, 1]`, zero day length).
+    pub fn new(kind: HarvesterKind, seed: u64) -> Self {
+        match kind {
+            HarvesterKind::Constant { rate } => {
+                assert!(rate.is_finite() && rate >= 0.0, "rate must be >= 0");
+            }
+            HarvesterKind::Bernoulli { p, amount } => {
+                assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+                assert!(amount.is_finite() && amount >= 0.0, "amount must be >= 0");
+            }
+            HarvesterKind::MarkovOnOff {
+                p_on_off,
+                p_off_on,
+                rate_on,
+            } => {
+                assert!((0.0..=1.0).contains(&p_on_off), "p_on_off in [0, 1]");
+                assert!((0.0..=1.0).contains(&p_off_on), "p_off_on in [0, 1]");
+                assert!(rate_on.is_finite() && rate_on >= 0.0, "rate_on must be >= 0");
+            }
+            HarvesterKind::Solar {
+                day_length,
+                peak,
+                noise,
+                ..
+            } => {
+                assert!(day_length > 0, "day_length must be positive");
+                assert!(peak.is_finite() && peak >= 0.0, "peak must be >= 0");
+                assert!(noise.is_finite() && noise >= 0.0, "noise must be >= 0");
+            }
+        }
+        Harvester {
+            kind,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+            markov_on: true,
+        }
+    }
+
+    /// The process family.
+    pub fn kind(&self) -> &HarvesterKind {
+        &self.kind
+    }
+
+    /// Energy harvested in the next round (advances internal state).
+    pub fn step(&mut self) -> f64 {
+        let t = self.round;
+        self.round += 1;
+        match self.kind {
+            HarvesterKind::Constant { rate } => rate,
+            HarvesterKind::Bernoulli { p, amount } => {
+                if self.rng.random::<f64>() < p {
+                    amount
+                } else {
+                    0.0
+                }
+            }
+            HarvesterKind::MarkovOnOff {
+                p_on_off,
+                p_off_on,
+                rate_on,
+            } => {
+                let out = if self.markov_on { rate_on } else { 0.0 };
+                let u: f64 = self.rng.random();
+                if self.markov_on {
+                    if u < p_on_off {
+                        self.markov_on = false;
+                    }
+                } else if u < p_off_on {
+                    self.markov_on = true;
+                }
+                out
+            }
+            HarvesterKind::Solar {
+                day_length,
+                peak,
+                phase,
+                noise,
+            } => {
+                let angle = 2.0 * std::f64::consts::PI * ((t as usize + phase) % day_length) as f64
+                    / day_length as f64;
+                let base = peak * angle.sin().max(0.0);
+                if noise > 0.0 && base > 0.0 {
+                    // Multiplicative log-normal-ish flicker, clamped ≥ 0.
+                    let u1: f64 = 1.0 - self.rng.random::<f64>();
+                    let u2: f64 = self.rng.random();
+                    let gauss =
+                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (base * (1.0 + noise * gauss)).max(0.0)
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Rounds stepped so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_of(kind: HarvesterKind, seed: u64, n: usize) -> f64 {
+        let mut h = Harvester::new(kind, seed);
+        (0..n).map(|_| h.step()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut h = Harvester::new(HarvesterKind::Constant { rate: 0.5 }, 0);
+        for _ in 0..10 {
+            assert_eq!(h.step(), 0.5);
+        }
+        assert_eq!(h.rounds(), 10);
+    }
+
+    #[test]
+    fn bernoulli_mean_matches() {
+        let kind = HarvesterKind::Bernoulli { p: 0.3, amount: 2.0 };
+        let m = mean_of(kind, 1, 50_000);
+        assert!((m - kind.mean_rate()).abs() < 0.03, "mean {m}");
+    }
+
+    #[test]
+    fn markov_mean_matches_stationary() {
+        let kind = HarvesterKind::MarkovOnOff {
+            p_on_off: 0.1,
+            p_off_on: 0.3,
+            rate_on: 1.0,
+        };
+        let m = mean_of(kind, 2, 100_000);
+        assert!((m - kind.mean_rate()).abs() < 0.02, "mean {m} vs {}", kind.mean_rate());
+    }
+
+    #[test]
+    fn markov_is_bursty() {
+        // Consecutive-round correlation should be positive.
+        let mut h = Harvester::new(
+            HarvesterKind::MarkovOnOff {
+                p_on_off: 0.05,
+                p_off_on: 0.05,
+                rate_on: 1.0,
+            },
+            3,
+        );
+        let xs: Vec<f64> = (0..20_000).map(|_| h.step()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let cov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!(cov > 0.1, "lag-1 covariance {cov} not bursty");
+    }
+
+    #[test]
+    fn solar_is_periodic_and_nonnegative() {
+        let mut h = Harvester::new(
+            HarvesterKind::Solar {
+                day_length: 24,
+                peak: 2.0,
+                phase: 0,
+                noise: 0.0,
+            },
+            4,
+        );
+        let day1: Vec<f64> = (0..24).map(|_| h.step()).collect();
+        let day2: Vec<f64> = (0..24).map(|_| h.step()).collect();
+        assert_eq!(day1, day2); // noiseless → exactly periodic
+        assert!(day1.iter().all(|&v| v >= 0.0));
+        // Night half of the cycle harvests nothing.
+        assert!(day1.iter().filter(|&&v| v == 0.0).count() >= 11);
+        let m = day1.iter().sum::<f64>() / 24.0;
+        let expected = HarvesterKind::Solar {
+            day_length: 24,
+            peak: 2.0,
+            phase: 0,
+            noise: 0.0,
+        }
+        .mean_rate();
+        assert!((m - expected).abs() < 0.1, "mean {m} vs {expected}");
+    }
+
+    #[test]
+    fn solar_phase_shifts_cycle() {
+        let mk = |phase| {
+            let mut h = Harvester::new(
+                HarvesterKind::Solar {
+                    day_length: 24,
+                    peak: 1.0,
+                    phase,
+                    noise: 0.0,
+                },
+                0,
+            );
+            (0..24).map(|_| h.step()).collect::<Vec<f64>>()
+        };
+        let a = mk(0);
+        let b = mk(6);
+        assert_ne!(a, b);
+        // Shifted by 6: b[t] == a[(t + 6) % 24].
+        for t in 0..24 {
+            assert!((b[t] - a[(t + 6) % 24]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solar_noise_keeps_nonnegative() {
+        let mut h = Harvester::new(
+            HarvesterKind::Solar {
+                day_length: 24,
+                peak: 1.0,
+                phase: 0,
+                noise: 1.0,
+            },
+            7,
+        );
+        for _ in 0..2000 {
+            assert!(h.step() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let kind = HarvesterKind::Bernoulli { p: 0.5, amount: 1.0 };
+        let a: Vec<f64> = {
+            let mut h = Harvester::new(kind, 9);
+            (0..50).map(|_| h.step()).collect()
+        };
+        let b: Vec<f64> = {
+            let mut h = Harvester::new(kind, 9);
+            (0..50).map(|_| h.step()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1]")]
+    fn rejects_bad_probability() {
+        let _ = Harvester::new(HarvesterKind::Bernoulli { p: 1.5, amount: 1.0 }, 0);
+    }
+
+    #[test]
+    fn mean_rate_constant_absorbing_markov() {
+        let kind = HarvesterKind::MarkovOnOff {
+            p_on_off: 0.0,
+            p_off_on: 0.0,
+            rate_on: 2.0,
+        };
+        assert_eq!(kind.mean_rate(), 2.0);
+        let m = mean_of(kind, 5, 1000);
+        assert_eq!(m, 2.0); // starts On and never leaves
+    }
+}

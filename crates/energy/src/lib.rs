@@ -1,0 +1,26 @@
+//! # energy — renewable-energy harvesting substrate
+//!
+//! Simulates the energy side of "sustainable" federated learning: devices
+//! powered by ambient sources (solar, kinetic, RF) accumulate energy in a
+//! battery and can only train — and therefore only *bid* — when charged.
+//! This substitutes for the measured device traces of the paper's testbed
+//! (see DESIGN.md, Substitutions): each harvesting regime found in real
+//! traces is representable by one of the parametric processes here.
+//!
+//! * [`battery`] — finite-capacity energy store,
+//! * [`harvest`] — harvesting processes (deterministic renewal, Bernoulli,
+//!   Markov on/off, diurnal solar),
+//! * [`cost`] — per-round training energy cost models and the combined
+//!   per-client [`cost::ClientEnergyProfile`],
+//! * [`trace`] — record synthetic harvesters to CSV and replay measured
+//!   traces through the same simulation path.
+
+pub mod battery;
+pub mod cost;
+pub mod harvest;
+pub mod trace;
+
+pub use battery::Battery;
+pub use cost::{ClientEnergyProfile, TrainingCostModel};
+pub use harvest::{Harvester, HarvesterKind};
+pub use trace::{EnergyTrace, TraceHarvester};

@@ -1,0 +1,249 @@
+//! Recorded energy traces: capture, persist, and replay.
+//!
+//! The paper measured real device harvesting traces; this repository
+//! substitutes parametric processes ([`crate::harvest`]). This module is
+//! the bridge for users who *do* have real traces: record any harvester
+//! into an [`EnergyTrace`], persist it as CSV, or load a measured CSV and
+//! replay it through the same simulation path via [`TraceHarvester`].
+
+use crate::harvest::{Harvester, HarvesterKind};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A line failed to parse as a non-negative number.
+    BadSample {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+    /// The trace contained no samples.
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadSample { line, content } => {
+                write!(f, "bad sample on line {line}: {content:?}")
+            }
+            TraceError::Empty => write!(f, "trace contains no samples"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A fixed sequence of per-round harvest amounts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTrace {
+    samples: Vec<f64>,
+}
+
+impl EnergyTrace {
+    /// Creates a trace from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or contains a negative/non-finite value.
+    pub fn new(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "trace must be non-empty");
+        assert!(
+            samples.iter().all(|&s| s.is_finite() && s >= 0.0),
+            "samples must be finite and non-negative"
+        );
+        EnergyTrace { samples }
+    }
+
+    /// Records `len` rounds of a synthetic harvester into a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0` or the kind's parameters are invalid.
+    pub fn record(kind: HarvesterKind, seed: u64, len: usize) -> Self {
+        assert!(len > 0, "len must be positive");
+        let mut h = Harvester::new(kind, seed);
+        EnergyTrace::new((0..len).map(|_| h.step()).collect())
+    }
+
+    /// Parses a trace from CSV/plain text: one sample per line, `#`-prefixed
+    /// lines and blank lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] on malformed or empty input.
+    pub fn from_csv(text: &str) -> Result<Self, TraceError> {
+        let mut samples = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match line.parse::<f64>() {
+                Ok(v) if v.is_finite() && v >= 0.0 => samples.push(v),
+                _ => {
+                    return Err(TraceError::BadSample {
+                        line: i + 1,
+                        content: line.to_string(),
+                    })
+                }
+            }
+        }
+        if samples.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(EnergyTrace { samples })
+    }
+
+    /// Serializes as one sample per line with a header comment.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("# energy trace: one harvest sample per round\n");
+        for s in &self.samples {
+            out.push_str(&format!("{s}\n"));
+        }
+        out
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sample at round `t`, cycling past the end (periodic extension).
+    pub fn at(&self, t: u64) -> f64 {
+        self.samples[(t % self.samples.len() as u64) as usize]
+    }
+
+    /// Empirical mean harvest rate.
+    pub fn mean_rate(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Borrow of the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Replays an [`EnergyTrace`] with the [`Harvester`]-like `step` interface,
+/// cycling when the trace is exhausted.
+#[derive(Debug, Clone)]
+pub struct TraceHarvester {
+    trace: EnergyTrace,
+    round: u64,
+}
+
+impl TraceHarvester {
+    /// Creates a replayer starting at round 0.
+    pub fn new(trace: EnergyTrace) -> Self {
+        TraceHarvester { trace, round: 0 }
+    }
+
+    /// Energy harvested in the next round.
+    pub fn step(&mut self) -> f64 {
+        let v = self.trace.at(self.round);
+        self.round += 1;
+        v
+    }
+
+    /// Rounds replayed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &EnergyTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = EnergyTrace::new(vec![0.0, 1.5, 2.25]);
+        let parsed = EnergyTrace::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(t, parsed);
+    }
+
+    #[test]
+    fn from_csv_skips_comments_and_blanks() {
+        let t = EnergyTrace::from_csv("# header\n\n1.0\n# mid\n2.0\n").unwrap();
+        assert_eq!(t.samples(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_csv_rejects_garbage() {
+        let err = EnergyTrace::from_csv("1.0\nhello\n").unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::BadSample {
+                line: 2,
+                content: "hello".into()
+            }
+        );
+        assert!(err.to_string().contains("line 2"));
+        assert_eq!(EnergyTrace::from_csv("# only\n").unwrap_err(), TraceError::Empty);
+        let neg = EnergyTrace::from_csv("-1.0\n").unwrap_err();
+        assert!(matches!(neg, TraceError::BadSample { .. }));
+    }
+
+    #[test]
+    fn record_matches_direct_sampling() {
+        let kind = HarvesterKind::Bernoulli { p: 0.5, amount: 2.0 };
+        let t = EnergyTrace::record(kind, 9, 50);
+        let mut h = Harvester::new(kind, 9);
+        let direct: Vec<f64> = (0..50).map(|_| h.step()).collect();
+        assert_eq!(t.samples(), direct.as_slice());
+    }
+
+    #[test]
+    fn replay_cycles() {
+        let t = EnergyTrace::new(vec![1.0, 2.0, 3.0]);
+        let mut r = TraceHarvester::new(t);
+        let out: Vec<f64> = (0..7).map(|_| r.step()).collect();
+        assert_eq!(out, vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+        assert_eq!(r.rounds(), 7);
+    }
+
+    #[test]
+    fn mean_rate_and_at() {
+        let t = EnergyTrace::new(vec![1.0, 3.0]);
+        assert_eq!(t.mean_rate(), 2.0);
+        assert_eq!(t.at(0), 1.0);
+        assert_eq!(t.at(5), 3.0);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn recorded_solar_trace_preserves_periodicity() {
+        let kind = HarvesterKind::Solar {
+            day_length: 24,
+            peak: 1.0,
+            phase: 0,
+            noise: 0.0,
+        };
+        let t = EnergyTrace::record(kind, 0, 24);
+        let mut r = TraceHarvester::new(t);
+        let day1: Vec<f64> = (0..24).map(|_| r.step()).collect();
+        let day2: Vec<f64> = (0..24).map(|_| r.step()).collect();
+        assert_eq!(day1, day2);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace must be non-empty")]
+    fn rejects_empty() {
+        let _ = EnergyTrace::new(vec![]);
+    }
+}

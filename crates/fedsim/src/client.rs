@@ -1,0 +1,331 @@
+//! Local training performed by one federated client.
+
+use crate::data::Dataset;
+use crate::linalg::{norm2, sub, Vector};
+use crate::model::Model;
+use crate::optim::OptimizerKind;
+use crate::rng::{sample_without_replacement, seeded};
+use crate::schedule::LrSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a client's local training procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainerConfig {
+    /// Number of local passes (epochs) over the shard per round.
+    pub local_epochs: usize,
+    /// Minibatch size; clipped to the shard size.
+    pub batch_size: usize,
+    /// Optimizer used for local steps.
+    pub optimizer: OptimizerKind,
+    /// When set, overrides the SGD learning rate per *global round* with a
+    /// diminishing schedule (the convergence theory's `η_t`). Only applies
+    /// when `optimizer` is [`OptimizerKind::Sgd`].
+    pub lr_schedule: Option<LrSchedule>,
+    /// Clip each minibatch gradient to this L2 norm (`None` = no clipping).
+    pub clip_norm: Option<f64>,
+    /// FedProx proximal coefficient `μ ≥ 0`: adds `μ·(w − w_global)` to
+    /// every local gradient, pulling local models toward the global one
+    /// under non-IID drift. 0 disables it (plain FedAvg).
+    pub prox_mu: f64,
+}
+
+impl Default for LocalTrainerConfig {
+    fn default() -> Self {
+        LocalTrainerConfig {
+            local_epochs: 1,
+            batch_size: 32,
+            optimizer: OptimizerKind::Sgd { lr: 0.1 },
+            lr_schedule: None,
+            clip_norm: None,
+            prox_mu: 0.0,
+        }
+    }
+}
+
+/// The result a client uploads after local training.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientUpdate {
+    /// Client identifier.
+    pub client_id: usize,
+    /// Locally trained parameters (full model, not a delta).
+    pub params: Vector,
+    /// Number of local examples (FedAvg weight).
+    pub num_examples: usize,
+    /// Mean training loss over the local steps.
+    pub train_loss: f64,
+    /// L2 norm of the parameter change, a proxy for update magnitude.
+    pub update_norm: f64,
+    /// Number of gradient steps performed.
+    pub steps: usize,
+}
+
+/// Runs local training for one client.
+#[derive(Debug, Clone)]
+pub struct LocalTrainer {
+    client_id: usize,
+    shard: Dataset,
+    config: LocalTrainerConfig,
+}
+
+impl LocalTrainer {
+    /// Creates a trainer over the client's local shard.
+    pub fn new(client_id: usize, shard: Dataset, config: LocalTrainerConfig) -> Self {
+        LocalTrainer {
+            client_id,
+            shard,
+            config,
+        }
+    }
+
+    /// Client identifier.
+    pub fn client_id(&self) -> usize {
+        self.client_id
+    }
+
+    /// Number of local examples.
+    pub fn num_examples(&self) -> usize {
+        self.shard.len()
+    }
+
+    /// Borrow of the local shard.
+    pub fn shard(&self) -> &Dataset {
+        &self.shard
+    }
+
+    /// Performs local training starting from the global model and returns
+    /// the update. `round_seed` decorrelates minibatch sampling across
+    /// rounds while staying reproducible.
+    ///
+    /// Clients with empty shards return the global parameters unchanged with
+    /// zero weight.
+    pub fn train<M: Model>(&self, global: &M, round_seed: u64) -> ClientUpdate {
+        self.train_at(global, round_seed, 0)
+    }
+
+    /// [`LocalTrainer::train`] with an explicit global round index, used by
+    /// the learning-rate schedule (`η_round`).
+    pub fn train_at<M: Model>(&self, global: &M, round_seed: u64, round: u64) -> ClientUpdate {
+        let start = global.params();
+        if self.shard.is_empty() {
+            return ClientUpdate {
+                client_id: self.client_id,
+                params: start.clone(),
+                num_examples: 0,
+                train_loss: 0.0,
+                update_norm: 0.0,
+                steps: 0,
+            };
+        }
+        let mut model = global.clone();
+        let optimizer_kind = match (self.config.lr_schedule, self.config.optimizer) {
+            (Some(schedule), OptimizerKind::Sgd { .. }) => OptimizerKind::Sgd {
+                lr: schedule.at(round),
+            },
+            _ => self.config.optimizer,
+        };
+        let mut opt = optimizer_kind.build();
+        let mut rng = seeded(round_seed);
+        let n = self.shard.len();
+        let batch = self.config.batch_size.clamp(1, n);
+        let steps_per_epoch = n.div_ceil(batch);
+        let mut loss_sum = 0.0;
+        let mut steps = 0usize;
+        for _ in 0..self.config.local_epochs.max(1) {
+            for _ in 0..steps_per_epoch {
+                let idx = sample_without_replacement(&mut rng, n, batch);
+                let (loss, mut grad) = model.loss_grad(&self.shard, &idx);
+                let mut p = model.params();
+                // FedProx proximal term: μ·(w − w_global).
+                if self.config.prox_mu > 0.0 {
+                    for ((g, &w), &w0) in grad.iter_mut().zip(p.iter()).zip(start.iter()) {
+                        *g += self.config.prox_mu * (w - w0);
+                    }
+                }
+                // Gradient clipping.
+                if let Some(clip) = self.config.clip_norm {
+                    let gnorm = norm2(&grad);
+                    if gnorm > clip {
+                        let scale = clip / gnorm;
+                        for g in &mut grad {
+                            *g *= scale;
+                        }
+                    }
+                }
+                opt.step(&mut p, &grad);
+                model.set_params(&p);
+                loss_sum += loss;
+                steps += 1;
+            }
+        }
+        let params = model.params();
+        let update_norm = norm2(&sub(&params, &start));
+        ClientUpdate {
+            client_id: self.client_id,
+            params,
+            num_examples: n,
+            train_loss: loss_sum / steps.max(1) as f64,
+            update_norm,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth::{gaussian_blobs, BlobSpec};
+    use crate::model::LogisticRegression;
+
+    fn shard() -> Dataset {
+        gaussian_blobs(&BlobSpec::new(3, 4, 30), 1)
+    }
+
+    #[test]
+    fn train_improves_local_loss() {
+        let ds = shard();
+        let trainer = LocalTrainer::new(
+            0,
+            ds.clone(),
+            LocalTrainerConfig {
+                local_epochs: 5,
+                batch_size: 16,
+                optimizer: OptimizerKind::Sgd { lr: 0.5 },
+                ..LocalTrainerConfig::default()
+            },
+        );
+        let global = LogisticRegression::new(4, 3);
+        let before = global.mean_loss(&ds);
+        let update = trainer.train(&global, 7);
+        let mut after_model = global.clone();
+        after_model.set_params(&update.params);
+        let after = after_model.mean_loss(&ds);
+        assert!(after < before, "{before} -> {after}");
+        assert_eq!(update.num_examples, 90);
+        assert!(update.update_norm > 0.0);
+        assert!(update.steps > 0);
+    }
+
+    #[test]
+    fn empty_shard_returns_global_unchanged() {
+        let ds = shard().subset(&[]);
+        let trainer = LocalTrainer::new(3, ds, LocalTrainerConfig::default());
+        let global = LogisticRegression::new_random(4, 3, 2);
+        let update = trainer.train(&global, 1);
+        assert_eq!(update.params, global.params());
+        assert_eq!(update.num_examples, 0);
+        assert_eq!(update.update_norm, 0.0);
+        assert_eq!(update.steps, 0);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let ds = shard();
+        let trainer = LocalTrainer::new(0, ds, LocalTrainerConfig::default());
+        let global = LogisticRegression::new(4, 3);
+        let a = trainer.train(&global, 42);
+        let b = trainer.train(&global, 42);
+        assert_eq!(a, b);
+        let c = trainer.train(&global, 43);
+        assert_ne!(a.params, c.params);
+    }
+
+    #[test]
+    fn batch_size_clipped_to_shard() {
+        let ds = shard().subset(&[0, 1, 2]);
+        let trainer = LocalTrainer::new(
+            0,
+            ds,
+            LocalTrainerConfig {
+                local_epochs: 1,
+                batch_size: 1000,
+                optimizer: OptimizerKind::Sgd { lr: 0.1 },
+                ..LocalTrainerConfig::default()
+            },
+        );
+        let global = LogisticRegression::new(4, 3);
+        let update = trainer.train(&global, 0);
+        assert_eq!(update.steps, 1); // one batch covering the whole shard
+    }
+
+    #[test]
+    fn lr_schedule_decays_update_magnitude() {
+        let ds = shard();
+        let config = LocalTrainerConfig {
+            local_epochs: 1,
+            batch_size: 90,
+            optimizer: OptimizerKind::Sgd { lr: 99.0 }, // overridden
+            lr_schedule: Some(crate::schedule::LrSchedule::InverseTime { a: 10.0, b: 10.0 }),
+            ..LocalTrainerConfig::default()
+        };
+        let trainer = LocalTrainer::new(0, ds, config);
+        let global = LogisticRegression::new(4, 3);
+        let early = trainer.train_at(&global, 1, 0);
+        let late = trainer.train_at(&global, 1, 1000);
+        assert!(
+            late.update_norm < early.update_norm * 0.2,
+            "late {} vs early {}",
+            late.update_norm,
+            early.update_norm
+        );
+    }
+
+    #[test]
+    fn clipping_bounds_single_step_update() {
+        let ds = shard();
+        let clip = 0.01;
+        let config = LocalTrainerConfig {
+            local_epochs: 1,
+            batch_size: 90, // one step per epoch
+            optimizer: OptimizerKind::Sgd { lr: 1.0 },
+            clip_norm: Some(clip),
+            ..LocalTrainerConfig::default()
+        };
+        let trainer = LocalTrainer::new(0, ds, config);
+        let global = LogisticRegression::new(4, 3);
+        let update = trainer.train(&global, 3);
+        // One SGD step of lr 1.0 on a clipped gradient moves at most `clip`.
+        assert!(update.update_norm <= clip + 1e-9, "norm {}", update.update_norm);
+    }
+
+    #[test]
+    fn prox_term_shrinks_drift() {
+        let ds = shard();
+        let mk = |mu: f64| LocalTrainerConfig {
+            local_epochs: 10,
+            batch_size: 16,
+            optimizer: OptimizerKind::Sgd { lr: 0.5 },
+            prox_mu: mu,
+            ..LocalTrainerConfig::default()
+        };
+        let global = LogisticRegression::new_random(4, 3, 5);
+        let plain = LocalTrainer::new(0, ds.clone(), mk(0.0)).train(&global, 7);
+        let prox = LocalTrainer::new(0, ds, mk(2.0)).train(&global, 7);
+        assert!(
+            prox.update_norm < plain.update_norm,
+            "prox {} should drift less than plain {}",
+            prox.update_norm,
+            plain.update_norm
+        );
+    }
+
+    #[test]
+    fn more_epochs_means_more_steps() {
+        let ds = shard();
+        let mk = |epochs| {
+            LocalTrainer::new(
+                0,
+                ds.clone(),
+                LocalTrainerConfig {
+                    local_epochs: epochs,
+                    batch_size: 30,
+                    optimizer: OptimizerKind::Sgd { lr: 0.1 },
+                    ..LocalTrainerConfig::default()
+                },
+            )
+        };
+        let global = LogisticRegression::new(4, 3);
+        let s1 = mk(1).train(&global, 0).steps;
+        let s3 = mk(3).train(&global, 0).steps;
+        assert_eq!(s3, 3 * s1);
+    }
+}

@@ -1,0 +1,230 @@
+//! In-memory labelled dataset.
+
+use crate::error::FedSimError;
+use crate::linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A dense, in-memory classification dataset.
+///
+/// Features are stored row-major (one row per example); labels are class
+/// indices in `0..num_classes`.
+///
+/// # Example
+///
+/// ```
+/// use fedsim::data::Dataset;
+/// use fedsim::linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+/// let ds = Dataset::new(x, vec![0, 1], 2).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.num_features(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that the label vector matches the
+    /// feature matrix and every label is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FedSimError::ShapeMismatch`] if `labels.len()` differs from
+    /// the number of feature rows, and [`FedSimError::InvalidConfig`] if a
+    /// label is `>= num_classes` or `num_classes == 0`.
+    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Result<Self, FedSimError> {
+        if labels.len() != features.rows() {
+            return Err(FedSimError::ShapeMismatch {
+                context: "Dataset::new labels",
+                expected: features.rows(),
+                actual: labels.len(),
+            });
+        }
+        if num_classes == 0 {
+            return Err(FedSimError::InvalidConfig(
+                "num_classes must be positive".into(),
+            ));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= num_classes) {
+            return Err(FedSimError::InvalidConfig(format!(
+                "label {bad} out of range for {num_classes} classes"
+            )));
+        }
+        Ok(Dataset {
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Borrow of the feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Borrow of the labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Feature row of example `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn example(&self, i: usize) -> (&[f64], usize) {
+        (self.features.row(i), self.labels[i])
+    }
+
+    /// Builds a new dataset from the given example indices (with repetition
+    /// allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut rows = Vec::with_capacity(indices.len());
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            rows.push(self.features.row(i).to_vec());
+            labels.push(self.labels[i]);
+        }
+        let features = if rows.is_empty() {
+            Matrix::zeros(0, self.num_features())
+        } else {
+            Matrix::from_rows(&rows)
+        };
+        Dataset {
+            features,
+            labels,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Splits into `(train, test)` with the first `train_len` examples in the
+    /// train part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_len > self.len()`.
+    pub fn split_at(&self, train_len: usize) -> (Dataset, Dataset) {
+        assert!(train_len <= self.len(), "split point beyond dataset");
+        let train_idx: Vec<usize> = (0..train_len).collect();
+        let test_idx: Vec<usize> = (train_len..self.len()).collect();
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Counts how many examples carry each label.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        Dataset::new(x, vec![0, 1, 1, 0], 2).unwrap()
+    }
+
+    #[test]
+    fn new_validates_labels_len() {
+        let x = Matrix::zeros(3, 2);
+        let err = Dataset::new(x, vec![0, 1], 2).unwrap_err();
+        assert!(matches!(err, FedSimError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn new_validates_label_range() {
+        let x = Matrix::zeros(2, 2);
+        let err = Dataset::new(x, vec![0, 5], 2).unwrap_err();
+        assert!(matches!(err, FedSimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn new_rejects_zero_classes() {
+        let x = Matrix::zeros(0, 2);
+        let err = Dataset::new(x, vec![], 0).unwrap_err();
+        assert!(matches!(err, FedSimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.num_classes(), 2);
+        let (row, label) = ds.example(1);
+        assert_eq!(row, &[1.0, 0.0]);
+        assert_eq!(label, 1);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let ds = toy();
+        let sub = ds.subset(&[3, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.example(0).0, &[1.0, 1.0]);
+        assert_eq!(sub.example(0).1, 0);
+        assert_eq!(sub.example(1).0, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn subset_empty_keeps_feature_dim() {
+        let ds = toy();
+        let sub = ds.subset(&[]);
+        assert!(sub.is_empty());
+        assert_eq!(sub.num_features(), 2);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let ds = toy();
+        let (train, test) = ds.split_at(3);
+        assert_eq!(train.len(), 3);
+        assert_eq!(test.len(), 1);
+        assert_eq!(test.example(0).0, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn class_histogram_counts() {
+        let ds = toy();
+        assert_eq!(ds.class_histogram(), vec![2, 2]);
+    }
+}

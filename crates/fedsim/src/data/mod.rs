@@ -1,0 +1,8 @@
+//! Datasets, synthetic generators, and federated partitioners.
+
+pub mod dataset;
+pub mod partition;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use partition::{partition, ClientData, PartitionStrategy};

@@ -1,0 +1,355 @@
+//! Federated data partitioners: IID and non-IID (Dirichlet, shards, quantity
+//! skew).
+
+use crate::data::dataset::Dataset;
+use crate::rng::{self, seeded};
+use serde::{Deserialize, Serialize};
+
+/// The local shard of one client: indices into the global dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientData {
+    /// Client index in `0..num_clients`.
+    pub client_id: usize,
+    /// Indices of this client's examples in the global dataset.
+    pub indices: Vec<usize>,
+}
+
+impl ClientData {
+    /// Number of local examples.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the client has no data.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Materializes the local dataset.
+    pub fn dataset(&self, global: &Dataset) -> Dataset {
+        global.subset(&self.indices)
+    }
+}
+
+/// How to split a dataset across clients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Shuffle and split evenly: every client sees the global distribution.
+    Iid,
+    /// Label-skew non-IID split: each client's class mix is drawn from a
+    /// symmetric Dirichlet with this concentration (smaller = more skewed).
+    Dirichlet {
+        /// Dirichlet concentration parameter (`alpha > 0`).
+        alpha: f64,
+    },
+    /// Pathological shard split from the FedAvg paper: sort by label, cut
+    /// into `shards_per_client * num_clients` shards, deal shards randomly.
+    Shards {
+        /// Number of label shards per client (typically 2).
+        shards_per_client: usize,
+    },
+    /// IID label distribution but client sizes follow a power law with this
+    /// exponent (larger = more unequal).
+    QuantitySkew {
+        /// Power-law exponent (`>= 0`; 0 = uniform sizes).
+        exponent: f64,
+    },
+}
+
+/// Partitions `dataset` into `num_clients` local shards.
+///
+/// Every example is assigned to exactly one client; clients may end up empty
+/// under extreme skew (callers should handle empty shards).
+///
+/// # Panics
+///
+/// Panics if `num_clients == 0`, the dataset is empty, or a strategy
+/// parameter is out of domain.
+pub fn partition(
+    dataset: &Dataset,
+    num_clients: usize,
+    strategy: PartitionStrategy,
+    seed: u64,
+) -> Vec<ClientData> {
+    assert!(num_clients > 0, "num_clients must be positive");
+    assert!(!dataset.is_empty(), "cannot partition an empty dataset");
+    let mut rng = seeded(seed);
+    let n = dataset.len();
+
+    let assignment: Vec<Vec<usize>> = match strategy {
+        PartitionStrategy::Iid => {
+            let perm = rng::permutation(&mut rng, n);
+            let mut shards = vec![Vec::new(); num_clients];
+            for (pos, idx) in perm.into_iter().enumerate() {
+                shards[pos % num_clients].push(idx);
+            }
+            shards
+        }
+        PartitionStrategy::Dirichlet { alpha } => {
+            assert!(alpha > 0.0, "dirichlet alpha must be positive");
+            // For each class, split its examples across clients with
+            // Dirichlet-sampled proportions.
+            let mut shards = vec![Vec::new(); num_clients];
+            let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); dataset.num_classes()];
+            for (i, &l) in dataset.labels().iter().enumerate() {
+                by_class[l].push(i);
+            }
+            for class_indices in by_class {
+                if class_indices.is_empty() {
+                    continue;
+                }
+                let props = rng::dirichlet(&mut rng, alpha, num_clients);
+                // Convert proportions to cut points over the class examples.
+                let m = class_indices.len();
+                let perm = rng::permutation(&mut rng, m);
+                let mut cursor = 0usize;
+                let mut remaining = m;
+                let mut mass_left = 1.0f64;
+                for (c, &p) in props.iter().enumerate() {
+                    let take = if c + 1 == num_clients {
+                        remaining
+                    } else {
+                        // Round the share of remaining mass.
+                        let share = if mass_left > 0.0 { p / mass_left } else { 0.0 };
+                        ((remaining as f64) * share).round().min(remaining as f64) as usize
+                    };
+                    for k in 0..take {
+                        shards[c].push(class_indices[perm[cursor + k]]);
+                    }
+                    cursor += take;
+                    remaining -= take;
+                    mass_left -= p;
+                    if remaining == 0 {
+                        break;
+                    }
+                }
+            }
+            shards
+        }
+        PartitionStrategy::Shards { shards_per_client } => {
+            assert!(shards_per_client > 0, "shards_per_client must be positive");
+            let total_shards = shards_per_client * num_clients;
+            // Sort example indices by label, then split contiguously.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| dataset.labels()[i]);
+            let shard_size = n.div_ceil(total_shards);
+            let mut shard_list: Vec<Vec<usize>> = order
+                .chunks(shard_size.max(1))
+                .map(|c| c.to_vec())
+                .collect();
+            // Deal shards to clients in random order.
+            let perm = rng::permutation(&mut rng, shard_list.len());
+            let mut shards = vec![Vec::new(); num_clients];
+            for (deal, &shard_idx) in perm.iter().enumerate() {
+                shards[deal % num_clients].append(&mut shard_list[shard_idx]);
+            }
+            shards
+        }
+        PartitionStrategy::QuantitySkew { exponent } => {
+            assert!(exponent >= 0.0, "quantity-skew exponent must be >= 0");
+            let perm = rng::permutation(&mut rng, n);
+            // Weight client c proportionally to (c+1)^-exponent, shuffled so
+            // the big clients land at random ids.
+            let mut weights: Vec<f64> = (0..num_clients)
+                .map(|c| ((c + 1) as f64).powf(-exponent))
+                .collect();
+            let wperm = rng::permutation(&mut rng, num_clients);
+            weights = wperm.iter().map(|&i| weights[i]).collect();
+            let total: f64 = weights.iter().sum();
+            let mut sizes: Vec<usize> = weights
+                .iter()
+                .map(|w| ((w / total) * n as f64).floor() as usize)
+                .collect();
+            // Distribute the rounding remainder.
+            let assigned: usize = sizes.iter().sum();
+            for k in 0..n - assigned {
+                sizes[k % num_clients] += 1;
+            }
+            let mut shards = vec![Vec::new(); num_clients];
+            let mut cursor = 0;
+            for (c, &sz) in sizes.iter().enumerate() {
+                shards[c].extend_from_slice(&perm[cursor..cursor + sz]);
+                cursor += sz;
+            }
+            shards
+        }
+    };
+
+    assignment
+        .into_iter()
+        .enumerate()
+        .map(|(client_id, indices)| ClientData { client_id, indices })
+        .collect()
+}
+
+/// Measures label-distribution heterogeneity of a partition: the mean total
+/// variation distance between each client's class distribution and the
+/// global class distribution (0 = perfectly IID, → 1 = disjoint labels).
+pub fn heterogeneity(dataset: &Dataset, parts: &[ClientData]) -> f64 {
+    let global_hist = dataset.class_histogram();
+    let n = dataset.len() as f64;
+    let global: Vec<f64> = global_hist.iter().map(|&c| c as f64 / n).collect();
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        let mut hist = vec![0usize; dataset.num_classes()];
+        for &i in &part.indices {
+            hist[dataset.labels()[i]] += 1;
+        }
+        let local_n = part.len() as f64;
+        let tv: f64 = hist
+            .iter()
+            .zip(global.iter())
+            .map(|(&h, &g)| ((h as f64 / local_n) - g).abs())
+            .sum::<f64>()
+            / 2.0;
+        total += tv;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth::{gaussian_blobs, BlobSpec};
+
+    fn ds() -> Dataset {
+        gaussian_blobs(&BlobSpec::new(4, 3, 100), 11)
+    }
+
+    fn assert_exact_cover(parts: &[ClientData], n: usize) {
+        let mut all: Vec<usize> = parts.iter().flat_map(|p| p.indices.clone()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "not an exact cover");
+    }
+
+    #[test]
+    fn iid_covers_and_balances() {
+        let d = ds();
+        let parts = partition(&d, 8, PartitionStrategy::Iid, 1);
+        assert_eq!(parts.len(), 8);
+        assert_exact_cover(&parts, d.len());
+        for p in &parts {
+            assert_eq!(p.len(), 50);
+        }
+    }
+
+    #[test]
+    fn dirichlet_covers_all_examples() {
+        let d = ds();
+        for alpha in [0.1, 1.0, 10.0] {
+            let parts = partition(&d, 10, PartitionStrategy::Dirichlet { alpha }, 2);
+            assert_exact_cover(&parts, d.len());
+        }
+    }
+
+    #[test]
+    fn dirichlet_skew_increases_heterogeneity() {
+        let d = ds();
+        let skewed = partition(&d, 10, PartitionStrategy::Dirichlet { alpha: 0.05 }, 3);
+        let flat = partition(&d, 10, PartitionStrategy::Dirichlet { alpha: 100.0 }, 3);
+        let h_skewed = heterogeneity(&d, &skewed);
+        let h_flat = heterogeneity(&d, &flat);
+        assert!(
+            h_skewed > h_flat + 0.1,
+            "skewed {h_skewed} should exceed flat {h_flat}"
+        );
+    }
+
+    #[test]
+    fn iid_heterogeneity_is_low() {
+        let d = ds();
+        let parts = partition(&d, 4, PartitionStrategy::Iid, 4);
+        assert!(heterogeneity(&d, &parts) < 0.15);
+    }
+
+    #[test]
+    fn shards_cover_and_skew() {
+        let d = ds();
+        let parts = partition(
+            &d,
+            10,
+            PartitionStrategy::Shards {
+                shards_per_client: 2,
+            },
+            5,
+        );
+        assert_exact_cover(&parts, d.len());
+        // Shard partition with 2 shards/client over 4 classes must be skewed.
+        assert!(heterogeneity(&d, &parts) > 0.2);
+    }
+
+    #[test]
+    fn quantity_skew_sizes_unequal_but_cover() {
+        let d = ds();
+        let parts = partition(&d, 10, PartitionStrategy::QuantitySkew { exponent: 1.5 }, 6);
+        assert_exact_cover(&parts, d.len());
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > 2 * min.max(1), "sizes {sizes:?} not skewed enough");
+    }
+
+    #[test]
+    fn quantity_skew_zero_exponent_balanced() {
+        let d = ds();
+        let parts = partition(&d, 8, PartitionStrategy::QuantitySkew { exponent: 0.0 }, 7);
+        assert_exact_cover(&parts, d.len());
+        for p in &parts {
+            assert_eq!(p.len(), 50);
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let d = ds();
+        let a = partition(&d, 5, PartitionStrategy::Dirichlet { alpha: 0.5 }, 9);
+        let b = partition(&d, 5, PartitionStrategy::Dirichlet { alpha: 0.5 }, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn client_data_dataset_materializes() {
+        let d = ds();
+        let parts = partition(&d, 4, PartitionStrategy::Iid, 10);
+        let local = parts[0].dataset(&d);
+        assert_eq!(local.len(), parts[0].len());
+        assert_eq!(local.num_features(), d.num_features());
+    }
+
+    #[test]
+    #[should_panic(expected = "num_clients must be positive")]
+    fn zero_clients_rejected() {
+        let d = ds();
+        let _ = partition(&d, 0, PartitionStrategy::Iid, 0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn every_strategy_exact_cover(
+            num_clients in 1usize..16,
+            seed in 0u64..50,
+            strat in 0usize..4,
+        ) {
+            let d = gaussian_blobs(&BlobSpec::new(3, 2, 30), 99);
+            let strategy = match strat {
+                0 => PartitionStrategy::Iid,
+                1 => PartitionStrategy::Dirichlet { alpha: 0.5 },
+                2 => PartitionStrategy::Shards { shards_per_client: 2 },
+                _ => PartitionStrategy::QuantitySkew { exponent: 1.0 },
+            };
+            let parts = partition(&d, num_clients, strategy, seed);
+            let mut all: Vec<usize> = parts.iter().flat_map(|p| p.indices.clone()).collect();
+            all.sort_unstable();
+            proptest::prop_assert_eq!(all, (0..d.len()).collect::<Vec<_>>());
+        }
+    }
+}

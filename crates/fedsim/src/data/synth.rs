@@ -1,0 +1,360 @@
+//! Synthetic dataset generators.
+//!
+//! These generators substitute for the real datasets (MNIST/CIFAR) used on
+//! the paper's testbed; the mechanism only interacts with learning through
+//! "more and better-distributed data ⇒ better accuracy", which these
+//! distributions preserve (see DESIGN.md, Substitutions).
+
+use crate::data::dataset::Dataset;
+use crate::linalg::Matrix;
+use crate::rng::{self, seeded};
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the Gaussian-blobs generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BlobSpec {
+    /// Number of classes (one blob per class).
+    pub num_classes: usize,
+    /// Feature dimension.
+    pub num_features: usize,
+    /// Examples per class.
+    pub per_class: usize,
+    /// Distance of class centers from the origin.
+    pub center_radius: f64,
+    /// Within-class standard deviation.
+    pub noise: f64,
+}
+
+impl BlobSpec {
+    /// Creates a spec with default geometry (radius 3.0, noise 1.0).
+    pub fn new(num_classes: usize, num_features: usize, per_class: usize) -> Self {
+        BlobSpec {
+            num_classes,
+            num_features,
+            per_class,
+            center_radius: 3.0,
+            noise: 1.0,
+        }
+    }
+
+    /// Sets the center radius (class separation).
+    pub fn with_center_radius(mut self, r: f64) -> Self {
+        self.center_radius = r;
+        self
+    }
+
+    /// Sets the within-class noise.
+    pub fn with_noise(mut self, n: f64) -> Self {
+        self.noise = n;
+        self
+    }
+}
+
+/// Generates an isotropic Gaussian-blobs classification dataset.
+///
+/// Class centers are drawn uniformly on a sphere of radius
+/// [`BlobSpec::center_radius`]; examples are centers plus isotropic noise.
+///
+/// # Panics
+///
+/// Panics if any spec dimension is zero.
+pub fn gaussian_blobs(spec: &BlobSpec, seed: u64) -> Dataset {
+    assert!(spec.num_classes > 0, "num_classes must be positive");
+    assert!(spec.num_features > 0, "num_features must be positive");
+    assert!(spec.per_class > 0, "per_class must be positive");
+    let mut master = seeded(seed);
+
+    // Class centers: random directions scaled to center_radius.
+    let mut centers = Vec::with_capacity(spec.num_classes);
+    for _ in 0..spec.num_classes {
+        let mut c = vec![0.0; spec.num_features];
+        rng::fill_normal(&mut master, &mut c, 1.0);
+        let norm = crate::linalg::norm2(&c).max(1e-12);
+        for v in &mut c {
+            *v *= spec.center_radius / norm;
+        }
+        centers.push(c);
+    }
+
+    let n = spec.num_classes * spec.per_class;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for (k, center) in centers.iter().enumerate() {
+        for _ in 0..spec.per_class {
+            let mut x = center.clone();
+            for v in &mut x {
+                *v += spec.noise * rng::normal(&mut master);
+            }
+            rows.push(x);
+            labels.push(k);
+        }
+    }
+
+    // Shuffle example order so IID splits are trivially correct.
+    let perm = rng::permutation(&mut master, n);
+    let rows: Vec<Vec<f64>> = perm.iter().map(|&i| rows[i].clone()).collect();
+    let labels: Vec<usize> = perm.iter().map(|&i| labels[i]).collect();
+
+    Dataset::new(Matrix::from_rows(&rows), labels, spec.num_classes)
+        .expect("generator produces consistent shapes")
+}
+
+/// Parameters for the two-spirals generator (a hard nonlinear benchmark).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpiralSpec {
+    /// Examples per spiral arm.
+    pub per_arm: usize,
+    /// Number of full turns each arm makes.
+    pub turns: f64,
+    /// Additive coordinate noise.
+    pub noise: f64,
+}
+
+impl SpiralSpec {
+    /// Creates a spec with the given arm size and default geometry.
+    pub fn new(per_arm: usize) -> Self {
+        SpiralSpec {
+            per_arm,
+            turns: 1.5,
+            noise: 0.1,
+        }
+    }
+}
+
+/// Generates the classic two-spirals binary classification problem in 2-D.
+///
+/// # Panics
+///
+/// Panics if `spec.per_arm == 0`.
+pub fn two_spirals(spec: &SpiralSpec, seed: u64) -> Dataset {
+    assert!(spec.per_arm > 0, "per_arm must be positive");
+    let mut master = seeded(seed);
+    let n = 2 * spec.per_arm;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for arm in 0..2usize {
+        let phase = arm as f64 * std::f64::consts::PI;
+        for i in 0..spec.per_arm {
+            let t = i as f64 / spec.per_arm as f64;
+            let angle = t * spec.turns * 2.0 * std::f64::consts::PI + phase;
+            let radius = t;
+            let x = radius * angle.cos() + spec.noise * rng::normal(&mut master);
+            let y = radius * angle.sin() + spec.noise * rng::normal(&mut master);
+            rows.push(vec![x, y]);
+            labels.push(arm);
+        }
+    }
+    let perm = rng::permutation(&mut master, n);
+    let rows: Vec<Vec<f64>> = perm.iter().map(|&i| rows[i].clone()).collect();
+    let labels: Vec<usize> = perm.iter().map(|&i| labels[i]).collect();
+    Dataset::new(Matrix::from_rows(&rows), labels, 2)
+        .expect("generator produces consistent shapes")
+}
+
+/// Parameters for the synthetic-digits generator, a stand-in for MNIST-style
+/// data: class prototypes in a high-dimensional space observed through a
+/// random linear "sensor" with pixel-like clipping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DigitsSpec {
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Latent prototype dimension.
+    pub latent_dim: usize,
+    /// Observed feature dimension ("pixels").
+    pub num_features: usize,
+    /// Examples per class.
+    pub per_class: usize,
+    /// Latent noise scale.
+    pub noise: f64,
+}
+
+impl DigitsSpec {
+    /// Creates a spec with MNIST-like defaults (10 classes, 64 features).
+    pub fn new(per_class: usize) -> Self {
+        DigitsSpec {
+            num_classes: 10,
+            latent_dim: 16,
+            num_features: 64,
+            per_class,
+            noise: 0.4,
+        }
+    }
+}
+
+/// Generates the synthetic-digits dataset (see [`DigitsSpec`]).
+///
+/// # Panics
+///
+/// Panics if any spec dimension is zero.
+pub fn synthetic_digits(spec: &DigitsSpec, seed: u64) -> Dataset {
+    assert!(spec.num_classes > 0 && spec.latent_dim > 0 && spec.num_features > 0);
+    assert!(spec.per_class > 0, "per_class must be positive");
+    let mut master = seeded(seed);
+
+    // Random sensor matrix (num_features x latent_dim).
+    let mut sensor = Matrix::zeros(spec.num_features, spec.latent_dim);
+    rng::fill_normal(
+        &mut master,
+        sensor.as_mut_slice(),
+        1.0 / (spec.latent_dim as f64).sqrt(),
+    );
+
+    // Class prototypes in latent space.
+    let mut protos = Vec::with_capacity(spec.num_classes);
+    for _ in 0..spec.num_classes {
+        let mut p = vec![0.0; spec.latent_dim];
+        rng::fill_normal(&mut master, &mut p, 1.5);
+        protos.push(p);
+    }
+
+    let n = spec.num_classes * spec.per_class;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for (k, proto) in protos.iter().enumerate() {
+        for _ in 0..spec.per_class {
+            let mut latent = proto.clone();
+            for v in &mut latent {
+                *v += spec.noise * rng::normal(&mut master);
+            }
+            let mut obs = sensor.matvec(&latent);
+            // Pixel-like squashing into [0, 1].
+            for v in &mut obs {
+                *v = 1.0 / (1.0 + (-*v).exp());
+            }
+            rows.push(obs);
+            labels.push(k);
+        }
+    }
+    let perm = rng::permutation(&mut master, n);
+    let rows: Vec<Vec<f64>> = perm.iter().map(|&i| rows[i].clone()).collect();
+    let labels: Vec<usize> = perm.iter().map(|&i| labels[i]).collect();
+    Dataset::new(Matrix::from_rows(&rows), labels, spec.num_classes)
+        .expect("generator produces consistent shapes")
+}
+
+/// Generates a linearly separable dataset via a random ground-truth linear
+/// classifier; useful for convergence sanity checks where near-100% accuracy
+/// is attainable.
+///
+/// # Panics
+///
+/// Panics if `num_classes == 0`, `num_features == 0`, or `n == 0`.
+pub fn linearly_separable(
+    num_classes: usize,
+    num_features: usize,
+    n: usize,
+    margin: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(num_classes > 0 && num_features > 0 && n > 0);
+    let mut master = seeded(seed);
+    let mut w = Matrix::zeros(num_classes, num_features);
+    rng::fill_normal(&mut master, w.as_mut_slice(), 1.0);
+
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    while rows.len() < n {
+        let mut x = vec![0.0; num_features];
+        rng::fill_normal(&mut master, &mut x, 1.0);
+        let scores = w.matvec(&x);
+        let best = crate::linalg::argmax(&scores).expect("non-empty scores");
+        // Enforce a margin between the best and second-best class score so
+        // the problem is separable with slack.
+        let mut second = f64::NEG_INFINITY;
+        for (i, &s) in scores.iter().enumerate() {
+            if i != best && s > second {
+                second = s;
+            }
+        }
+        if scores[best] - second >= margin || master.random::<f64>() < 0.02 {
+            rows.push(x);
+            labels.push(best);
+        }
+    }
+    Dataset::new(Matrix::from_rows(&rows), labels, num_classes)
+        .expect("generator produces consistent shapes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_balance() {
+        let ds = gaussian_blobs(&BlobSpec::new(3, 5, 40), 1);
+        assert_eq!(ds.len(), 120);
+        assert_eq!(ds.num_features(), 5);
+        assert_eq!(ds.num_classes(), 3);
+        assert_eq!(ds.class_histogram(), vec![40, 40, 40]);
+    }
+
+    #[test]
+    fn blobs_deterministic_per_seed() {
+        let a = gaussian_blobs(&BlobSpec::new(2, 3, 10), 5);
+        let b = gaussian_blobs(&BlobSpec::new(2, 3, 10), 5);
+        assert_eq!(a, b);
+        let c = gaussian_blobs(&BlobSpec::new(2, 3, 10), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn blobs_classes_are_separated() {
+        // With tiny noise and a large radius, per-class means are far apart.
+        let spec = BlobSpec::new(2, 4, 50)
+            .with_center_radius(10.0)
+            .with_noise(0.01);
+        let ds = gaussian_blobs(&spec, 2);
+        let mut means = vec![vec![0.0; 4]; 2];
+        let mut counts = [0usize; 2];
+        for i in 0..ds.len() {
+            let (x, y) = ds.example(i);
+            counts[y] += 1;
+            for (m, &v) in means[y].iter_mut().zip(x.iter()) {
+                *m += v;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(counts.iter()) {
+            for v in m.iter_mut() {
+                *v /= c as f64;
+            }
+        }
+        let d = crate::linalg::norm2(&crate::linalg::sub(&means[0], &means[1]));
+        assert!(d > 5.0, "class means too close: {d}");
+    }
+
+    #[test]
+    fn spirals_shape() {
+        let ds = two_spirals(&SpiralSpec::new(100), 3);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.class_histogram(), vec![100, 100]);
+    }
+
+    #[test]
+    fn digits_shape_and_range() {
+        let ds = synthetic_digits(&DigitsSpec::new(20), 4);
+        assert_eq!(ds.len(), 200);
+        assert_eq!(ds.num_features(), 64);
+        assert_eq!(ds.num_classes(), 10);
+        for i in 0..ds.len() {
+            let (x, _) = ds.example(i);
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn separable_labels_match_ground_truth_structure() {
+        let ds = linearly_separable(4, 6, 300, 0.5, 9);
+        assert_eq!(ds.len(), 300);
+        // All classes should appear with overwhelming probability.
+        let hist = ds.class_histogram();
+        assert!(hist.iter().filter(|&&c| c > 0).count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "per_class must be positive")]
+    fn blobs_rejects_zero() {
+        let _ = gaussian_blobs(&BlobSpec::new(2, 2, 0), 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error types for the federated simulation substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the federated learning simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedSimError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// A dataset operation was attempted on an empty dataset.
+    EmptyDataset,
+    /// A partition request was invalid (e.g. zero clients).
+    InvalidPartition(String),
+    /// A configuration value was out of its valid domain.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for FedSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedSimError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            FedSimError::EmptyDataset => write!(f, "operation requires a non-empty dataset"),
+            FedSimError::InvalidPartition(msg) => write!(f, "invalid partition: {msg}"),
+            FedSimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for FedSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = FedSimError::ShapeMismatch {
+            context: "dot",
+            expected: 3,
+            actual: 4,
+        };
+        assert_eq!(err.to_string(), "shape mismatch in dot: expected 3, got 4");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert_eq!(
+            FedSimError::EmptyDataset.to_string(),
+            "operation requires a non-empty dataset"
+        );
+        assert!(FedSimError::InvalidPartition("x".into())
+            .to_string()
+            .contains("invalid partition"));
+        assert!(FedSimError::InvalidConfig("y".into())
+            .to_string()
+            .contains("invalid configuration"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FedSimError>();
+    }
+}

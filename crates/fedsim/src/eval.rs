@@ -1,0 +1,181 @@
+//! Classification evaluation beyond plain accuracy.
+
+use crate::data::Dataset;
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+
+/// A confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `model` over `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model predicts a class outside the dataset's range.
+    pub fn evaluate<M: Model>(model: &M, data: &Dataset) -> Self {
+        let k = data.num_classes();
+        let mut counts = vec![vec![0usize; k]; k];
+        for i in 0..data.len() {
+            let (x, y) = data.example(i);
+            let p = model.predict(x);
+            assert!(p < k, "prediction {p} outside {k} classes");
+            counts[y][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of examples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Total examples evaluated.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|r| r.iter().sum::<usize>()).sum()
+    }
+
+    /// Overall accuracy (0 for an empty evaluation).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Recall of class `c` (0 when the class has no examples).
+    pub fn recall(&self, c: usize) -> f64 {
+        let row: usize = self.counts[c].iter().sum();
+        if row == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / row as f64
+        }
+    }
+
+    /// Precision of class `c` (0 when the class is never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let col: usize = (0..self.num_classes()).map(|t| self.counts[t][c]).sum();
+        if col == 0 {
+            0.0
+        } else {
+            self.counts[c][c] as f64 / col as f64
+        }
+    }
+
+    /// F1 score of class `c`.
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class recalls — the "balanced accuracy" that
+    /// exposes models biased toward majority classes (the failure mode of
+    /// participation-biased federated training).
+    pub fn balanced_accuracy(&self) -> f64 {
+        let k = self.num_classes();
+        (0..k).map(|c| self.recall(c)).sum::<f64>() / k as f64
+    }
+
+    /// Macro-averaged F1.
+    pub fn macro_f1(&self) -> f64 {
+        let k = self.num_classes();
+        (0..k).map(|c| self.f1(c)).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth::{gaussian_blobs, BlobSpec};
+    use crate::linalg::Matrix;
+    use crate::model::LogisticRegression;
+
+    /// A fixed-prediction stub model.
+    #[derive(Clone)]
+    struct Always(usize);
+    impl Model for Always {
+        fn num_params(&self) -> usize {
+            0
+        }
+        fn params(&self) -> Vec<f64> {
+            Vec::new()
+        }
+        fn set_params(&mut self, _p: &[f64]) {}
+        fn loss_grad(&self, _d: &Dataset, _i: &[usize]) -> (f64, Vec<f64>) {
+            (0.0, Vec::new())
+        }
+        fn predict(&self, _x: &[f64]) -> usize {
+            self.0
+        }
+    }
+
+    fn toy() -> Dataset {
+        // 3 examples of class 0, 1 of class 1.
+        let x = Matrix::zeros(4, 2);
+        Dataset::new(x, vec![0, 0, 0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let cm = ConfusionMatrix::evaluate(&Always(0), &toy());
+        assert_eq!(cm.count(0, 0), 3);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_punishes_majority_bias() {
+        // Always predicting the majority class: plain accuracy 0.75 but
+        // balanced accuracy only 0.5.
+        let cm = ConfusionMatrix::evaluate(&Always(0), &toy());
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-12);
+        assert_eq!(cm.recall(0), 1.0);
+        assert_eq!(cm.recall(1), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let cm = ConfusionMatrix::evaluate(&Always(0), &toy());
+        assert!((cm.precision(0) - 0.75).abs() < 1e-12);
+        assert_eq!(cm.precision(1), 0.0); // never predicted
+        let f1 = cm.f1(0);
+        assert!((f1 - 2.0 * 0.75 / 1.75).abs() < 1e-12);
+        assert_eq!(cm.f1(1), 0.0);
+        assert!(cm.macro_f1() > 0.0);
+    }
+
+    #[test]
+    fn trained_model_consistent_with_model_accuracy() {
+        let ds = gaussian_blobs(&BlobSpec::new(3, 4, 50), 2);
+        let mut m = LogisticRegression::new(4, 3);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        for _ in 0..100 {
+            let (_, g) = m.loss_grad(&ds, &all);
+            let mut p = m.params();
+            for (pi, gi) in p.iter_mut().zip(g.iter()) {
+                *pi -= 0.5 * gi;
+            }
+            m.set_params(&p);
+        }
+        let cm = ConfusionMatrix::evaluate(&m, &ds);
+        assert!((cm.accuracy() - m.accuracy(&ds)).abs() < 1e-12);
+        assert!(cm.balanced_accuracy() > 0.7);
+    }
+}

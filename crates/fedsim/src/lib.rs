@@ -1,0 +1,53 @@
+//! # fedsim — federated learning simulation substrate
+//!
+//! A self-contained, dependency-light federated learning simulator used as the
+//! training substrate for the LOVM auction mechanism reproduction. It provides:
+//!
+//! * dense linear algebra ([`linalg`]) tuned for small/medium models,
+//! * reproducible random utilities ([`rng`]) including Gaussian sampling,
+//! * synthetic dataset generators and non-IID partitioners ([`data`]),
+//! * differentiable models — multinomial logistic regression and a one-hidden
+//!   layer MLP ([`model`]),
+//! * first-order optimizers — SGD, momentum, Adam ([`optim`]),
+//! * local client training and server-side FedAvg aggregation
+//!   ([`client`], [`server`]),
+//! * a pluggable round loop ([`training`]) whose client-selection hook is the
+//!   integration point for incentive mechanisms.
+//!
+//! # Example
+//!
+//! ```
+//! use fedsim::data::synth::{BlobSpec, gaussian_blobs};
+//! use fedsim::data::partition::{partition, PartitionStrategy};
+//! use fedsim::model::logistic::LogisticRegression;
+//! use fedsim::training::{FederatedRun, RunConfig};
+//!
+//! let dataset = gaussian_blobs(&BlobSpec::new(4, 8, 200), 7);
+//! let parts = partition(&dataset, 10, PartitionStrategy::Iid, 7);
+//! let model = LogisticRegression::new(8, 4);
+//! let mut run = FederatedRun::new(model, parts, dataset, RunConfig::default());
+//! // One round with every client participating.
+//! let report = run.round(&(0..10).collect::<Vec<_>>());
+//! assert!(report.mean_train_loss.is_finite());
+//! ```
+
+pub mod client;
+pub mod data;
+pub mod error;
+pub mod eval;
+pub mod linalg;
+pub mod model;
+pub mod optim;
+pub mod rng;
+pub mod schedule;
+pub mod server;
+pub mod training;
+
+pub use client::{ClientUpdate, LocalTrainer, LocalTrainerConfig};
+pub use error::FedSimError;
+pub use eval::ConfusionMatrix;
+pub use linalg::{Matrix, Vector};
+pub use model::Model;
+pub use schedule::LrSchedule;
+pub use server::{aggregate_weighted, FedAvgServer};
+pub use training::{FederatedRun, RoundReport, RunConfig};

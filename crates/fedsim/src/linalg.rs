@@ -1,0 +1,428 @@
+//! Minimal dense linear algebra for small and medium models.
+//!
+//! The simulator's models are small (10^3–10^6 parameters), so a simple
+//! row-major [`Matrix`] over `f64` with straightforward loops is fast enough
+//! and keeps the substrate dependency-free.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense vector of `f64` values.
+pub type Vector = Vec<f64>;
+
+/// A dense row-major matrix.
+///
+/// # Example
+///
+/// ```
+/// use fedsim::linalg::Matrix;
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_flat(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths or no rows are given.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "at least one row required");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "inconsistent row length");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the entry at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat row-major view of the data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major view.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vector {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows).map(|r| dot(self.row(r), x)).collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vector {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = self.row(r);
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += xr * v;
+            }
+        }
+        out
+    }
+
+    /// Adds `alpha * outer(u, v)` to this matrix (rank-one update).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add_outer(&mut self, alpha: f64, u: &[f64], v: &[f64]) {
+        assert_eq!(u.len(), self.rows, "add_outer row mismatch");
+        assert_eq!(v.len(), self.cols, "add_outer col mismatch");
+        for (r, &ur) in u.iter().enumerate() {
+            let scaled = alpha * ur;
+            let row = self.row_mut(r);
+            for (e, &vc) in row.iter_mut().zip(v.iter()) {
+                *e += scaled * vc;
+            }
+        }
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS axpy).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales a vector in place.
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Elementwise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vector {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Elementwise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vector {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x + y).collect()
+}
+
+/// Numerically stable softmax of the logits.
+///
+/// Returns a probability vector summing to 1 (for non-empty input).
+pub fn softmax(logits: &[f64]) -> Vector {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vector = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+/// Index of the maximum element (first one on ties).
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate() {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_has_correct_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.len(), 12);
+        assert!(!m.is_empty());
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.5);
+        assert_eq!(m.get(1, 2), 5.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn from_rows_layout() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent row length")]
+    fn from_rows_rejects_ragged() {
+        let _ = Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer length")]
+    fn from_flat_rejects_bad_len() {
+        let _ = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.matvec(&[1.0, -1.0]), vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        // [1 3; 2 4] * [1, 1] = [4, 6]
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_outer_rank_one() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(2.0, &[1.0, 0.0], &[3.0, 4.0]);
+        assert_eq!(m.row(0), &[6.0, 8.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let mut m = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        m.scale(2.0);
+        assert!((m.frobenius_norm() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_axpy_scale_sub_add() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![3.0, 5.0]);
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, -1.0);
+        assert_eq!(x, vec![-1.0, 2.0]);
+        assert_eq!(sub(&[3.0, 3.0], &[1.0, 2.0]), vec![2.0, 1.0]);
+        assert_eq!(add(&[3.0, 3.0], &[1.0, 2.0]), vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn norm2_pythagorean() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let p = softmax(&[1000.0, 1000.0, 1000.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        for v in &p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-12);
+        }
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_orders_preserved() {
+        let p = softmax(&[0.0, 1.0, 2.0]);
+        assert!(p[0] < p[1] && p[1] < p[2]);
+    }
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0)); // first on ties
+        assert_eq!(argmax(&[]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_always_probability(v in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+            let p = softmax(&v);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn dot_commutative(a in proptest::collection::vec(-10.0f64..10.0, 1..16)) {
+            let b: Vec<f64> = a.iter().map(|x| x * 0.5 - 1.0).collect();
+            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn matvec_linearity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            // Build a deterministic pseudo-random matrix and two vectors.
+            let mut vals = Vec::new();
+            let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            };
+            for _ in 0..rows * cols { vals.push(next()); }
+            let m = Matrix::from_flat(rows, cols, vals);
+            let x: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let y: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let lhs = m.matvec(&add(&x, &y));
+            let rhs = add(&m.matvec(&x), &m.matvec(&y));
+            for (l, r) in lhs.iter().zip(rhs.iter()) {
+                prop_assert!((l - r).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Multinomial logistic regression (softmax classifier).
+
+use crate::data::Dataset;
+use crate::linalg::{argmax, softmax, Matrix, Vector};
+use crate::model::Model;
+use crate::rng::{fill_normal, seeded};
+use serde::{Deserialize, Serialize};
+
+/// Multinomial logistic regression: `logits = W x + b`, softmax
+/// cross-entropy loss with optional L2 regularization.
+///
+/// # Example
+///
+/// ```
+/// use fedsim::model::{LogisticRegression, Model};
+/// use fedsim::data::synth::{gaussian_blobs, BlobSpec};
+///
+/// let ds = gaussian_blobs(&BlobSpec::new(3, 4, 50), 0);
+/// let model = LogisticRegression::new(4, 3);
+/// assert_eq!(model.num_params(), 3 * 4 + 3);
+/// let (loss, grad) = model.loss_grad(&ds, &[0, 1, 2]);
+/// assert!(loss > 0.0);
+/// assert_eq!(grad.len(), model.num_params());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Matrix, // num_classes x num_features
+    bias: Vector,    // num_classes
+    l2: f64,
+}
+
+impl LogisticRegression {
+    /// Creates a zero-initialized classifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(num_features: usize, num_classes: usize) -> Self {
+        assert!(num_features > 0, "num_features must be positive");
+        assert!(num_classes > 0, "num_classes must be positive");
+        LogisticRegression {
+            weights: Matrix::zeros(num_classes, num_features),
+            bias: vec![0.0; num_classes],
+            l2: 0.0,
+        }
+    }
+
+    /// Creates a classifier with small random Gaussian weights.
+    pub fn new_random(num_features: usize, num_classes: usize, seed: u64) -> Self {
+        let mut model = Self::new(num_features, num_classes);
+        let mut rng = seeded(seed);
+        fill_normal(
+            &mut rng,
+            model.weights.as_mut_slice(),
+            0.01,
+        );
+        model
+    }
+
+    /// Sets the L2 regularization coefficient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l2 < 0`.
+    pub fn with_l2(mut self, l2: f64) -> Self {
+        assert!(l2 >= 0.0, "l2 must be non-negative");
+        self.l2 = l2;
+        self
+    }
+
+    /// Feature dimension.
+    pub fn num_features(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Class probabilities for one example.
+    pub fn probabilities(&self, x: &[f64]) -> Vector {
+        let mut logits = self.weights.matvec(x);
+        for (l, b) in logits.iter_mut().zip(self.bias.iter()) {
+            *l += b;
+        }
+        softmax(&logits)
+    }
+}
+
+impl Model for LogisticRegression {
+    fn num_params(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn params(&self) -> Vector {
+        let mut p = Vec::with_capacity(self.num_params());
+        p.extend_from_slice(self.weights.as_slice());
+        p.extend_from_slice(&self.bias);
+        p
+    }
+
+    fn set_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.num_params(), "parameter length mismatch");
+        let wlen = self.weights.len();
+        self.weights.as_mut_slice().copy_from_slice(&params[..wlen]);
+        self.bias.copy_from_slice(&params[wlen..]);
+    }
+
+    fn loss_grad(&self, data: &Dataset, indices: &[usize]) -> (f64, Vector) {
+        assert!(!indices.is_empty(), "batch must be non-empty");
+        let c = self.num_classes();
+        let f = self.num_features();
+        let mut grad_w = Matrix::zeros(c, f);
+        let mut grad_b = vec![0.0; c];
+        let mut loss = 0.0;
+        let inv_n = 1.0 / indices.len() as f64;
+        for &i in indices {
+            let (x, y) = data.example(i);
+            assert_eq!(x.len(), f, "feature dimension mismatch");
+            let p = self.probabilities(x);
+            loss -= (p[y].max(1e-300)).ln();
+            // dL/dlogit_k = p_k - 1{k == y}
+            for k in 0..c {
+                let delta = (p[k] - if k == y { 1.0 } else { 0.0 }) * inv_n;
+                grad_b[k] += delta;
+                let row = grad_w.row_mut(k);
+                for (g, &xv) in row.iter_mut().zip(x.iter()) {
+                    *g += delta * xv;
+                }
+            }
+        }
+        loss *= inv_n;
+        if self.l2 > 0.0 {
+            loss += 0.5 * self.l2 * self.weights.as_slice().iter().map(|w| w * w).sum::<f64>();
+            for (g, &w) in grad_w
+                .as_mut_slice()
+                .iter_mut()
+                .zip(self.weights.as_slice().iter())
+            {
+                *g += self.l2 * w;
+            }
+        }
+        let mut grad = Vec::with_capacity(self.num_params());
+        grad.extend_from_slice(grad_w.as_slice());
+        grad.extend_from_slice(&grad_b);
+        (loss, grad)
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        argmax(&self.probabilities(x)).expect("at least one class")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::synth::{gaussian_blobs, linearly_separable, BlobSpec};
+    use crate::model::numeric_gradient;
+
+    #[test]
+    fn param_roundtrip() {
+        let mut m = LogisticRegression::new_random(5, 3, 1);
+        let p = m.params();
+        assert_eq!(p.len(), 18);
+        let mut p2 = p.clone();
+        p2[0] = 42.0;
+        m.set_params(&p2);
+        assert_eq!(m.params()[0], 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter length mismatch")]
+    fn set_params_validates_len() {
+        let mut m = LogisticRegression::new(2, 2);
+        m.set_params(&[0.0; 5]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = LogisticRegression::new_random(4, 5, 2);
+        let p = m.probabilities(&[0.1, -0.3, 2.0, 0.0]);
+        assert_eq!(p.len(), 5);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_model_uniform_loss() {
+        // With zero weights, loss is ln(num_classes).
+        let ds = gaussian_blobs(&BlobSpec::new(4, 3, 10), 3);
+        let m = LogisticRegression::new(3, 4);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let (loss, _) = m.loss_grad(&ds, &all);
+        assert!((loss - (4.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_gradient_matches_numeric() {
+        let ds = gaussian_blobs(&BlobSpec::new(3, 4, 6), 5);
+        let m = LogisticRegression::new_random(4, 3, 7).with_l2(0.01);
+        let batch: Vec<usize> = (0..10).collect();
+        let (_, ga) = m.loss_grad(&ds, &batch);
+        let gn = numeric_gradient(&m, &ds, &batch, 1e-5);
+        for (a, n) in ga.iter().zip(gn.iter()) {
+            assert!((a - n).abs() < 1e-6, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn gradient_descent_reduces_loss() {
+        let ds = gaussian_blobs(&BlobSpec::new(3, 5, 30), 8);
+        let mut m = LogisticRegression::new(5, 3);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let (l0, _) = m.loss_grad(&ds, &all);
+        for _ in 0..50 {
+            let (_, g) = m.loss_grad(&ds, &all);
+            let mut p = m.params();
+            for (pi, gi) in p.iter_mut().zip(g.iter()) {
+                *pi -= 0.5 * gi;
+            }
+            m.set_params(&p);
+        }
+        let (l1, _) = m.loss_grad(&ds, &all);
+        assert!(l1 < l0 * 0.5, "loss {l0} -> {l1} did not halve");
+    }
+
+    #[test]
+    fn learns_separable_data() {
+        let ds = linearly_separable(3, 6, 400, 0.5, 21);
+        let (train, test) = ds.split_at(300);
+        let mut m = LogisticRegression::new(6, 3);
+        let all: Vec<usize> = (0..train.len()).collect();
+        for _ in 0..200 {
+            let (_, g) = m.loss_grad(&train, &all);
+            let mut p = m.params();
+            for (pi, gi) in p.iter_mut().zip(g.iter()) {
+                *pi -= 1.0 * gi;
+            }
+            m.set_params(&p);
+        }
+        let acc = m.accuracy(&test);
+        assert!(acc > 0.85, "accuracy {acc} too low on separable data");
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let ds = gaussian_blobs(&BlobSpec::new(2, 3, 20), 9);
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let train = |l2: f64| {
+            let mut m = LogisticRegression::new(3, 2).with_l2(l2);
+            for _ in 0..100 {
+                let (_, g) = m.loss_grad(&ds, &all);
+                let mut p = m.params();
+                for (pi, gi) in p.iter_mut().zip(g.iter()) {
+                    *pi -= 0.5 * gi;
+                }
+                m.set_params(&p);
+            }
+            crate::linalg::norm2(&m.params())
+        };
+        assert!(train(1.0) < train(0.0));
+    }
+
+    #[test]
+    fn accuracy_on_empty_dataset_is_zero() {
+        let ds = gaussian_blobs(&BlobSpec::new(2, 3, 5), 1).subset(&[]);
+        let m = LogisticRegression::new(3, 2);
+        assert_eq!(m.accuracy(&ds), 0.0);
+        assert_eq!(m.mean_loss(&ds), 0.0);
+    }
+}

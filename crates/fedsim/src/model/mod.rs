@@ -1,0 +1,82 @@
+//! Differentiable classification models.
+
+pub mod logistic;
+pub mod mlp;
+
+use crate::data::Dataset;
+use crate::linalg::Vector;
+
+pub use logistic::LogisticRegression;
+pub use mlp::Mlp;
+
+/// A differentiable classifier trained with first-order methods.
+///
+/// Parameters are exposed as a single flat vector so that federated
+/// aggregation and optimizers operate uniformly over any model.
+pub trait Model: Clone + Send {
+    /// Total number of trainable parameters.
+    fn num_params(&self) -> usize;
+
+    /// Flattens all parameters into one vector.
+    fn params(&self) -> Vector;
+
+    /// Overwrites all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    fn set_params(&mut self, params: &[f64]);
+
+    /// Mean cross-entropy loss and flat gradient over the given examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or feature dimensions mismatch.
+    fn loss_grad(&self, data: &Dataset, indices: &[usize]) -> (f64, Vector);
+
+    /// Predicted class for a single feature row.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Mean loss over the whole dataset (no gradient).
+    fn mean_loss(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let all: Vec<usize> = (0..data.len()).collect();
+        self.loss_grad(data, &all).0
+    }
+
+    /// Classification accuracy over the whole dataset.
+    fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| {
+                let (x, y) = data.example(i);
+                self.predict(x) == y
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Numerically estimates the gradient with central differences; test helper
+/// for validating analytic gradients of [`Model`] implementations.
+pub fn numeric_gradient<M: Model>(model: &M, data: &Dataset, indices: &[usize], eps: f64) -> Vector {
+    let base = model.params();
+    let mut grad = vec![0.0; base.len()];
+    for j in 0..base.len() {
+        let mut plus = model.clone();
+        let mut p = base.clone();
+        p[j] += eps;
+        plus.set_params(&p);
+        let mut minus = model.clone();
+        p[j] = base[j] - eps;
+        minus.set_params(&p);
+        let (lp, _) = plus.loss_grad(data, indices);
+        let (lm, _) = minus.loss_grad(data, indices);
+        grad[j] = (lp - lm) / (2.0 * eps);
+    }
+    grad
+}

@@ -1,0 +1,315 @@
+//! First-order optimizers operating on flat parameter vectors.
+
+use serde::{Deserialize, Serialize};
+
+/// An optimizer consumes gradients and updates a flat parameter vector.
+pub trait Optimizer: Send {
+    /// Applies one update step: mutates `params` given `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grad.len()` or if the length changes
+    /// between calls.
+    fn step(&mut self, params: &mut [f64], grad: &[f64]);
+
+    /// Resets accumulated state (moments, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with a fixed learning rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f64,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Sgd { lr }
+    }
+
+    /// The configured learning rate.
+    pub fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "sgd dimension mismatch");
+        for (p, &g) in params.iter_mut().zip(grad.iter()) {
+            *p -= self.lr * g;
+        }
+    }
+
+    fn reset(&mut self) {}
+}
+
+/// SGD with classical (heavy-ball) momentum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Momentum {
+    lr: f64,
+    beta: f64,
+    velocity: Vec<f64>,
+}
+
+impl Momentum {
+    /// Creates momentum SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `beta` is outside `[0, 1)`.
+    pub fn new(lr: f64, beta: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta), "beta must be in [0, 1)");
+        Momentum {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Momentum {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "momentum dimension mismatch");
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; params.len()];
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter length changed between steps"
+        );
+        for ((p, &g), v) in params
+            .iter_mut()
+            .zip(grad.iter())
+            .zip(self.velocity.iter_mut())
+        {
+            *v = self.beta * *v + g;
+            *p -= self.lr * *v;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.velocity.clear();
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2014).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyperparameters (β₁ = 0.9, β₂ = 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates Adam with explicit moment decay rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or a beta is outside `[0, 1)`.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&beta1), "beta1 must be in [0, 1)");
+        assert!((0.0..1.0).contains(&beta2), "beta2 must be in [0, 1)");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [f64], grad: &[f64]) {
+        assert_eq!(params.len(), grad.len(), "adam dimension mismatch");
+        if self.m.is_empty() {
+            self.m = vec![0.0; params.len()];
+            self.v = vec![0.0; params.len()];
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "parameter length changed between steps"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / bc1;
+            let vhat = self.v[i] / bc2;
+            params[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+/// Optimizer configuration for serializable experiment setups.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerKind {
+    /// Plain SGD.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+    },
+    /// Heavy-ball momentum.
+    Momentum {
+        /// Learning rate.
+        lr: f64,
+        /// Momentum coefficient.
+        beta: f64,
+    },
+    /// Adam with default betas.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+    },
+}
+
+impl OptimizerKind {
+    /// Instantiates the optimizer.
+    pub fn build(&self) -> Box<dyn Optimizer> {
+        match *self {
+            OptimizerKind::Sgd { lr } => Box::new(Sgd::new(lr)),
+            OptimizerKind::Momentum { lr, beta } => Box::new(Momentum::new(lr, beta)),
+            OptimizerKind::Adam { lr } => Box::new(Adam::new(lr)),
+        }
+    }
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::Sgd { lr: 0.1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimizes f(x) = ||x - target||^2 with the given optimizer and returns
+    /// the final distance to the target.
+    fn quadratic_distance(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let target = [3.0, -2.0, 0.5];
+        let mut x = vec![0.0; 3];
+        for _ in 0..steps {
+            let grad: Vec<f64> = x.iter().zip(target.iter()).map(|(xi, t)| 2.0 * (xi - t)).collect();
+            opt.step(&mut x, &grad);
+        }
+        x.iter()
+            .zip(target.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(quadratic_distance(&mut opt, 200) < 1e-6);
+    }
+
+    #[test]
+    fn momentum_converges_on_quadratic() {
+        let mut opt = Momentum::new(0.05, 0.9);
+        assert!(quadratic_distance(&mut opt, 300) < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.2);
+        assert!(quadratic_distance(&mut opt, 500) < 1e-3);
+    }
+
+    #[test]
+    fn momentum_faster_than_sgd_on_ill_conditioned() {
+        // f(x) = 0.5 * (100 x0^2 + x1^2): ill-conditioned quadratic.
+        let run = |opt: &mut dyn Optimizer| {
+            let mut x = vec![1.0, 1.0];
+            for _ in 0..100 {
+                let grad = vec![100.0 * x[0], x[1]];
+                opt.step(&mut x, &grad);
+            }
+            (x[0] * x[0] + x[1] * x[1]).sqrt()
+        };
+        let mut sgd = Sgd::new(0.009);
+        let mut mom = Momentum::new(0.009, 0.9);
+        let d_sgd = run(&mut sgd);
+        let d_mom = run(&mut mom);
+        assert!(d_mom < d_sgd, "momentum {d_mom} should beat sgd {d_sgd}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(0.1);
+        let mut x = vec![1.0];
+        opt.step(&mut x, &[1.0]);
+        opt.reset();
+        assert_eq!(opt.t, 0);
+        assert!(opt.m.is_empty());
+        // Can step with a different dimension after reset.
+        let mut y = vec![1.0, 2.0];
+        opt.step(&mut y, &[0.1, 0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn sgd_rejects_mismatch() {
+        let mut opt = Sgd::new(0.1);
+        let mut x = vec![1.0, 2.0];
+        opt.step(&mut x, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn sgd_rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    fn kind_builds_all_variants() {
+        let kinds = [
+            OptimizerKind::Sgd { lr: 0.1 },
+            OptimizerKind::Momentum { lr: 0.1, beta: 0.9 },
+            OptimizerKind::Adam { lr: 0.01 },
+        ];
+        for kind in kinds {
+            let mut opt = kind.build();
+            let mut x = vec![1.0];
+            opt.step(&mut x, &[1.0]);
+            assert!(x[0] < 1.0);
+        }
+        assert_eq!(OptimizerKind::default(), OptimizerKind::Sgd { lr: 0.1 });
+    }
+}

@@ -1,0 +1,343 @@
+//! Reproducible randomness helpers.
+//!
+//! All stochastic components of the simulator accept a seed and construct an
+//! [`rand::rngs::StdRng`] through [`seeded`], so that every experiment in the
+//! benchmark harness is exactly reproducible. Gaussian sampling is provided
+//! via the Box–Muller transform to avoid an extra dependency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::RngExt;
+/// let mut a = fedsim::rng::seeded(42);
+/// let mut b = fedsim::rng::seeded(42);
+/// assert_eq!(a.random::<u64>(), b.random::<u64>());
+/// ```
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a base seed and a stream index.
+///
+/// Used to give each client/process its own independent stream while keeping
+/// the whole experiment reproducible from a single root seed.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    // SplitMix64 step over the combined value: good avalanche, cheap.
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples a standard normal value using the Box–Muller transform.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a normal value with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * normal(rng)
+}
+
+/// Samples a log-normal value whose underlying normal has the given
+/// parameters.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal_with(rng, mu, sigma).exp()
+}
+
+/// Samples an exponential value with the given rate parameter.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// Fills a slice with i.i.d. normal values scaled by `std_dev`.
+pub fn fill_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64], std_dev: f64) {
+    for v in out {
+        *v = std_dev * normal(rng);
+    }
+}
+
+/// Returns a uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Samples `k` distinct indices from `0..n` uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from a population of {n}");
+    // Partial Fisher–Yates: O(n) memory but only k swaps.
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+/// Samples an index from a (not necessarily normalized) non-negative weight
+/// vector.
+///
+/// # Panics
+///
+/// Panics if weights are empty, contain negatives, or sum to zero.
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weights must be non-empty");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0, "weights must be non-negative");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut u = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Samples from a symmetric Dirichlet distribution with concentration
+/// `alpha` over `k` categories.
+///
+/// Uses the Gamma-sampling construction with Marsaglia–Tsang for shape ≥ 1
+/// and the boost trick for shape < 1.
+///
+/// # Panics
+///
+/// Panics if `alpha <= 0` or `k == 0`.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: f64, k: usize) -> Vec<f64> {
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(k > 0, "k must be positive");
+    let mut draws: Vec<f64> = (0..k).map(|_| gamma(rng, alpha)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= 0.0 {
+        // Numerically degenerate (tiny alpha): fall back to a one-hot draw,
+        // which is the correct limit of Dirichlet(alpha → 0).
+        let hot = rng.random_range(0..k);
+        draws = vec![0.0; k];
+        draws[hot] = 1.0;
+        return draws;
+    }
+    for d in &mut draws {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Samples from Gamma(shape, scale = 1).
+///
+/// # Panics
+///
+/// Panics if `shape <= 0`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a + 1) * U^{1/a}.
+        let u: f64 = 1.0 - rng.random::<f64>();
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    // Marsaglia–Tsang squeeze method.
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = 1.0 - rng.random::<f64>();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let mut a = seeded(1);
+        let mut b = seeded(1);
+        for _ in 0..10 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_varies_by_stream() {
+        let s0 = derive_seed(42, 0);
+        let s1 = derive_seed(42, 1);
+        assert_ne!(s0, s1);
+        assert_eq!(derive_seed(42, 1), s1);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded(7);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn normal_with_shifts_and_scales() {
+        let mut rng = seeded(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal_with(&mut rng, 3.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = seeded(11);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = seeded(13);
+        for _ in 0..1000 {
+            assert!(lognormal(&mut rng, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = seeded(3);
+        let p = permutation(&mut rng, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let mut rng = seeded(5);
+        let s = sample_without_replacement(&mut rng, 50, 20);
+        assert_eq!(s.len(), 20);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+        assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_without_replacement_rejects_oversample() {
+        let mut rng = seeded(5);
+        let _ = sample_without_replacement(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn sample_weighted_prefers_heavy_weight() {
+        let mut rng = seeded(17);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[sample_weighted(&mut rng, &[1.0, 0.0, 9.0])] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac = counts[2] as f64 / 30_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = seeded(19);
+        for &alpha in &[0.1, 0.5, 1.0, 10.0] {
+            let p = dirichlet(&mut rng, alpha, 8);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "alpha {alpha} sum {sum}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_concentration_effect() {
+        // Small alpha => spiky distributions (max component close to 1).
+        let mut rng = seeded(23);
+        let spiky: f64 = (0..200)
+            .map(|_| {
+                dirichlet(&mut rng, 0.05, 10)
+                    .into_iter()
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / 200.0;
+        let flat: f64 = (0..200)
+            .map(|_| {
+                dirichlet(&mut rng, 100.0, 10)
+                    .into_iter()
+                    .fold(0.0, f64::max)
+            })
+            .sum::<f64>()
+            / 200.0;
+        assert!(
+            spiky > 0.6,
+            "low concentration should be spiky, got {spiky}"
+        );
+        assert!(flat < 0.2, "high concentration should be flat, got {flat}");
+        assert!(spiky > flat + 0.3);
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = seeded(29);
+        let n = 30_000;
+        let mean = (0..n).map(|_| gamma(&mut rng, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_normal_fills_all() {
+        let mut rng = seeded(31);
+        let mut buf = vec![0.0; 64];
+        fill_normal(&mut rng, &mut buf, 0.1);
+        assert!(buf.iter().any(|&v| v != 0.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Learning-rate schedules.
+//!
+//! The convergence analyses for federated SGD with intermittent
+//! participation require diminishing step sizes of the form
+//! `η_t = a / (b + t)`; this module provides that family plus the common
+//! practical alternatives, consumed by [`crate::client::LocalTrainer`].
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps the global step index to a step size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f64,
+    },
+    /// `lr = a / (b + t)` — the theory-mandated diminishing schedule
+    /// (satisfies `η_t ≤ 2·η_{t+T}` for any horizon `T ≤ b`).
+    InverseTime {
+        /// Numerator `a > 0`.
+        a: f64,
+        /// Offset `b > 0`.
+        b: f64,
+    },
+    /// Exponential decay `lr0 · γ^t` with `γ ∈ (0, 1]`.
+    Exponential {
+        /// Initial rate.
+        lr0: f64,
+        /// Per-step decay factor.
+        gamma: f64,
+    },
+    /// Step decay: `lr0 · factor^(t / every)`.
+    Step {
+        /// Initial rate.
+        lr0: f64,
+        /// Multiplier applied at each boundary (in `(0, 1]`).
+        factor: f64,
+        /// Steps between boundaries (> 0).
+        every: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at global step `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule parameters are out of domain.
+    pub fn at(&self, t: u64) -> f64 {
+        match *self {
+            LrSchedule::Constant { lr } => {
+                assert!(lr > 0.0, "lr must be positive");
+                lr
+            }
+            LrSchedule::InverseTime { a, b } => {
+                assert!(a > 0.0 && b > 0.0, "a and b must be positive");
+                a / (b + t as f64)
+            }
+            LrSchedule::Exponential { lr0, gamma } => {
+                assert!(lr0 > 0.0, "lr0 must be positive");
+                assert!((0.0..=1.0).contains(&gamma) && gamma > 0.0, "gamma in (0, 1]");
+                lr0 * gamma.powf(t as f64)
+            }
+            LrSchedule::Step { lr0, factor, every } => {
+                assert!(lr0 > 0.0, "lr0 must be positive");
+                assert!((0.0..=1.0).contains(&factor) && factor > 0.0, "factor in (0, 1]");
+                assert!(every > 0, "every must be positive");
+                lr0 * factor.powf((t / every) as f64)
+            }
+        }
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant { lr: 0.1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.5 };
+        assert_eq!(s.at(0), 0.5);
+        assert_eq!(s.at(1_000_000), 0.5);
+    }
+
+    #[test]
+    fn inverse_time_decays_and_satisfies_doubling() {
+        let s = LrSchedule::InverseTime { a: 1.0, b: 100.0 };
+        assert!(s.at(0) > s.at(10));
+        // The theory condition η_t ≤ 2 η_{t+T} for T ≤ b.
+        for t in 0..200 {
+            assert!(s.at(t) <= 2.0 * s.at(t + 100) + 1e-12, "violated at {t}");
+        }
+    }
+
+    #[test]
+    fn exponential_decays_geometrically() {
+        let s = LrSchedule::Exponential {
+            lr0: 1.0,
+            gamma: 0.5,
+        };
+        assert!((s.at(1) - 0.5).abs() < 1e-12);
+        assert!((s.at(3) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            lr0: 1.0,
+            factor: 0.1,
+            every: 10,
+        };
+        assert_eq!(s.at(9), 1.0);
+        assert!((s.at(10) - 0.1).abs() < 1e-12);
+        assert!((s.at(25) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "a and b must be positive")]
+    fn inverse_time_rejects_zero() {
+        let _ = LrSchedule::InverseTime { a: 0.0, b: 1.0 }.at(0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn all_schedules_positive_and_nonincreasing(t in 0u64..10_000) {
+            for s in [
+                LrSchedule::Constant { lr: 0.1 },
+                LrSchedule::InverseTime { a: 2.0, b: 50.0 },
+                LrSchedule::Exponential { lr0: 0.1, gamma: 0.999 },
+                LrSchedule::Step { lr0: 0.1, factor: 0.5, every: 100 },
+            ] {
+                proptest::prop_assert!(s.at(t) > 0.0);
+                proptest::prop_assert!(s.at(t + 1) <= s.at(t) + 1e-15);
+            }
+        }
+    }
+}

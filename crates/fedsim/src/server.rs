@@ -1,0 +1,173 @@
+//! Server-side aggregation (FedAvg).
+
+use crate::client::ClientUpdate;
+use crate::linalg::Vector;
+use crate::model::Model;
+
+/// Computes the example-weighted average of parameter vectors (FedAvg).
+///
+/// Updates with zero examples are ignored. Returns `None` when no update
+/// carries weight (the server should then keep the previous global model).
+///
+/// # Panics
+///
+/// Panics if updates have inconsistent parameter lengths.
+pub fn aggregate_weighted(updates: &[ClientUpdate]) -> Option<Vector> {
+    let total: usize = updates.iter().map(|u| u.num_examples).sum();
+    if total == 0 {
+        return None;
+    }
+    let dim = updates
+        .iter()
+        .find(|u| u.num_examples > 0)
+        .map(|u| u.params.len())
+        .expect("total > 0 implies a weighted update exists");
+    let mut acc = vec![0.0; dim];
+    for u in updates {
+        if u.num_examples == 0 {
+            continue;
+        }
+        assert_eq!(u.params.len(), dim, "inconsistent parameter lengths");
+        let w = u.num_examples as f64 / total as f64;
+        for (a, &p) in acc.iter_mut().zip(u.params.iter()) {
+            *a += w * p;
+        }
+    }
+    Some(acc)
+}
+
+/// The central FedAvg server: holds the global model and applies aggregated
+/// updates.
+#[derive(Debug, Clone)]
+pub struct FedAvgServer<M> {
+    model: M,
+    round: usize,
+}
+
+impl<M: Model> FedAvgServer<M> {
+    /// Creates a server with the given initial global model.
+    pub fn new(model: M) -> Self {
+        FedAvgServer { model, round: 0 }
+    }
+
+    /// Borrow of the current global model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Number of aggregation rounds applied so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Applies one FedAvg aggregation step. Returns `true` if the model
+    /// changed (at least one weighted update was received).
+    pub fn aggregate(&mut self, updates: &[ClientUpdate]) -> bool {
+        self.round += 1;
+        match aggregate_weighted(updates) {
+            Some(params) => {
+                self.model.set_params(&params);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Consumes the server, returning the global model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LogisticRegression;
+
+    fn upd(id: usize, params: Vec<f64>, n: usize) -> ClientUpdate {
+        ClientUpdate {
+            client_id: id,
+            params,
+            num_examples: n,
+            train_loss: 0.0,
+            update_norm: 0.0,
+            steps: 1,
+        }
+    }
+
+    #[test]
+    fn weighted_average_exact() {
+        let updates = vec![upd(0, vec![0.0, 0.0], 1), upd(1, vec![3.0, 6.0], 2)];
+        let avg = aggregate_weighted(&updates).unwrap();
+        assert_eq!(avg, vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn zero_weight_updates_ignored() {
+        let updates = vec![upd(0, vec![100.0], 0), upd(1, vec![2.0], 5)];
+        let avg = aggregate_weighted(&updates).unwrap();
+        assert_eq!(avg, vec![2.0]);
+    }
+
+    #[test]
+    fn all_zero_weight_returns_none() {
+        let updates = vec![upd(0, vec![1.0], 0)];
+        assert!(aggregate_weighted(&updates).is_none());
+        assert!(aggregate_weighted(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent parameter lengths")]
+    fn mismatched_lengths_rejected() {
+        let updates = vec![upd(0, vec![1.0], 1), upd(1, vec![1.0, 2.0], 1)];
+        let _ = aggregate_weighted(&updates);
+    }
+
+    #[test]
+    fn server_applies_aggregate() {
+        let model = LogisticRegression::new(1, 2); // 3 params: 2x1 weights + 2 bias
+        let mut server = FedAvgServer::new(model);
+        assert_eq!(server.round(), 0);
+        let changed = server.aggregate(&[upd(0, vec![1.0, 2.0, 3.0, 4.0], 10)]);
+        assert!(changed);
+        assert_eq!(server.round(), 1);
+        assert_eq!(server.model().params(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn server_keeps_model_when_no_updates() {
+        let model = LogisticRegression::new_random(2, 2, 3);
+        let before = model.params();
+        let mut server = FedAvgServer::new(model);
+        let changed = server.aggregate(&[]);
+        assert!(!changed);
+        assert_eq!(server.model().params(), before);
+        assert_eq!(server.round(), 1);
+    }
+
+    #[test]
+    fn into_model_returns_current() {
+        let model = LogisticRegression::new(1, 2);
+        let mut server = FedAvgServer::new(model);
+        server.aggregate(&[upd(0, vec![5.0, 5.0, 5.0, 5.0], 1)]);
+        let m = server.into_model();
+        assert_eq!(m.params(), vec![5.0, 5.0, 5.0, 5.0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn aggregate_is_convex_combination(
+            a in proptest::collection::vec(-10.0f64..10.0, 4),
+            b in proptest::collection::vec(-10.0f64..10.0, 4),
+            na in 1usize..100,
+            nb in 1usize..100,
+        ) {
+            let avg = aggregate_weighted(&[upd(0, a.clone(), na), upd(1, b.clone(), nb)]).unwrap();
+            for i in 0..4 {
+                let lo = a[i].min(b[i]) - 1e-9;
+                let hi = a[i].max(b[i]) + 1e-9;
+                proptest::prop_assert!(avg[i] >= lo && avg[i] <= hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-average tracking and theoretical bound calculators.
+
+use serde::{Deserialize, Serialize};
+
+/// Online tracker of a running time average with full history retained for
+/// plotting (history is cheap: one f64 per round).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeAverage {
+    total: f64,
+    history: Vec<f64>,
+}
+
+impl TimeAverage {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation and returns the updated average.
+    pub fn push(&mut self, value: f64) -> f64 {
+        self.total += value;
+        let avg = self.total / (self.history.len() + 1) as f64;
+        self.history.push(avg);
+        avg
+    }
+
+    /// Current time average (0 if empty).
+    pub fn average(&self) -> f64 {
+        self.history.last().copied().unwrap_or(0.0)
+    }
+
+    /// Running sum of observations.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether no observation has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// The running-average trajectory (entry `t` = average after `t + 1`
+    /// observations).
+    pub fn trajectory(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Whether the running average converged: the last `window` entries stay
+    /// within `tol` of the final value. Returns `false` when fewer than
+    /// `window` observations exist.
+    pub fn converged(&self, window: usize, tol: f64) -> bool {
+        if self.history.len() < window || window == 0 {
+            return false;
+        }
+        let last = self.average();
+        self.history[self.history.len() - window..]
+            .iter()
+            .all(|&v| (v - last).abs() <= tol)
+    }
+}
+
+/// The standard drift-plus-penalty welfare gap bound: the achieved long-term
+/// welfare is within `bound_constant / v` of the optimal ρ-feasible policy.
+///
+/// `bound_constant` is the `B` of the Lyapunov argument — an upper bound on
+/// `½·E[(spend − ρ)²]` per slot, computable from the maximum per-round
+/// expenditure and the budget rate.
+///
+/// # Panics
+///
+/// Panics if `v <= 0`.
+pub fn welfare_gap_bound(bound_constant: f64, v: f64) -> f64 {
+    assert!(v > 0.0, "v must be positive");
+    bound_constant / v
+}
+
+/// The matching backlog bound: with a Slater constant `eps` (a policy exists
+/// that under-spends the budget by `eps` per round on average), the virtual
+/// queue backlog is bounded by `(bound_constant + v·max_utility) / eps`.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`.
+pub fn backlog_bound(bound_constant: f64, v: f64, max_utility: f64, eps: f64) -> f64 {
+    assert!(eps > 0.0, "eps must be positive");
+    (bound_constant + v * max_utility) / eps
+}
+
+/// Computes the Lyapunov `B` constant for a bounded-spend process:
+/// `B = ½·max(spend_max − ρ, ρ)²` dominates `½(spend − ρ)²` for any
+/// realized spend in `[0, spend_max]`.
+///
+/// # Panics
+///
+/// Panics if `spend_max < 0` or `rho < 0`.
+pub fn lyapunov_b_constant(spend_max: f64, rho: f64) -> f64 {
+    assert!(spend_max >= 0.0 && rho >= 0.0);
+    let dev = (spend_max - rho).max(rho);
+    0.5 * dev * dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_average_tracks_mean() {
+        let mut t = TimeAverage::new();
+        assert!(t.is_empty());
+        assert_eq!(t.push(2.0), 2.0);
+        assert_eq!(t.push(4.0), 3.0);
+        assert_eq!(t.average(), 3.0);
+        assert_eq!(t.total(), 6.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.trajectory(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn converged_detects_settling() {
+        let mut t = TimeAverage::new();
+        for _ in 0..100 {
+            t.push(1.0);
+        }
+        assert!(t.converged(10, 1e-9));
+        let mut u = TimeAverage::new();
+        for i in 0..20 {
+            u.push(i as f64);
+        }
+        assert!(!u.converged(10, 0.1));
+        assert!(!u.converged(0, 0.1));
+        assert!(!TimeAverage::new().converged(5, 1.0));
+    }
+
+    #[test]
+    fn gap_bound_shrinks_with_v() {
+        assert!(welfare_gap_bound(10.0, 100.0) < welfare_gap_bound(10.0, 10.0));
+        assert_eq!(welfare_gap_bound(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn backlog_bound_grows_with_v() {
+        let b = 5.0;
+        assert!(backlog_bound(b, 100.0, 1.0, 0.5) > backlog_bound(b, 10.0, 1.0, 0.5));
+    }
+
+    #[test]
+    fn b_constant_dominates_deviation() {
+        let b = lyapunov_b_constant(10.0, 2.0);
+        for spend in [0.0, 1.0, 2.0, 5.0, 10.0] {
+            let dev = 0.5 * (spend - 2.0) * (spend - 2.0);
+            assert!(b >= dev - 1e-12, "B {b} < dev {dev} at spend {spend}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "v must be positive")]
+    fn gap_bound_rejects_zero_v() {
+        let _ = welfare_gap_bound(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn backlog_bound_rejects_zero_eps() {
+        let _ = backlog_bound(1.0, 1.0, 1.0, 0.0);
+    }
+}

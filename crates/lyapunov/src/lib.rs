@@ -1,0 +1,40 @@
+//! # lyapunov — long-term online optimization substrate
+//!
+//! Implements the Lyapunov drift-plus-penalty machinery that converts a
+//! *long-term* constraint ("average expenditure per round must not exceed
+//! ρ") into a sequence of *per-round* problems weighted by a virtual queue:
+//!
+//! * [`queue`] — virtual queues `Q(t+1) = max(Q(t) + arrival − service, 0)`
+//!   whose stability certifies long-term constraint satisfaction,
+//! * [`dpp`] — the drift-plus-penalty controller that produces the
+//!   per-round weights `(V, Q(t))` consumed by the auction's winner
+//!   determination,
+//! * [`analysis`] — time-average trackers, stability detection, and the
+//!   `O(1/V)` / `O(V)` theoretical bound calculators quoted in
+//!   EXPERIMENTS.md.
+//!
+//! # Example
+//!
+//! ```
+//! use lyapunov::dpp::{DriftPlusPenalty, DppConfig};
+//!
+//! let mut ctl = DriftPlusPenalty::new(DppConfig {
+//!     v: 50.0,
+//!     budget_per_round: 2.0,
+//!     min_cost_weight: 1.0,
+//! });
+//! // Round: score candidates with the controller's weights...
+//! let w = ctl.weights();
+//! assert_eq!(w.value_weight, 50.0);
+//! // ...spend money, then feed the expenditure back:
+//! ctl.observe_spend(3.5);
+//! assert!(ctl.queue_backlog() > 0.0);
+//! ```
+
+pub mod analysis;
+pub mod dpp;
+pub mod queue;
+
+pub use analysis::{backlog_bound, welfare_gap_bound, TimeAverage};
+pub use dpp::{DppConfig, DriftPlusPenalty, RoundWeights};
+pub use queue::VirtualQueue;

@@ -1,0 +1,212 @@
+//! Virtual queues for long-term constraints.
+
+use serde::{Deserialize, Serialize};
+
+/// A virtual queue tracking accumulated violation of a long-term constraint.
+///
+/// The update is `Q ← max(Q + arrival − service, 0)`. If the time-average of
+/// `arrival` is to be kept below the time-average of `service`, then *mean
+/// rate stability* of the queue (`Q(t)/t → 0`) is equivalent to the
+/// constraint being satisfied in the limit.
+///
+/// # Example
+///
+/// ```
+/// use lyapunov::queue::VirtualQueue;
+/// let mut q = VirtualQueue::new();
+/// q.update(3.0, 2.0); // spent 3, budget rate 2 → backlog 1
+/// q.update(1.0, 2.0); // under-spend drains the queue
+/// assert_eq!(q.backlog(), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct VirtualQueue {
+    backlog: f64,
+    updates: u64,
+    peak: f64,
+    total_arrival: f64,
+    total_service: f64,
+}
+
+impl VirtualQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a queue with an initial backlog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backlog` is negative or non-finite.
+    pub fn with_backlog(backlog: f64) -> Self {
+        assert!(
+            backlog.is_finite() && backlog >= 0.0,
+            "backlog must be finite and non-negative"
+        );
+        VirtualQueue {
+            backlog,
+            ..Self::default()
+        }
+    }
+
+    /// Current backlog `Q(t)`.
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// Number of updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Largest backlog ever observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Applies one slot update and returns the new backlog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is negative or non-finite.
+    pub fn update(&mut self, arrival: f64, service: f64) -> f64 {
+        assert!(
+            arrival.is_finite() && arrival >= 0.0,
+            "arrival must be finite and non-negative"
+        );
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "service must be finite and non-negative"
+        );
+        self.backlog = (self.backlog + arrival - service).max(0.0);
+        self.updates += 1;
+        self.peak = self.peak.max(self.backlog);
+        self.total_arrival += arrival;
+        self.total_service += service;
+        self.backlog
+    }
+
+    /// Time-average backlog growth `Q(t)/t`; tends to 0 iff the queue is
+    /// mean-rate stable. Returns 0 before any update.
+    pub fn rate(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.backlog / self.updates as f64
+        }
+    }
+
+    /// Average arrival rate observed so far.
+    pub fn mean_arrival(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total_arrival / self.updates as f64
+        }
+    }
+
+    /// Average service rate observed so far.
+    pub fn mean_service(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total_service / self.updates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn update_dynamics() {
+        let mut q = VirtualQueue::new();
+        assert_eq!(q.update(5.0, 2.0), 3.0);
+        assert_eq!(q.update(0.0, 1.0), 2.0);
+        assert_eq!(q.update(0.0, 10.0), 0.0); // clamps at zero
+        assert_eq!(q.updates(), 3);
+        assert_eq!(q.peak(), 3.0);
+    }
+
+    #[test]
+    fn with_backlog_starts_nonzero() {
+        let q = VirtualQueue::with_backlog(4.0);
+        assert_eq!(q.backlog(), 4.0);
+    }
+
+    #[test]
+    fn rates_track_means() {
+        let mut q = VirtualQueue::new();
+        q.update(4.0, 2.0);
+        q.update(0.0, 2.0);
+        assert_eq!(q.mean_arrival(), 2.0);
+        assert_eq!(q.mean_service(), 2.0);
+        assert_eq!(q.rate(), 0.0);
+    }
+
+    #[test]
+    fn rate_zero_when_untouched() {
+        let q = VirtualQueue::new();
+        assert_eq!(q.rate(), 0.0);
+        assert_eq!(q.mean_arrival(), 0.0);
+        assert_eq!(q.mean_service(), 0.0);
+    }
+
+    #[test]
+    fn stable_when_arrivals_below_service() {
+        let mut q = VirtualQueue::new();
+        for t in 0..10_000 {
+            // Arrivals average 1.5, service constant 2.0.
+            let arrival = if t % 2 == 0 { 3.0 } else { 0.0 };
+            q.update(arrival, 2.0);
+        }
+        assert!(q.rate() < 1e-3, "rate {} not near zero", q.rate());
+        assert!(q.backlog() <= 3.0);
+    }
+
+    #[test]
+    fn unstable_when_arrivals_exceed_service() {
+        let mut q = VirtualQueue::new();
+        for _ in 0..10_000 {
+            q.update(3.0, 2.0);
+        }
+        assert!((q.rate() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival must be finite")]
+    fn rejects_negative_arrival() {
+        let mut q = VirtualQueue::new();
+        q.update(-1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn backlog_never_negative(
+            steps in proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0), 1..200)
+        ) {
+            let mut q = VirtualQueue::new();
+            for (a, s) in steps {
+                q.update(a, s);
+                prop_assert!(q.backlog() >= 0.0);
+                prop_assert!(q.peak() >= q.backlog());
+            }
+        }
+
+        /// Queue bound: Q(t) ≥ Σ(arrival − service) for any prefix.
+        #[test]
+        fn backlog_dominates_net_input(
+            steps in proptest::collection::vec((0.0f64..5.0, 0.0f64..5.0), 1..100)
+        ) {
+            let mut q = VirtualQueue::new();
+            let mut net = 0.0;
+            for (a, s) in steps {
+                q.update(a, s);
+                net += a - s;
+                prop_assert!(q.backlog() >= net - 1e-9);
+            }
+        }
+    }
+}

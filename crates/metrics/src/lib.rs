@@ -1,0 +1,21 @@
+//! # metrics — measurement and reporting substrate
+//!
+//! Shared instrumentation for the experiment harness:
+//!
+//! * [`stats`] — summary statistics, percentiles, Jain's fairness index,
+//! * [`series`] — named time-series recording with CSV export and
+//!   downsampling for terminal-width plots,
+//! * [`table`] — markdown table rendering (the harness prints the same
+//!   rows EXPERIMENTS.md quotes),
+//! * [`plot`] — ASCII line charts so the harness regenerates figure
+//!   *shapes*, not just numbers.
+
+pub mod plot;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use plot::ascii_chart;
+pub use series::SeriesSet;
+pub use stats::{jain_fairness, Summary};
+pub use table::Table;

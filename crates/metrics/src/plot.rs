@@ -1,0 +1,179 @@
+//! Terminal line charts for the experiment harness.
+//!
+//! The paper's evaluation is figures; the harness regenerates each one as
+//! an ASCII chart (plus the numeric checkpoint table) so the *shape* —
+//! crossings, saturation, divergence — is visible directly in the output
+//! that EXPERIMENTS.md quotes.
+
+/// Renders one or more named series as an ASCII line chart.
+///
+/// Each series is downsampled to `width` columns by block-averaging and
+/// drawn with its own glyph; a shared y-axis is scaled to the global
+/// min/max. Returns the chart followed by a legend.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero or no series is given.
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "chart dimensions must be positive");
+    assert!(!series.is_empty(), "at least one series required");
+    const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+    // Downsample all series to `width` columns.
+    let cols: Vec<Vec<Option<f64>>> = series
+        .iter()
+        .map(|(_, s)| downsample(s, width))
+        .collect();
+
+    // Global bounds over present values.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for col in &cols {
+        for v in col.iter().flatten() {
+            lo = lo.min(*v);
+            hi = hi.max(*v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        lo = 0.0;
+        hi = 1.0;
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    // Paint the grid top-down.
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, col) in cols.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (x, v) in col.iter().enumerate() {
+            if let Some(v) = v {
+                let frac = (v - lo) / (hi - lo);
+                let y = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+                grid[y.min(height - 1)][x] = glyph;
+            }
+        }
+    }
+
+    let label_width = 10;
+    let mut out = String::new();
+    for (y, row) in grid.iter().enumerate() {
+        let value = hi - (hi - lo) * y as f64 / (height - 1) as f64;
+        let label = if y == 0 || y == height - 1 || y == height / 2 {
+            format!("{value:>label_width$.2}")
+        } else {
+            " ".repeat(label_width)
+        };
+        out.push_str(&label);
+        out.push_str(" |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(label_width));
+    out.push_str(" +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    // Legend.
+    out.push_str(&" ".repeat(label_width + 2));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push_str(&format!("{} {}   ", GLYPHS[si % GLYPHS.len()], name));
+    }
+    out.push('\n');
+    out
+}
+
+/// Block-averages a series into exactly `width` columns (None for columns
+/// beyond the series length).
+fn downsample(s: &[f64], width: usize) -> Vec<Option<f64>> {
+    if s.is_empty() {
+        return vec![None; width];
+    }
+    if s.len() <= width {
+        let mut out: Vec<Option<f64>> = Vec::with_capacity(width);
+        // Stretch: repeat-index mapping keeps the shape.
+        for x in 0..width {
+            let idx = x * s.len() / width;
+            out.push(Some(s[idx]));
+        }
+        return out;
+    }
+    let block = s.len() as f64 / width as f64;
+    (0..width)
+        .map(|x| {
+            let a = (x as f64 * block) as usize;
+            let b = (((x + 1) as f64 * block) as usize).min(s.len()).max(a + 1);
+            Some(s[a..b].iter().sum::<f64>() / (b - a) as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let s1: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let chart = ascii_chart(&[("up", &s1)], 40, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 12); // height + axis + legend
+        // Top label is the max of the block-averaged series (≈ 98).
+        assert!(
+            lines[0].contains("98.00") || lines[0].contains("99.00"),
+            "top label missing: {:?}",
+            lines[0]
+        );
+        assert!(lines.last().unwrap().contains("up"));
+    }
+
+    #[test]
+    fn increasing_series_paints_bottom_left_top_right() {
+        let s: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let chart = ascii_chart(&[("x", &s)], 20, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Top row has a glyph near the right edge, bottom row near the left.
+        let top = lines[0];
+        let bottom = lines[7];
+        assert!(top.trim_end().ends_with('*'), "top: {top:?}");
+        let bottom_glyph = bottom.find('*').unwrap();
+        let top_glyph = top.rfind('*').unwrap();
+        assert!(bottom_glyph < top_glyph);
+    }
+
+    #[test]
+    fn multiple_series_distinct_glyphs() {
+        let up: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let down: Vec<f64> = (0..50).map(|i| 49.0 - i as f64).collect();
+        let chart = ascii_chart(&[("up", &up), ("down", &down)], 30, 9);
+        assert!(chart.contains('*'));
+        assert!(chart.contains('o'));
+        assert!(chart.contains("up"));
+        assert!(chart.contains("down"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = vec![5.0; 10];
+        let chart = ascii_chart(&[("flat", &s)], 10, 5);
+        assert!(chart.contains('*'));
+    }
+
+    #[test]
+    fn short_series_stretched() {
+        let s = vec![1.0, 2.0];
+        let chart = ascii_chart(&[("short", &s)], 20, 5);
+        assert!(chart.matches('*').count() >= 10);
+    }
+
+    #[test]
+    fn empty_series_blank_chart() {
+        let chart = ascii_chart(&[("none", &[])], 10, 4);
+        assert!(!chart.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn requires_series() {
+        let _ = ascii_chart(&[], 10, 10);
+    }
+}

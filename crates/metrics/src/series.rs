@@ -1,0 +1,184 @@
+//! Named time-series recording.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A set of aligned, named time series (one value per series per step).
+///
+/// # Example
+///
+/// ```
+/// use metrics::series::SeriesSet;
+/// let mut s = SeriesSet::new();
+/// s.push("welfare", 1.0);
+/// s.push("welfare", 2.0);
+/// s.push("spend", 0.5);
+/// assert_eq!(s.get("welfare"), Some(&[1.0, 2.0][..]));
+/// assert!(s.to_csv().starts_with("step,spend,welfare"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SeriesSet {
+    series: BTreeMap<String, Vec<f64>>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a value to the named series (creating it on first use).
+    pub fn push(&mut self, name: &str, value: f64) {
+        self.series.entry(name.to_string()).or_default().push(value);
+    }
+
+    /// Borrow of one series.
+    pub fn get(&self, name: &str) -> Option<&[f64]> {
+        self.series.get(name).map(|v| v.as_slice())
+    }
+
+    /// Names of all series, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.series.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Length of the longest series.
+    pub fn len(&self) -> usize {
+        self.series.values().map(|v| v.len()).max().unwrap_or(0)
+    }
+
+    /// Whether no values have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative-sum transform of one series, if present.
+    pub fn cumulative(&self, name: &str) -> Option<Vec<f64>> {
+        self.get(name).map(|v| {
+            let mut acc = 0.0;
+            v.iter()
+                .map(|x| {
+                    acc += x;
+                    acc
+                })
+                .collect()
+        })
+    }
+
+    /// Renders all series as CSV with a leading `step` column; shorter
+    /// series are padded with empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step");
+        for name in self.names() {
+            out.push(',');
+            out.push_str(name);
+        }
+        out.push('\n');
+        let n = self.len();
+        for i in 0..n {
+            out.push_str(&i.to_string());
+            for name in self.names() {
+                out.push(',');
+                if let Some(v) = self.series[name].get(i) {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Downsamples one series to at most `points` values by block-averaging
+    /// (for printing figure series at terminal width). Returns
+    /// `(step_indices, values)`.
+    pub fn downsample(&self, name: &str, points: usize) -> Option<(Vec<usize>, Vec<f64>)> {
+        let v = self.get(name)?;
+        if v.is_empty() || points == 0 {
+            return Some((Vec::new(), Vec::new()));
+        }
+        if v.len() <= points {
+            return Some(((0..v.len()).collect(), v.to_vec()));
+        }
+        let block = v.len() as f64 / points as f64;
+        let mut idx = Vec::with_capacity(points);
+        let mut out = Vec::with_capacity(points);
+        for b in 0..points {
+            let lo = (b as f64 * block) as usize;
+            let hi = (((b + 1) as f64 * block) as usize).min(v.len()).max(lo + 1);
+            let mean = v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64;
+            idx.push(hi - 1);
+            out.push(mean);
+        }
+        Some((idx, out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut s = SeriesSet::new();
+        assert!(s.is_empty());
+        s.push("a", 1.0);
+        s.push("a", 2.0);
+        assert_eq!(s.get("a"), Some(&[1.0, 2.0][..]));
+        assert_eq!(s.get("b"), None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.names(), vec!["a"]);
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let mut s = SeriesSet::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.push("x", v);
+        }
+        assert_eq!(s.cumulative("x"), Some(vec![1.0, 3.0, 6.0]));
+        assert_eq!(s.cumulative("missing"), None);
+    }
+
+    #[test]
+    fn csv_pads_ragged_series() {
+        let mut s = SeriesSet::new();
+        s.push("a", 1.0);
+        s.push("a", 2.0);
+        s.push("b", 9.0);
+        let csv = s.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "step,a,b");
+        assert_eq!(lines[1], "0,1,9");
+        assert_eq!(lines[2], "1,2,");
+    }
+
+    #[test]
+    fn downsample_block_average() {
+        let mut s = SeriesSet::new();
+        for i in 0..100 {
+            s.push("x", i as f64);
+        }
+        let (idx, vals) = s.downsample("x", 10).unwrap();
+        assert_eq!(vals.len(), 10);
+        assert_eq!(idx.len(), 10);
+        // First block = mean of 0..10 = 4.5.
+        assert!((vals[0] - 4.5).abs() < 1e-12);
+        assert!((vals[9] - 94.5).abs() < 1e-12);
+        assert_eq!(idx[9], 99);
+    }
+
+    #[test]
+    fn downsample_short_series_identity() {
+        let mut s = SeriesSet::new();
+        s.push("x", 5.0);
+        let (idx, vals) = s.downsample("x", 10).unwrap();
+        assert_eq!(idx, vec![0]);
+        assert_eq!(vals, vec![5.0]);
+    }
+
+    #[test]
+    fn downsample_missing_none() {
+        let s = SeriesSet::new();
+        assert!(s.downsample("x", 10).is_none());
+    }
+}

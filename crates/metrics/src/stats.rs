@@ -1,0 +1,187 @@
+//! Summary statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-plus summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes a summary. Returns an all-zero summary for empty input.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                median: 0.0,
+            };
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+        }
+    }
+}
+
+/// Percentile (0–100) by linear interpolation on a *sorted* slice.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `p` outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile of an unsorted sample.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Jain's fairness index of a non-negative allocation:
+/// `(Σx)² / (n·Σx²)` ∈ `(0, 1]`, where 1 means perfectly equal shares.
+///
+/// Returns 1.0 for an empty or all-zero allocation (vacuously fair).
+pub fn jain_fairness(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = x.iter().sum();
+    let sumsq: f64 = x.iter().map(|v| v * v).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (x.len() as f64 * sumsq)
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns 0.0 when either sample is constant.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson length mismatch");
+    assert!(!a.is_empty(), "pearson of empty samples");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.median, 2.5);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert_eq!(percentile(&v, 50.0), 25.0);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single() {
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of empty slice")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        // All mass on one of n participants → 1/n.
+        let j = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((j - 0.25).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jain_monotone_in_equality() {
+        let unequal = jain_fairness(&[10.0, 1.0, 1.0]);
+        let mild = jain_fairness(&[4.0, 4.0, 4.0]);
+        assert!(mild > unequal);
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 6.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&a, &[5.0, 5.0, 5.0]), 0.0);
+    }
+}

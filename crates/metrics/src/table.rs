@@ -1,0 +1,142 @@
+//! Markdown table rendering for harness output.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned markdown table builder.
+///
+/// # Example
+///
+/// ```
+/// use metrics::table::Table;
+/// let mut t = Table::new(vec!["mechanism".into(), "welfare".into()]);
+/// t.row(vec!["LOVM".into(), "123.4".into()]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| LOVM"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "table requires at least one column");
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: appends a row of `f64` values after a string label.
+    pub fn row_labeled(&mut self, label: &str, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = Vec::with_capacity(values.len() + 1);
+        cells.push(label.to_string());
+        for v in values {
+            cells.push(format!("{v:.precision$}"));
+        }
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as a column-aligned markdown table.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for c in 0..cols {
+                line.push(' ');
+                line.push_str(&format!("{:width$}", cells[c], width = widths[c]));
+                line.push_str(" |");
+            }
+            line.push('\n');
+            line
+        };
+        let mut out = render_row(&self.headers);
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines[1].starts_with("|---"));
+        // All lines equal width (aligned).
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn row_labeled_formats_precision() {
+        let mut t = Table::new(vec!["m".into(), "a".into(), "b".into()]);
+        t.row_labeled("x", &[1.23456, 2.0], 2);
+        assert!(t.to_markdown().contains("1.23"));
+        assert!(t.to_markdown().contains("2.00"));
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_row() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_empty_headers() {
+        let _ = Table::new(vec![]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Online client-arrival processes.
+//!
+//! In the online auction, the set of clients present to bid varies per
+//! round. Energy-*driven* availability (battery state) is simulated in the
+//! core orchestrator; this module provides the exogenous arrival component
+//! (user presence, connectivity, charging plugged-in windows).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Families of arrival processes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilityKind {
+    /// Every client is present every round.
+    Full,
+    /// Each client is independently present with probability `p` per round.
+    Bernoulli {
+        /// Presence probability.
+        p: f64,
+    },
+    /// Client `i` is present in rounds where `(round + i) % period < active`
+    /// — staggered duty cycles (e.g. overnight charging windows).
+    DutyCycle {
+        /// Cycle length in rounds.
+        period: usize,
+        /// Number of active rounds per cycle.
+        active: usize,
+    },
+    /// Globally bursty presence: every client is independently present with
+    /// a probability that oscillates sinusoidally between `min_p` and
+    /// `max_p` over `period` rounds — scarce rounds and abundant rounds
+    /// alternate for the *whole* population (diurnal user activity). This
+    /// is the regime where banking budget across rounds pays off.
+    Wave {
+        /// Cycle length in rounds.
+        period: usize,
+        /// Presence probability at the trough.
+        min_p: f64,
+        /// Presence probability at the crest.
+        max_p: f64,
+    },
+}
+
+/// A stateful arrival process over a fixed client population.
+#[derive(Debug)]
+pub struct AvailabilityProcess {
+    kind: AvailabilityKind,
+    num_clients: usize,
+    rng: StdRng,
+    round: usize,
+}
+
+impl AvailabilityProcess {
+    /// Creates the process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of domain (`p ∉ [0,1]`, zero period,
+    /// `active > period`).
+    pub fn new(kind: AvailabilityKind, num_clients: usize, seed: u64) -> Self {
+        match kind {
+            AvailabilityKind::Full => {}
+            AvailabilityKind::Bernoulli { p } => {
+                assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+            }
+            AvailabilityKind::DutyCycle { period, active } => {
+                assert!(period > 0, "period must be positive");
+                assert!(active <= period, "active must not exceed period");
+            }
+            AvailabilityKind::Wave {
+                period,
+                min_p,
+                max_p,
+            } => {
+                assert!(period > 0, "period must be positive");
+                assert!(
+                    (0.0..=1.0).contains(&min_p) && (0.0..=1.0).contains(&max_p),
+                    "probabilities must be in [0, 1]"
+                );
+                assert!(min_p <= max_p, "min_p must not exceed max_p");
+            }
+        }
+        AvailabilityProcess {
+            kind,
+            num_clients,
+            rng: StdRng::seed_from_u64(seed),
+            round: 0,
+        }
+    }
+
+    /// Number of clients in the population.
+    pub fn num_clients(&self) -> usize {
+        self.num_clients
+    }
+
+    /// Returns the ids of clients present in the next round (ascending) and
+    /// advances the process.
+    pub fn step(&mut self) -> Vec<usize> {
+        let t = self.round;
+        self.round += 1;
+        match self.kind {
+            AvailabilityKind::Full => (0..self.num_clients).collect(),
+            AvailabilityKind::Bernoulli { p } => (0..self.num_clients)
+                .filter(|_| self.rng.random::<f64>() < p)
+                .collect(),
+            AvailabilityKind::DutyCycle { period, active } => (0..self.num_clients)
+                .filter(|i| (t + i) % period < active)
+                .collect(),
+            AvailabilityKind::Wave {
+                period,
+                min_p,
+                max_p,
+            } => {
+                let phase = 2.0 * std::f64::consts::PI * (t % period) as f64 / period as f64;
+                let p = min_p + (max_p - min_p) * (0.5 + 0.5 * phase.sin());
+                (0..self.num_clients)
+                    .filter(|_| self.rng.random::<f64>() < p)
+                    .collect()
+            }
+        }
+    }
+
+    /// Rounds stepped so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_everyone_present() {
+        let mut a = AvailabilityProcess::new(AvailabilityKind::Full, 5, 0);
+        assert_eq!(a.step(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(a.round(), 1);
+    }
+
+    #[test]
+    fn bernoulli_fraction_close_to_p() {
+        let mut a = AvailabilityProcess::new(AvailabilityKind::Bernoulli { p: 0.3 }, 100, 1);
+        let mut total = 0usize;
+        let rounds = 2000;
+        for _ in 0..rounds {
+            total += a.step().len();
+        }
+        let frac = total as f64 / (rounds * 100) as f64;
+        assert!((frac - 0.3).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut none = AvailabilityProcess::new(AvailabilityKind::Bernoulli { p: 0.0 }, 10, 0);
+        assert!(none.step().is_empty());
+        let mut all = AvailabilityProcess::new(AvailabilityKind::Bernoulli { p: 1.0 }, 10, 0);
+        assert_eq!(all.step().len(), 10);
+    }
+
+    #[test]
+    fn duty_cycle_staggered() {
+        let mut a = AvailabilityProcess::new(
+            AvailabilityKind::DutyCycle {
+                period: 4,
+                active: 1,
+            },
+            4,
+            0,
+        );
+        // Round 0: client with (0+i)%4==0 → i=0. Round 1: i=3. etc.
+        assert_eq!(a.step(), vec![0]);
+        assert_eq!(a.step(), vec![3]);
+        assert_eq!(a.step(), vec![2]);
+        assert_eq!(a.step(), vec![1]);
+        assert_eq!(a.step(), vec![0]); // periodic
+    }
+
+    #[test]
+    fn duty_cycle_each_client_fair_share() {
+        let mut a = AvailabilityProcess::new(
+            AvailabilityKind::DutyCycle {
+                period: 5,
+                active: 2,
+            },
+            10,
+            0,
+        );
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100 {
+            for id in a.step() {
+                counts[id] += 1;
+            }
+        }
+        for &c in &counts {
+            assert_eq!(c, 40); // 2/5 of 100 rounds
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut a = AvailabilityProcess::new(AvailabilityKind::Bernoulli { p: 0.5 }, 20, seed);
+            (0..10).map(|_| a.step()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn wave_oscillates_between_bounds() {
+        let mut a = AvailabilityProcess::new(
+            AvailabilityKind::Wave {
+                period: 20,
+                min_p: 0.1,
+                max_p: 0.9,
+            },
+            200,
+            5,
+        );
+        // Average presence per round position over many cycles.
+        let mut by_pos = [0.0f64; 20];
+        let cycles = 100;
+        for _ in 0..cycles {
+            for item in by_pos.iter_mut() {
+                *item += a.step().len() as f64 / 200.0;
+            }
+        }
+        for item in by_pos.iter_mut() {
+            *item /= cycles as f64;
+        }
+        let max = by_pos.iter().cloned().fold(0.0, f64::max);
+        let min = by_pos.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 0.8, "crest {max} too low");
+        assert!(min < 0.2, "trough {min} too high");
+    }
+
+    #[test]
+    #[should_panic(expected = "min_p must not exceed max_p")]
+    fn wave_validation() {
+        let _ = AvailabilityProcess::new(
+            AvailabilityKind::Wave {
+                period: 5,
+                min_p: 0.9,
+                max_p: 0.1,
+            },
+            1,
+            0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "active must not exceed period")]
+    fn duty_cycle_validation() {
+        let _ = AvailabilityProcess::new(
+            AvailabilityKind::DutyCycle {
+                period: 3,
+                active: 4,
+            },
+            1,
+            0,
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! # workload — client populations and scenarios
+//!
+//! Generates the synthetic marketplace the mechanism runs against:
+//!
+//! * [`population`] — heterogeneous client profiles (private costs, data
+//!   sizes, qualities, energy-harvesting assignments),
+//! * [`availability`] — online arrival processes deciding which clients
+//!   are present to bid each round,
+//! * [`scenario`] — named parameter presets used by the experiment
+//!   harness so every figure is reproducible from a scenario name + seed.
+//!
+//! Real user bids and device traces from the paper's deployment are
+//! substituted by these parametric generators (see DESIGN.md).
+
+pub mod availability;
+pub mod population;
+pub mod scenario;
+
+pub use availability::{AvailabilityKind, AvailabilityProcess};
+pub use population::{ClientProfile, CostDistribution, EnergyGroup, PopulationConfig};
+pub use scenario::Scenario;

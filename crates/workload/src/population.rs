@@ -1,0 +1,324 @@
+//! Heterogeneous client populations.
+
+use auction::bid::Bid;
+use energy::harvest::HarvesterKind;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of clients' private per-round training costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CostDistribution {
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound (≥ 0).
+        lo: f64,
+        /// Upper bound (≥ lo).
+        hi: f64,
+    },
+    /// Log-normal with the given underlying normal parameters, capped at
+    /// `cap` to keep tails bounded (real marketplaces clamp absurd asks).
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Std of the underlying normal.
+        sigma: f64,
+        /// Hard cap on the drawn cost.
+        cap: f64,
+    },
+    /// Cost correlated with data size: `base + per_example · d + noise`,
+    /// noise uniform on `[0, noise]`. Models compute cost scaling with data.
+    DataCorrelated {
+        /// Fixed cost component.
+        base: f64,
+        /// Marginal cost per committed example.
+        per_example: f64,
+        /// Uniform noise amplitude.
+        noise: f64,
+    },
+}
+
+impl CostDistribution {
+    fn sample(&self, rng: &mut StdRng, data_size: usize) -> f64 {
+        match *self {
+            CostDistribution::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.random_range(lo..hi)
+                } else {
+                    lo
+                }
+            }
+            CostDistribution::LogNormal { mu, sigma, cap } => {
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random();
+                let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * gauss).exp().min(cap)
+            }
+            CostDistribution::DataCorrelated {
+                base,
+                per_example,
+                noise,
+            } => base + per_example * data_size as f64 + rng.random::<f64>() * noise,
+        }
+    }
+}
+
+/// An energy-harvesting group: clients are dealt into groups round-robin,
+/// reproducing the grouped heterogeneous energy profiles of the paper's
+/// experiments (e.g. renewal cycles 1/5/10/20).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyGroup {
+    /// Harvesting process for this group.
+    pub harvester: HarvesterKind,
+    /// Battery capacity for this group.
+    pub battery_capacity: f64,
+}
+
+/// Configuration of a client population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Number of clients.
+    pub num_clients: usize,
+    /// Private cost distribution.
+    pub cost: CostDistribution,
+    /// Inclusive range of committed data sizes.
+    pub data_size: (usize, usize),
+    /// Inclusive range of data quality scores (within `[0, 1]`).
+    pub quality: (f64, f64),
+    /// Energy groups, assigned round-robin (`client i → group i mod G`).
+    /// Empty means energy is not modelled (always available).
+    pub energy_groups: Vec<EnergyGroup>,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        PopulationConfig {
+            num_clients: 100,
+            cost: CostDistribution::Uniform { lo: 0.5, hi: 2.0 },
+            data_size: (50, 500),
+            quality: (0.5, 1.0),
+            energy_groups: Vec::new(),
+        }
+    }
+}
+
+/// One client's immutable ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientProfile {
+    /// Stable client id (also the bidder id).
+    pub id: usize,
+    /// True private per-round cost.
+    pub true_cost: f64,
+    /// Committed local data size.
+    pub data_size: usize,
+    /// Verifiable data quality in `[0, 1]`.
+    pub quality: f64,
+    /// Energy-harvesting assignment (`None` = always powered).
+    pub energy: Option<EnergyGroup>,
+}
+
+impl ClientProfile {
+    /// The truthful bid for this client.
+    pub fn truthful_bid(&self) -> Bid {
+        Bid::new(self.id, self.true_cost, self.data_size, self.quality)
+    }
+
+    /// A bid misreporting cost by the given multiplicative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or non-finite.
+    pub fn misreport_bid(&self, factor: f64) -> Bid {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0");
+        Bid::new(
+            self.id,
+            self.true_cost * factor,
+            self.data_size,
+            self.quality,
+        )
+    }
+}
+
+/// Generates a population from the config, deterministically per seed.
+///
+/// # Panics
+///
+/// Panics if `num_clients == 0`, ranges are inverted, or quality bounds
+/// leave `[0, 1]`.
+pub fn generate(config: &PopulationConfig, seed: u64) -> Vec<ClientProfile> {
+    assert!(config.num_clients > 0, "num_clients must be positive");
+    assert!(
+        config.data_size.0 <= config.data_size.1,
+        "data_size range inverted"
+    );
+    assert!(
+        config.quality.0 <= config.quality.1
+            && config.quality.0 >= 0.0
+            && config.quality.1 <= 1.0,
+        "quality range must be within [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..config.num_clients)
+        .map(|id| {
+            let data_size = if config.data_size.1 > config.data_size.0 {
+                rng.random_range(config.data_size.0..=config.data_size.1)
+            } else {
+                config.data_size.0
+            };
+            let quality = if config.quality.1 > config.quality.0 {
+                rng.random_range(config.quality.0..config.quality.1)
+            } else {
+                config.quality.0
+            };
+            let true_cost = config.cost.sample(&mut rng, data_size);
+            let energy = if config.energy_groups.is_empty() {
+                None
+            } else {
+                Some(config.energy_groups[id % config.energy_groups.len()])
+            };
+            ClientProfile {
+                id,
+                true_cost,
+                data_size,
+                quality,
+                energy,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = PopulationConfig::default();
+        let a = generate(&cfg, 1);
+        let b = generate(&cfg, 1);
+        assert_eq!(a, b);
+        let c = generate(&cfg, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fields_respect_ranges() {
+        let cfg = PopulationConfig {
+            num_clients: 200,
+            cost: CostDistribution::Uniform { lo: 1.0, hi: 3.0 },
+            data_size: (10, 20),
+            quality: (0.6, 0.9),
+            energy_groups: Vec::new(),
+        };
+        for p in generate(&cfg, 3) {
+            assert!((1.0..3.0).contains(&p.true_cost));
+            assert!((10..=20).contains(&p.data_size));
+            assert!((0.6..0.9).contains(&p.quality));
+            assert!(p.energy.is_none());
+        }
+    }
+
+    #[test]
+    fn energy_groups_deal_round_robin() {
+        let g0 = EnergyGroup {
+            harvester: HarvesterKind::Constant { rate: 1.0 },
+            battery_capacity: 5.0,
+        };
+        let g1 = EnergyGroup {
+            harvester: HarvesterKind::Constant { rate: 0.2 },
+            battery_capacity: 5.0,
+        };
+        let cfg = PopulationConfig {
+            num_clients: 6,
+            energy_groups: vec![g0, g1],
+            ..PopulationConfig::default()
+        };
+        let pop = generate(&cfg, 0);
+        for p in &pop {
+            let g = p.energy.unwrap();
+            if p.id % 2 == 0 {
+                assert_eq!(g, g0);
+            } else {
+                assert_eq!(g, g1);
+            }
+        }
+    }
+
+    #[test]
+    fn lognormal_capped() {
+        let cfg = PopulationConfig {
+            num_clients: 500,
+            cost: CostDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 2.0,
+                cap: 4.0,
+            },
+            ..PopulationConfig::default()
+        };
+        for p in generate(&cfg, 5) {
+            assert!(p.true_cost <= 4.0);
+            assert!(p.true_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn data_correlated_costs_grow_with_data() {
+        let cfg = PopulationConfig {
+            num_clients: 400,
+            cost: CostDistribution::DataCorrelated {
+                base: 0.1,
+                per_example: 0.01,
+                noise: 0.0,
+            },
+            data_size: (10, 1000),
+            ..PopulationConfig::default()
+        };
+        let pop = generate(&cfg, 7);
+        for p in &pop {
+            assert!((p.true_cost - (0.1 + 0.01 * p.data_size as f64)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn truthful_and_misreport_bids() {
+        let p = ClientProfile {
+            id: 9,
+            true_cost: 2.0,
+            data_size: 100,
+            quality: 0.8,
+            energy: None,
+        };
+        let t = p.truthful_bid();
+        assert_eq!(t.bidder, 9);
+        assert_eq!(t.cost, 2.0);
+        let m = p.misreport_bid(1.5);
+        assert_eq!(m.cost, 3.0);
+        assert_eq!(m.data_size, 100);
+    }
+
+    #[test]
+    fn degenerate_ranges_allowed() {
+        let cfg = PopulationConfig {
+            num_clients: 3,
+            cost: CostDistribution::Uniform { lo: 1.0, hi: 1.0 },
+            data_size: (5, 5),
+            quality: (0.7, 0.7),
+            ..PopulationConfig::default()
+        };
+        for p in generate(&cfg, 0) {
+            assert_eq!(p.true_cost, 1.0);
+            assert_eq!(p.data_size, 5);
+            assert_eq!(p.quality, 0.7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "num_clients must be positive")]
+    fn rejects_zero_clients() {
+        let cfg = PopulationConfig {
+            num_clients: 0,
+            ..PopulationConfig::default()
+        };
+        let _ = generate(&cfg, 0);
+    }
+}

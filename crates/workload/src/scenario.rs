@@ -1,0 +1,220 @@
+//! Named scenario presets used by the experiment harness.
+
+use crate::availability::AvailabilityKind;
+use crate::population::{CostDistribution, EnergyGroup, PopulationConfig};
+use auction::valuation::{ClientValue, Valuation};
+use energy::harvest::HarvesterKind;
+use serde::{Deserialize, Serialize};
+
+/// A complete marketplace scenario: population + arrivals + horizon +
+/// budget. Every experiment in EXPERIMENTS.md names the scenario and seed
+/// it ran with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable name (stable; quoted by EXPERIMENTS.md).
+    pub name: String,
+    /// Client population.
+    pub population: PopulationConfig,
+    /// Exogenous arrival process.
+    pub availability: AvailabilityKind,
+    /// Number of auction rounds.
+    pub horizon: usize,
+    /// Total long-term budget over the horizon.
+    pub total_budget: f64,
+    /// Energy consumed by one round of local training (used only when the
+    /// population has energy groups).
+    pub training_energy: f64,
+    /// The platform's valuation of clients, tuned so this scenario's
+    /// marketplace has positive-welfare trade (costs below values for
+    /// efficient clients).
+    pub valuation: Valuation,
+}
+
+impl Scenario {
+    /// Budget rate ρ = total budget / horizon.
+    pub fn budget_per_round(&self) -> f64 {
+        self.total_budget / self.horizon.max(1) as f64
+    }
+
+    /// Small smoke-test scenario (fast in debug builds).
+    pub fn small() -> Scenario {
+        Scenario {
+            name: "small".into(),
+            population: PopulationConfig {
+                num_clients: 20,
+                cost: CostDistribution::Uniform { lo: 0.5, hi: 2.0 },
+                data_size: (20, 200),
+                quality: (0.5, 1.0),
+                energy_groups: Vec::new(),
+            },
+            availability: AvailabilityKind::Full,
+            horizon: 200,
+            total_budget: 400.0,
+            training_energy: 2.0,
+            valuation: Valuation::default(),
+        }
+    }
+
+    /// The main evaluation scenario: 100 clients, 1000 rounds, stochastic
+    /// presence, lognormal costs.
+    pub fn standard() -> Scenario {
+        Scenario {
+            name: "standard".into(),
+            population: PopulationConfig {
+                num_clients: 100,
+                cost: CostDistribution::LogNormal {
+                    mu: 0.0,
+                    sigma: 0.5,
+                    cap: 6.0,
+                },
+                data_size: (50, 500),
+                quality: (0.5, 1.0),
+                energy_groups: Vec::new(),
+            },
+            availability: AvailabilityKind::Bernoulli { p: 0.6 },
+            horizon: 1000,
+            total_budget: 4000.0,
+            training_energy: 2.0,
+            valuation: Valuation::default(),
+        }
+    }
+
+    /// Energy-heterogeneous scenario reproducing grouped renewal cycles
+    /// (fast/medium/slow/very-slow harvesters, as in the sustainable-FL
+    /// experiment setup with cycles ≈ 1/5/10/20 rounds).
+    pub fn energy_heterogeneous() -> Scenario {
+        let cost_model_energy = 2.0; // per-round training energy
+        let group = |cycle: f64| EnergyGroup {
+            harvester: HarvesterKind::Constant {
+                rate: cost_model_energy / cycle,
+            },
+            battery_capacity: 2.0 * cost_model_energy,
+        };
+        Scenario {
+            name: "energy-heterogeneous".into(),
+            population: PopulationConfig {
+                num_clients: 40,
+                cost: CostDistribution::Uniform { lo: 0.5, hi: 2.5 },
+                data_size: (100, 400),
+                quality: (0.6, 1.0),
+                energy_groups: vec![group(1.0), group(5.0), group(10.0), group(20.0)],
+            },
+            availability: AvailabilityKind::Full,
+            horizon: 1000,
+            total_budget: 3000.0,
+            training_energy: 2.0,
+            valuation: Valuation::Log(ClientValue {
+                value_per_unit: 0.4,
+                base_value: 0.5,
+            }),
+        }
+    }
+
+    /// Solar-powered fleet: diurnal harvesting with staggered phases.
+    pub fn solar_fleet() -> Scenario {
+        let mk = |phase: usize| EnergyGroup {
+            harvester: HarvesterKind::Solar {
+                day_length: 48,
+                peak: 1.5,
+                phase,
+                noise: 0.3,
+            },
+            battery_capacity: 8.0,
+        };
+        Scenario {
+            name: "solar-fleet".into(),
+            population: PopulationConfig {
+                num_clients: 60,
+                cost: CostDistribution::DataCorrelated {
+                    base: 0.3,
+                    per_example: 0.002,
+                    noise: 0.3,
+                },
+                data_size: (50, 300),
+                quality: (0.5, 1.0),
+                energy_groups: vec![mk(0), mk(12), mk(24), mk(36)],
+            },
+            availability: AvailabilityKind::Full,
+            horizon: 960, // 20 simulated days
+            total_budget: 2500.0,
+            training_energy: 4.0,
+            valuation: Valuation::Log(ClientValue {
+                value_per_unit: 0.35,
+                base_value: 0.5,
+            }),
+        }
+    }
+
+    /// Large-population scalability scenario (economic simulation only).
+    pub fn large(num_clients: usize) -> Scenario {
+        Scenario {
+            name: format!("large-{num_clients}"),
+            population: PopulationConfig {
+                num_clients,
+                cost: CostDistribution::Uniform { lo: 0.2, hi: 3.0 },
+                data_size: (50, 500),
+                quality: (0.5, 1.0),
+                energy_groups: Vec::new(),
+            },
+            availability: AvailabilityKind::Bernoulli { p: 0.5 },
+            horizon: 200,
+            total_budget: 10.0 * num_clients as f64,
+            training_energy: 2.0,
+            valuation: Valuation::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_internally_consistent() {
+        for s in [
+            Scenario::small(),
+            Scenario::standard(),
+            Scenario::energy_heterogeneous(),
+            Scenario::solar_fleet(),
+            Scenario::large(500),
+        ] {
+            assert!(s.population.num_clients > 0, "{}", s.name);
+            assert!(s.horizon > 0);
+            assert!(s.total_budget > 0.0);
+            assert!(s.budget_per_round() > 0.0);
+            // Population generation must succeed.
+            let pop = crate::population::generate(&s.population, 1);
+            assert_eq!(pop.len(), s.population.num_clients);
+        }
+    }
+
+    #[test]
+    fn budget_per_round_math() {
+        let s = Scenario::small();
+        assert!((s.budget_per_round() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_groups_have_expected_cycles() {
+        let s = Scenario::energy_heterogeneous();
+        let groups = &s.population.energy_groups;
+        assert_eq!(groups.len(), 4);
+        let rates: Vec<f64> = groups
+            .iter()
+            .map(|g| g.harvester.mean_rate())
+            .collect();
+        // Cycle = cost / rate = 2.0 / rate.
+        let cycles: Vec<f64> = rates.iter().map(|r| 2.0 / r).collect();
+        assert!((cycles[0] - 1.0).abs() < 1e-9);
+        assert!((cycles[1] - 5.0).abs() < 1e-9);
+        assert!((cycles[2] - 10.0).abs() < 1e-9);
+        assert!((cycles[3] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn large_scales_budget() {
+        let s = Scenario::large(1000);
+        assert_eq!(s.population.num_clients, 1000);
+        assert!((s.total_budget - 10_000.0).abs() < 1e-9);
+    }
+}

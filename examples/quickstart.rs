@@ -1,0 +1,79 @@
+//! Quickstart: run LOVM against every baseline on one scenario and print
+//! the headline comparison (welfare, budget compliance, client utility).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sustainable_fl::prelude::*;
+
+fn main() {
+    let scenario = Scenario::standard();
+    let seed = 42;
+    println!(
+        "Scenario `{}`: {} clients, {} rounds, budget {} ({:.2}/round)\n",
+        scenario.name,
+        scenario.population.num_clients,
+        scenario.horizon,
+        scenario.total_budget,
+        scenario.budget_per_round()
+    );
+
+    let valuation = Valuation::default();
+    let mut mechanisms: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Lovm::new(LovmConfig::for_scenario(&scenario, 50.0))),
+        Box::new(MyopicVcg::new(valuation, None)),
+        Box::new(BudgetSplitGreedy::new(valuation, None)),
+        Box::new(FixedPrice::new(1.2, valuation, None)),
+        Box::new(RandomK::new(4, valuation, seed)),
+    ];
+
+    let mut table = metrics::Table::new(vec![
+        "mechanism".into(),
+        "welfare".into(),
+        "spend".into(),
+        "avg/round".into(),
+        "budget ok".into(),
+        "client utility".into(),
+    ]);
+
+    let mut oracle_input = None;
+    for mech in &mut mechanisms {
+        let result = simulate(mech.as_mut(), &scenario, seed);
+        let spend = result.ledger.total_payment();
+        let avg = spend / scenario.horizon as f64;
+        table.row(vec![
+            result.mechanism.clone(),
+            format!("{:.1}", result.ledger.social_welfare()),
+            format!("{spend:.1}"),
+            format!("{avg:.3}"),
+            if spend <= scenario.total_budget * 1.02 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+            format!("{:.1}", result.ledger.client_utility()),
+        ]);
+        if oracle_input.is_none() {
+            oracle_input = Some(result.bids_per_round);
+        }
+    }
+
+    // Offline full-information oracle on the same bid stream.
+    let oracle = offline_benchmark(
+        &oracle_input.expect("at least one run"),
+        &valuation,
+        scenario.total_budget,
+    );
+    table.row(vec![
+        "OfflineOracle".into(),
+        format!("{:.1}", oracle.welfare),
+        format!("{:.1}", oracle.spend),
+        format!("{:.3}", oracle.spend / scenario.horizon as f64),
+        "yes".into(),
+        "0.0".into(),
+    ]);
+
+    println!("{}", table.to_markdown());
+    println!("(Oracle pays cost exactly, so client utility is zero by definition.)");
+}

@@ -1,0 +1,199 @@
+//! `lovm` — command-line runner for the sustainable-FL auction simulator.
+//!
+//! ```text
+//! lovm list
+//! lovm simulate --scenario standard --mechanism lovm --v 50 --seed 42
+//! lovm compare  --scenario small --seed 7
+//! lovm csv      --scenario standard --mechanism lovm --v 20 > run.csv
+//! ```
+
+use std::process::ExitCode;
+use sustainable_fl::core::offline::{competitive_ratio, offline_benchmark};
+use sustainable_fl::prelude::*;
+
+struct Args {
+    command: String,
+    scenario: String,
+    mechanism: String,
+    v: f64,
+    seed: u64,
+    price: f64,
+    k: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        command: String::new(),
+        scenario: "standard".into(),
+        mechanism: "lovm".into(),
+        v: 50.0,
+        seed: 42,
+        price: 1.2,
+        k: 4,
+    };
+    let mut it = std::env::args().skip(1);
+    args.command = it.next().ok_or_else(usage)?;
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("flag {flag} needs a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = value()?,
+            "--mechanism" => args.mechanism = value()?,
+            "--v" => args.v = value()?.parse().map_err(|e| format!("--v: {e}"))?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--price" => args.price = value()?.parse().map_err(|e| format!("--price: {e}"))?,
+            "--k" => args.k = value()?.parse().map_err(|e| format!("--k: {e}"))?,
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn usage() -> String {
+    "usage: lovm <list|simulate|compare|csv> [--scenario NAME] [--mechanism NAME] \
+     [--v V] [--seed SEED] [--price P] [--k K]\n\
+     scenarios: small, standard, energy-heterogeneous, solar-fleet, large-<N>\n\
+     mechanisms: lovm, myopic, greedy, proportional, fixed, random, all"
+        .into()
+}
+
+fn scenario_by_name(name: &str) -> Result<Scenario, String> {
+    match name {
+        "small" => Ok(Scenario::small()),
+        "standard" => Ok(Scenario::standard()),
+        "energy-heterogeneous" => Ok(Scenario::energy_heterogeneous()),
+        "solar-fleet" => Ok(Scenario::solar_fleet()),
+        other => {
+            if let Some(n) = other.strip_prefix("large-") {
+                let n: usize = n.parse().map_err(|e| format!("bad population: {e}"))?;
+                Ok(Scenario::large(n))
+            } else {
+                Err(format!("unknown scenario `{other}`\n{}", usage()))
+            }
+        }
+    }
+}
+
+fn mechanism_by_name(args: &Args, scenario: &Scenario) -> Result<Box<dyn Mechanism>, String> {
+    let valuation = scenario.valuation;
+    Ok(match args.mechanism.as_str() {
+        "lovm" => Box::new(Lovm::new(LovmConfig::for_scenario(scenario, args.v))),
+        "myopic" => Box::new(MyopicVcg::new(valuation, None)),
+        "greedy" => Box::new(BudgetSplitGreedy::new(valuation, None)),
+        "proportional" => Box::new(ProportionalShare::new(valuation)),
+        "fixed" => Box::new(FixedPrice::new(args.price, valuation, None)),
+        "random" => Box::new(RandomK::new(args.k, valuation, args.seed)),
+        "all" => Box::new(AllAvailable::new(valuation)),
+        other => return Err(format!("unknown mechanism `{other}`\n{}", usage())),
+    })
+}
+
+fn summarize(result: &sustainable_fl::core::SimulationResult, scenario: &Scenario) {
+    let oracle = offline_benchmark(
+        &result.bids_per_round,
+        &scenario.valuation,
+        scenario.total_budget,
+    );
+    let welfare = result.ledger.social_welfare();
+    println!("mechanism        : {}", result.mechanism);
+    println!("scenario         : {}", result.scenario);
+    println!("rounds           : {}", result.outcomes.len());
+    println!("social welfare   : {welfare:.1}");
+    println!("oracle welfare   : {:.1}", oracle.welfare);
+    println!(
+        "competitive ratio: {:.3}",
+        competitive_ratio(welfare, &oracle)
+    );
+    println!(
+        "spend / budget   : {:.1} / {:.1}",
+        result.ledger.total_payment(),
+        scenario.total_budget
+    );
+    println!("client utility   : {:.1}", result.ledger.client_utility());
+    println!(
+        "platform utility : {:.1}",
+        result.ledger.platform_utility()
+    );
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "list" => {
+            println!("scenarios : small, standard, energy-heterogeneous, solar-fleet, large-<N>");
+            println!("mechanisms: lovm, myopic, greedy, proportional, fixed, random, all");
+            Ok(())
+        }
+        "simulate" => {
+            let scenario = scenario_by_name(&args.scenario)?;
+            let mut mech = mechanism_by_name(&args, &scenario)?;
+            let result = simulate(mech.as_mut(), &scenario, args.seed);
+            summarize(&result, &scenario);
+            Ok(())
+        }
+        "csv" => {
+            let scenario = scenario_by_name(&args.scenario)?;
+            let mut mech = mechanism_by_name(&args, &scenario)?;
+            let result = simulate(mech.as_mut(), &scenario, args.seed);
+            print!("{}", result.series.to_csv());
+            Ok(())
+        }
+        "compare" => {
+            let scenario = scenario_by_name(&args.scenario)?;
+            let names = ["lovm", "myopic", "greedy", "proportional", "fixed", "random"];
+            let mut table = metrics::Table::new(vec![
+                "mechanism".into(),
+                "welfare".into(),
+                "ratio".into(),
+                "spend".into(),
+                "feasible".into(),
+            ]);
+            for name in names {
+                let a = Args {
+                    mechanism: name.into(),
+                    ..Args {
+                        command: args.command.clone(),
+                        scenario: args.scenario.clone(),
+                        mechanism: String::new(),
+                        v: args.v,
+                        seed: args.seed,
+                        price: args.price,
+                        k: args.k,
+                    }
+                };
+                let mut mech = mechanism_by_name(&a, &scenario)?;
+                let result = simulate(mech.as_mut(), &scenario, args.seed);
+                let oracle = offline_benchmark(
+                    &result.bids_per_round,
+                    &scenario.valuation,
+                    scenario.total_budget,
+                );
+                let welfare = result.ledger.social_welfare();
+                let spend = result.ledger.total_payment();
+                table.row(vec![
+                    result.mechanism.clone(),
+                    format!("{welfare:.1}"),
+                    format!("{:.3}", competitive_ratio(welfare, &oracle)),
+                    format!("{spend:.1}"),
+                    if spend <= scenario.total_budget * 1.05 {
+                        "yes".into()
+                    } else {
+                        "NO".into()
+                    },
+                ]);
+            }
+            println!("{}", table.to_markdown());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # sustainable-fl — Sustainable Federated Learning with a Long-term Online VCG Auction
+//!
+//! Umbrella crate re-exporting the full reproduction stack:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`](mod@core) | `lovm-core` | the LOVM mechanism, simulator, FL orchestrator, offline oracle |
+//! | [`auction`](mod@auction) | `auction` | bids, valuations, WDP solvers, VCG & critical payments, property checks |
+//! | [`lyapunov`](mod@lyapunov) | `lyapunov` | virtual queues, drift-plus-penalty, bound calculators |
+//! | [`fedsim`](mod@fedsim) | `fedsim` | datasets, models, optimizers, FedAvg |
+//! | [`energy`](mod@energy) | `energy` | batteries, harvesting processes, cost models |
+//! | [`workload`](mod@workload) | `workload` | client populations, availability, scenarios |
+//! | [`baselines`](mod@baselines) | `baselines` | every comparator mechanism |
+//! | [`metrics`](mod@metrics) | `metrics` | statistics, series, tables |
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and EXPERIMENTS.md
+//! for the full evaluation suite.
+
+pub use auction;
+pub use baselines;
+pub use energy;
+pub use fedsim;
+pub use lovm_core as core;
+pub use lyapunov;
+pub use metrics;
+pub use workload;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use auction::{Bid, ClientValue, Valuation};
+    pub use baselines::{AllAvailable, BudgetSplitGreedy, FixedPrice, MyopicVcg, ProportionalShare, RandomK};
+    pub use lovm_core::{
+        offline_benchmark, simulate, EconomicLedger, Lovm, LovmConfig, Mechanism, RoundInfo,
+        SimulationResult,
+    };
+    pub use workload::Scenario;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links_all_crates() {
+        use crate::prelude::*;
+        let scenario = Scenario::small();
+        let mech = Lovm::new(LovmConfig::for_scenario(&scenario, 5.0));
+        assert!(mech.name().starts_with("LOVM"));
+    }
+}

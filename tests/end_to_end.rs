@@ -1,0 +1,174 @@
+//! Cross-crate integration: the full LOVM pipeline against every baseline
+//! on a shared scenario, checking the paper's qualitative claims hold on
+//! fixed seeds.
+
+use sustainable_fl::core::offline::competitive_ratio;
+use sustainable_fl::prelude::*;
+
+fn scenario() -> Scenario {
+    // Small enough for debug-mode CI, large enough for steady state.
+    let mut s = Scenario::small();
+    s.horizon = 400;
+    s.total_budget = 800.0;
+    s
+}
+
+#[test]
+fn lovm_beats_value_blind_baselines_on_welfare() {
+    let s = scenario();
+    let valuation = Valuation::default();
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+    let mut fixed = FixedPrice::new(1.2, valuation, None);
+    let mut random = RandomK::new(2, valuation, 9);
+
+    let w_lovm = simulate(&mut lovm, &s, 9).ledger.social_welfare();
+    let w_fixed = simulate(&mut fixed, &s, 9).ledger.social_welfare();
+    let w_random = simulate(&mut random, &s, 9).ledger.social_welfare();
+
+    assert!(
+        w_lovm > w_fixed,
+        "LOVM {w_lovm} should beat FixedPrice {w_fixed}"
+    );
+    assert!(
+        w_lovm > w_random,
+        "LOVM {w_lovm} should beat RandomK {w_random}"
+    );
+}
+
+#[test]
+fn lovm_close_to_offline_oracle() {
+    let s = scenario();
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+    let result = simulate(&mut lovm, &s, 11);
+    let oracle = offline_benchmark(
+        &result.bids_per_round,
+        &Valuation::default(),
+        s.total_budget,
+    );
+    let ratio = competitive_ratio(result.ledger.social_welfare(), &oracle);
+    assert!(
+        ratio > 0.5,
+        "competitive ratio {ratio} too low (welfare {} vs oracle {})",
+        result.ledger.social_welfare(),
+        oracle.welfare
+    );
+    assert!(
+        ratio <= 1.0 + 1e-9,
+        "online welfare cannot exceed the oracle: ratio {ratio}"
+    );
+}
+
+#[test]
+fn budget_feasible_mechanisms_respect_budget() {
+    let s = scenario();
+    let valuation = Valuation::default();
+    let slack = 1.10; // O(V)/R transient allowance
+    let runs: Vec<(String, f64)> = {
+        let mut out = Vec::new();
+        let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+        out.push((
+            "lovm".into(),
+            simulate(&mut lovm, &s, 3).ledger.total_payment(),
+        ));
+        let mut greedy = BudgetSplitGreedy::new(valuation, None);
+        out.push((
+            "greedy".into(),
+            simulate(&mut greedy, &s, 3).ledger.total_payment(),
+        ));
+        let mut fixed = FixedPrice::new(1.0, valuation, None);
+        out.push((
+            "fixed".into(),
+            simulate(&mut fixed, &s, 3).ledger.total_payment(),
+        ));
+        out
+    };
+    for (name, spend) in runs {
+        assert!(
+            spend <= s.total_budget * slack,
+            "{name} overspent: {spend} vs budget {}",
+            s.total_budget
+        );
+    }
+}
+
+#[test]
+fn all_mechanisms_are_individually_rational_at_reports() {
+    let s = scenario();
+    let valuation = Valuation::default();
+    let mut mechs: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(Lovm::new(LovmConfig::for_scenario(&s, 25.0))),
+        Box::new(BudgetSplitGreedy::new(valuation, Some(5))),
+        Box::new(FixedPrice::new(1.3, valuation, None)),
+        Box::new(RandomK::new(3, valuation, 4)),
+        Box::new(AllAvailable::new(valuation)),
+    ];
+    for mech in &mut mechs {
+        let result = simulate(mech.as_mut(), &s, 5);
+        for outcome in &result.outcomes {
+            for w in &outcome.winners {
+                assert!(
+                    w.payment >= w.cost - 1e-6,
+                    "{}: winner {} paid {} below cost {}",
+                    result.mechanism,
+                    w.bidder,
+                    w.payment,
+                    w.cost
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulation_is_deterministic_across_mechanism_instances() {
+    let s = scenario();
+    let mut a = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+    let mut b = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+    let ra = simulate(&mut a, &s, 77);
+    let rb = simulate(&mut b, &s, 77);
+    assert_eq!(ra.ledger, rb.ledger);
+    assert_eq!(ra.outcomes, rb.outcomes);
+}
+
+#[test]
+fn ledger_matches_outcome_stream() {
+    let s = scenario();
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+    let result = simulate(&mut lovm, &s, 13);
+    let total_payment: f64 = result.outcomes.iter().map(|o| o.total_payment()).sum();
+    assert!((total_payment - result.ledger.total_payment()).abs() < 1e-6);
+    let total_value: f64 = result.outcomes.iter().map(|o| o.total_value()).sum();
+    assert!((total_value - result.ledger.total_value()).abs() < 1e-6);
+    result.ledger.check_invariants().unwrap();
+}
+
+#[test]
+fn misreporting_client_cannot_gain_under_lovm_full_horizon() {
+    // Long-run truthfulness: a client misreporting in *every* round of the
+    // whole simulation does not increase its realized utility.
+    let s = scenario();
+    let target = 7usize;
+    let utility_with_factor = |factor: f64| -> f64 {
+        let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+        let market = sustainable_fl::core::simulation::Market::new(&s, 21);
+        let market = if (factor - 1.0).abs() > 1e-12 {
+            market.with_misreport(target, factor)
+        } else {
+            market
+        };
+        let result = sustainable_fl::core::simulation::simulate_market(&mut lovm, &s, market);
+        let acct = result.ledger.accounts().get(&target);
+        acct.map_or(0.0, |a| a.utility())
+    };
+    let truthful = utility_with_factor(1.0);
+    for factor in [0.5, 0.8, 1.2, 2.0] {
+        let lied = utility_with_factor(factor);
+        // Allow a small tolerance: misreports perturb the queue trajectory,
+        // which can shift utility either way by a little; systematic gains
+        // would be large.
+        assert!(
+            lied <= truthful * 1.05 + 1.0,
+            "factor {factor}: lied utility {lied} vs truthful {truthful}"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Integration of the mechanism with real federated training (E6 shape).
+
+use fedsim::data::partition::{partition, PartitionStrategy};
+use fedsim::data::synth::{gaussian_blobs, BlobSpec};
+use fedsim::data::Dataset;
+use fedsim::model::LogisticRegression;
+use fedsim::training::{FederatedRun, RunConfig};
+use sustainable_fl::core::orchestrator::run_fl;
+use sustainable_fl::prelude::*;
+use workload::population::{CostDistribution, PopulationConfig};
+use workload::AvailabilityKind;
+
+fn fl_scenario(n: usize, horizon: usize) -> Scenario {
+    Scenario {
+        name: "fl-test".into(),
+        population: PopulationConfig {
+            num_clients: n,
+            cost: CostDistribution::Uniform { lo: 0.5, hi: 1.5 },
+            data_size: (10, 10), // overwritten by shard alignment
+            quality: (0.7, 1.0),
+            energy_groups: Vec::new(),
+        },
+        availability: AvailabilityKind::Bernoulli { p: 0.8 },
+        horizon,
+        total_budget: 2.5 * horizon as f64,
+        training_energy: 1.0,
+        valuation: auction::valuation::Valuation::default(),
+    }
+}
+
+fn federation(n: usize, seed: u64) -> (FederatedRun<LogisticRegression>, Dataset) {
+    let ds = gaussian_blobs(&BlobSpec::new(4, 8, 90), seed);
+    let (train, test) = ds.split_at(280);
+    let parts = partition(&train, n, PartitionStrategy::Dirichlet { alpha: 0.8 }, seed);
+    let run = FederatedRun::new(
+        LogisticRegression::new(8, 4),
+        parts,
+        train,
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        },
+    );
+    (run, test)
+}
+
+#[test]
+fn lovm_fl_run_learns_under_budget() {
+    let n = 12;
+    let s = fl_scenario(n, 60);
+    let (mut run, test) = federation(n, 1);
+    let before = run.evaluate(&test);
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+    let result = run_fl(&mut lovm, &mut run, &test, &s, 15, 1);
+    let after = result.final_accuracy();
+    assert!(after > before + 0.25, "accuracy {before} -> {after}");
+    // Steady-state budget satisfied.
+    let spend = result.series.get("spend").unwrap();
+    let late = &spend[30..];
+    let avg = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(avg <= s.budget_per_round() * 1.15, "late avg spend {avg}");
+}
+
+#[test]
+fn mechanism_choice_changes_participation_but_all_learn() {
+    let n = 10;
+    let s = fl_scenario(n, 50);
+    let valuation = Valuation::default();
+
+    let (mut run_a, test) = federation(n, 2);
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+    let res_lovm = run_fl(&mut lovm, &mut run_a, &test, &s, 50, 2);
+
+    let (mut run_b, _) = federation(n, 2);
+    let mut rand_k = RandomK::new(3, valuation, 2);
+    let res_rand = run_fl(&mut rand_k, &mut run_b, &test, &s, 50, 2);
+
+    assert!(res_lovm.final_accuracy() > 0.5);
+    assert!(res_rand.final_accuracy() > 0.5);
+    // Different winner trajectories.
+    assert_ne!(
+        res_lovm.series.get("winners").unwrap(),
+        res_rand.series.get("winners").unwrap()
+    );
+}
+
+#[test]
+fn energy_constrained_fl_trains_without_violating_batteries() {
+    // With energy groups, winners must always have had battery charge; the
+    // Market enforces it with a debug assertion, so simply completing the
+    // run in a consistent state is the check — plus participation shows the
+    // expected stratification by harvest rate.
+    let n = 12;
+    let mut s = fl_scenario(n, 80);
+    s.population.energy_groups = vec![
+        workload::population::EnergyGroup {
+            harvester: energy::harvest::HarvesterKind::Constant { rate: 1.0 },
+            battery_capacity: 2.0,
+        },
+        workload::population::EnergyGroup {
+            harvester: energy::harvest::HarvesterKind::Constant { rate: 0.125 },
+            battery_capacity: 2.0,
+        },
+    ];
+    s.training_energy = 1.0;
+    let (mut run, test) = federation(n, 3);
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+    let result = run_fl(&mut lovm, &mut run, &test, &s, 20, 3);
+
+    // Group 0 (rate 1.0, cycle 1) can win every round; group 1 (rate 0.125,
+    // cycle 8) at most ~1/8 of rounds + initial charge.
+    let wins = result.ledger.win_counts(n);
+    let fast: f64 = wins.iter().step_by(2).sum();
+    let slow: f64 = wins.iter().skip(1).step_by(2).sum();
+    assert!(
+        fast > slow,
+        "fast harvesters should win more: fast {fast} vs slow {slow}"
+    );
+    // Slow group physically bounded: 6 clients × (80/8 + 2 initial).
+    assert!(slow <= 6.0 * 12.0 + 1e-9, "slow wins {slow} impossible");
+}
+
+#[test]
+fn accuracy_curve_is_monotonic_in_round_samples() {
+    // Not strictly monotone (SGD noise), but the last sample should beat
+    // the first and the samples should be ordered by round.
+    let n = 8;
+    let s = fl_scenario(n, 40);
+    let (mut run, test) = federation(n, 4);
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 20.0));
+    let result = run_fl(&mut lovm, &mut run, &test, &s, 10, 4);
+    let rounds: Vec<usize> = result.accuracy.iter().map(|&(r, _)| r).collect();
+    assert_eq!(rounds, vec![10, 20, 30, 40]);
+    assert!(result.accuracy.last().unwrap().1 >= result.accuracy[0].1 - 0.05);
+}

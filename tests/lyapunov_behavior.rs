@@ -1,0 +1,103 @@
+//! Integration checks of the Lyapunov claims (E2/E3 shapes) on the real
+//! mechanism, not the toy controller.
+
+use sustainable_fl::prelude::*;
+
+fn scenario() -> Scenario {
+    let mut s = Scenario::small();
+    s.horizon = 600;
+    s.total_budget = 1200.0;
+    s
+}
+
+fn run(v: f64, seed: u64) -> (f64, f64, f64) {
+    let s = scenario();
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, v));
+    let result = simulate(&mut lovm, &s, seed);
+    let welfare = result.ledger.social_welfare();
+    let backlog = result.series.get("backlog").unwrap();
+    let peak = backlog.iter().cloned().fold(0.0, f64::max);
+    let avg_spend = *result.average_spend().last().unwrap();
+    (welfare, peak, avg_spend)
+}
+
+#[test]
+fn time_average_spend_meets_rate_for_all_v() {
+    let s = scenario();
+    for v in [5.0, 20.0, 80.0] {
+        let (_, _, avg) = run(v, 2);
+        assert!(
+            avg <= s.budget_per_round() * 1.08,
+            "V={v}: avg spend {avg} vs rate {}",
+            s.budget_per_round()
+        );
+    }
+}
+
+#[test]
+fn backlog_grows_with_v() {
+    let (_, peak_small, _) = run(2.0, 3);
+    let (_, peak_large, _) = run(200.0, 3);
+    assert!(
+        peak_large > peak_small,
+        "peak backlog should grow with V: {peak_small} vs {peak_large}"
+    );
+}
+
+#[test]
+fn welfare_weakly_improves_with_v() {
+    let (w_small, _, _) = run(2.0, 4);
+    let (w_large, _, _) = run(100.0, 4);
+    assert!(
+        w_large >= w_small * 0.95,
+        "welfare should not collapse with V: {w_small} -> {w_large}"
+    );
+}
+
+#[test]
+fn queue_drains_after_transient() {
+    // The backlog must not grow linearly over the horizon (stability).
+    let s = scenario();
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, 30.0));
+    let result = simulate(&mut lovm, &s, 5);
+    let backlog = result.series.get("backlog").unwrap();
+    let mid = backlog[backlog.len() / 2];
+    let end = *backlog.last().unwrap();
+    // End backlog within a constant factor of the mid backlog (no linear
+    // growth between mid and end).
+    assert!(
+        end <= mid.max(10.0) * 2.0,
+        "backlog still growing: mid {mid}, end {end}"
+    );
+}
+
+#[test]
+fn theoretical_bounds_are_consistent_with_measurement() {
+    use sustainable_fl::lyapunov::analysis::{backlog_bound, lyapunov_b_constant};
+    let s = scenario();
+    let v = 30.0;
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&s, v));
+    let result = simulate(&mut lovm, &s, 6);
+
+    // Empirical max per-round spend bounds the Lyapunov B constant.
+    let spend = result.series.get("spend").unwrap();
+    let spend_max = spend.iter().cloned().fold(0.0, f64::max);
+    let b = lyapunov_b_constant(spend_max, s.budget_per_round());
+
+    // The drift-plus-penalty argument's penalty range is the per-round
+    // platform *value* (what V multiplies), not realized welfare.
+    let value = result.series.get("value").unwrap();
+    let value_max = value.iter().cloned().fold(0.0, f64::max);
+
+    // Slater: spending nothing under-spends by ρ each round.
+    let eps = s.budget_per_round();
+    // One extra spend_max absorbs the final overshoot step of the queue.
+    let bound = backlog_bound(b, v, value_max, eps) + spend_max;
+
+    let backlog = result.series.get("backlog").unwrap();
+    let peak = backlog.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        peak <= bound,
+        "measured peak backlog {peak} exceeds theoretical bound {bound}"
+    );
+}
