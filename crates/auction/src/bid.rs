@@ -1,6 +1,5 @@
 //! Bidder types for the reverse (procurement) auction.
 
-use serde::{Deserialize, Serialize};
 
 /// A sealed bid submitted by one client in one round.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// the truth — the mechanism's job is to make truthful reporting optimal);
 /// `data_size` and `quality` are assumed verifiable by the platform, as is
 /// standard in FL incentive auctions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bid {
     /// Stable client identifier.
     pub bidder: usize,

@@ -1,9 +1,8 @@
 //! Auction outcomes: who won, what they are paid.
 
-use serde::{Deserialize, Serialize};
 
 /// One winner's award.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Award {
     /// Winning bidder id.
     pub bidder: usize,
@@ -16,7 +15,7 @@ pub struct Award {
 }
 
 /// Result of one auction round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct AuctionOutcome {
     /// Winning bidders with their payments (sorted by bidder id).
     pub winners: Vec<Award>,

@@ -6,7 +6,6 @@
 
 use crate::bid::Bid;
 use crate::outcome::AuctionOutcome;
-use serde::{Deserialize, Serialize};
 
 /// Checks individual rationality at reported costs: every winner is paid at
 /// least its reported cost (within `tol`).
@@ -24,7 +23,7 @@ pub fn utility(outcome: &AuctionOutcome, bidder: usize, true_cost: f64) -> f64 {
 }
 
 /// Result of probing one bidder's incentive to misreport.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TruthfulnessReport {
     /// Bidder probed.
     pub bidder: usize,
@@ -195,40 +194,42 @@ mod tests {
         assert!(!budget_feasible(&[o.clone(), o], spend, 1e-9));
     }
 
-    proptest::proptest! {
-        /// DSIC on random instances: no bidder in a random market can gain
-        /// by any probed misreport under the exact top-K VCG auction.
-        #[test]
-        fn vcg_truthful_on_random_instances(
-            costs in proptest::collection::vec(0.05f64..5.0, 2..10),
-            datas in proptest::collection::vec(1usize..40, 10),
-            qualities in proptest::collection::vec(0.1f64..1.0, 10),
-            k in 1usize..5,
-            value_weight in 0.5f64..20.0,
-            cost_weight in 0.5f64..5.0,
-        ) {
-            let bids: Vec<Bid> = costs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| Bid::new(i, c, datas[i], qualities[i]))
+    /// Property: DSIC on random instances — no bidder in a random market
+    /// can gain by any probed misreport under the exact top-K VCG auction
+    /// (seeded random instances).
+    #[test]
+    fn vcg_truthful_on_random_instances() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD51C);
+        for _ in 0..40 {
+            let n = rng.random_range(2..10usize);
+            let bids: Vec<Bid> = (0..n)
+                .map(|i| {
+                    Bid::new(
+                        i,
+                        rng.random_range(0.05..5.0),
+                        rng.random_range(1..40usize),
+                        rng.random_range(0.1..1.0),
+                    )
+                })
                 .collect();
             let valuation = Valuation::Linear(ClientValue {
                 value_per_unit: 0.5,
                 base_value: 0.2,
             });
             let auction = VcgAuction::new(VcgConfig {
-                value_weight,
-                cost_weight,
-                max_winners: Some(k),
+                value_weight: rng.random_range(0.5..20.0),
+                cost_weight: rng.random_range(0.5..5.0),
+                max_winners: Some(rng.random_range(1..5usize)),
                 reserve_price: None,
             });
             let outcome = auction.run(&bids, &valuation);
-            proptest::prop_assert!(individually_rational(&outcome, 1e-9));
+            assert!(individually_rational(&outcome, 1e-9));
             for i in 0..bids.len() {
                 let report = probe_truthfulness(&bids, i, &default_factor_grid(), |b| {
                     auction.run(b, &valuation)
                 });
-                proptest::prop_assert!(
+                assert!(
                     report.is_truthful(1e-9),
                     "bidder {} gains {} (factor {})",
                     i,
@@ -237,18 +238,20 @@ mod tests {
                 );
             }
         }
+    }
 
-        /// Losers never pay / never receive: probing a random loser yields
-        /// zero utility at truth, and winners' utilities equal their pivot.
-        #[test]
-        fn vcg_utility_structure_random(
-            costs in proptest::collection::vec(0.05f64..5.0, 2..8),
-            seed_data in 1usize..30,
-        ) {
-            let bids: Vec<Bid> = costs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| Bid::new(i, c, seed_data + i, 0.9))
+    /// Property: losers never pay / never receive — probing a random loser
+    /// yields zero utility at truth, and winners' utilities are
+    /// non-negative (seeded random instances).
+    #[test]
+    fn vcg_utility_structure_random() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x07EC);
+        for _ in 0..200 {
+            let n = rng.random_range(2..8usize);
+            let seed_data = rng.random_range(1..30usize);
+            let bids: Vec<Bid> = (0..n)
+                .map(|i| Bid::new(i, rng.random_range(0.05..5.0), seed_data + i, 0.9))
                 .collect();
             let valuation = Valuation::Linear(ClientValue {
                 value_per_unit: 0.3,
@@ -259,9 +262,9 @@ mod tests {
             for b in &bids {
                 let u = utility(&o, b.bidder, b.cost);
                 if o.is_winner(b.bidder) {
-                    proptest::prop_assert!(u >= -1e-9);
+                    assert!(u >= -1e-9);
                 } else {
-                    proptest::prop_assert!(u == 0.0);
+                    assert!(u == 0.0);
                 }
             }
         }

@@ -6,10 +6,9 @@
 //! (diminishing returns *within* a client) which keeps the WDP exact.
 
 use crate::bid::Bid;
-use serde::{Deserialize, Serialize};
 
 /// Per-client value parameters shared by the valuation variants.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientValue {
     /// Value per unit of quality-weighted data.
     pub value_per_unit: f64,
@@ -27,7 +26,7 @@ impl Default for ClientValue {
 }
 
 /// How the platform values one selected client.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Valuation {
     /// `v_i = base + u · d_i q_i`.
     Linear(ClientValue),

@@ -20,10 +20,9 @@ use crate::bid::Bid;
 use crate::outcome::{AuctionOutcome, Award};
 use crate::valuation::Valuation;
 use crate::wdp::{solve, SolverKind, WdpInstance, WdpItem};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one VCG round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VcgConfig {
     /// Weight on platform value in the virtual welfare (`V ≥ 0`).
     pub value_weight: f64,
@@ -50,7 +49,7 @@ impl Default for VcgConfig {
 }
 
 /// A sealed-bid VCG procurement auction (see module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VcgAuction {
     config: VcgConfig,
 }

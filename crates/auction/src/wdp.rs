@@ -10,10 +10,9 @@
 //! greedy approximation and a fractional upper bound used by baselines and
 //! the experiment harness.
 
-use serde::{Deserialize, Serialize};
 
 /// One candidate in a winner-determination instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WdpItem {
     /// Stable bidder identifier carried through to the outcome.
     pub bidder: usize,
@@ -24,7 +23,7 @@ pub struct WdpItem {
 }
 
 /// A winner-determination instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WdpInstance {
     /// Candidate items.
     pub items: Vec<WdpItem>,
@@ -102,7 +101,7 @@ impl WdpInstance {
 }
 
 /// A solved winner-determination instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WdpSolution {
     /// Indices into [`WdpInstance::items`] of the selected items.
     pub selected: Vec<usize>,
@@ -122,7 +121,7 @@ impl WdpSolution {
 }
 
 /// Which algorithm to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverKind {
     /// Automatically picks an exact algorithm for the constraint shape.
     Exact,
@@ -451,7 +450,7 @@ pub fn fractional_upper_bound(inst: &WdpInstance) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{rngs::StdRng, RngExt, SeedableRng};
 
     fn item(bidder: usize, weight: f64, cost: f64) -> WdpItem {
         WdpItem {
@@ -586,54 +585,55 @@ mod tests {
         let _ = solve(&WdpInstance::new(items), SolverKind::Exhaustive);
     }
 
-    proptest! {
-        /// Exact dispatch must match brute force on small instances.
-        #[test]
-        fn exact_matches_exhaustive(
-            weights in proptest::collection::vec(-5.0f64..10.0, 1..10),
-            costs in proptest::collection::vec(0.0f64..5.0, 10),
-            k in 1usize..6,
-            use_budget in proptest::bool::ANY,
-            budget in 0.0f64..15.0,
-        ) {
-            let items: Vec<WdpItem> = weights
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| item(i, w, costs[i]))
+    /// Property: exact dispatch must match brute force on small instances
+    /// (seeded random instances).
+    #[test]
+    fn exact_matches_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(0xE8AC);
+        for _ in 0..150 {
+            let n = rng.random_range(1..10usize);
+            let items: Vec<WdpItem> = (0..n)
+                .map(|i| item(i, rng.random_range(-5.0..10.0), rng.random_range(0.0..5.0)))
                 .collect();
+            let k = rng.random_range(1..6usize);
+            let use_budget: bool = rng.random();
             let mut inst = WdpInstance::new(items).with_max_winners(k);
             if use_budget {
-                inst = inst.with_budget(budget);
+                inst = inst.with_budget(rng.random_range(0.0..15.0));
             }
             let exact = solve(&inst, SolverKind::Exact);
             let brute = solve(&inst, SolverKind::Exhaustive);
             // Knapsack grid rounding may lose a sliver of objective; the
             // no-budget path must be exactly optimal.
             let tol = if use_budget { 0.1 } else { 1e-9 };
-            prop_assert!(exact.objective >= brute.objective - tol,
-                "exact {} < brute {}", exact.objective, brute.objective);
-            prop_assert!(inst.feasible(&exact.selected));
+            assert!(
+                exact.objective >= brute.objective - tol,
+                "exact {} < brute {}",
+                exact.objective,
+                brute.objective
+            );
+            assert!(inst.feasible(&exact.selected));
         }
+    }
 
-        /// Greedy is always feasible and never exceeds the exact optimum.
-        #[test]
-        fn greedy_feasible_and_bounded(
-            weights in proptest::collection::vec(0.1f64..10.0, 1..12),
-            costs in proptest::collection::vec(0.1f64..5.0, 12),
-            budget in 1.0f64..20.0,
-        ) {
-            let items: Vec<WdpItem> = weights
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| item(i, w, costs[i]))
+    /// Property: greedy is always feasible and never exceeds the exact
+    /// optimum (seeded random instances).
+    #[test]
+    fn greedy_feasible_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(0x62EE);
+        for _ in 0..150 {
+            let n = rng.random_range(1..12usize);
+            let items: Vec<WdpItem> = (0..n)
+                .map(|i| item(i, rng.random_range(0.1..10.0), rng.random_range(0.1..5.0)))
                 .collect();
+            let budget = rng.random_range(1.0..20.0f64);
             let inst = WdpInstance::new(items).with_budget(budget);
             let greedy = solve(&inst, SolverKind::GreedyDensity);
             let brute = solve(&inst, SolverKind::Exhaustive);
-            prop_assert!(inst.feasible(&greedy.selected));
-            prop_assert!(greedy.objective <= brute.objective + 1e-9);
+            assert!(inst.feasible(&greedy.selected));
+            assert!(greedy.objective <= brute.objective + 1e-9);
             let bound = fractional_upper_bound(&inst);
-            prop_assert!(bound >= brute.objective - 1e-9);
+            assert!(bound >= brute.objective - 1e-9);
         }
     }
 }

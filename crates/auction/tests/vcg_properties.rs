@@ -1,0 +1,89 @@
+//! Property-style tests for the VCG auction on random small instances.
+//!
+//! Procurement conventions: clients *report costs* and are *paid*; the
+//! forward-auction guarantee "a winner never pays more than their bid"
+//! becomes "a winner is never paid less than their reported cost" (IR).
+
+use auction::bid::Bid;
+use auction::valuation::{ClientValue, Valuation};
+use auction::vcg::{VcgAuction, VcgConfig};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
+
+fn random_bids(rng: &mut StdRng, n: usize) -> Vec<Bid> {
+    (0..n)
+        .map(|i| {
+            Bid::new(
+                i,
+                rng.random_range(0.05..5.0),
+                rng.random_range(1..50usize),
+                rng.random_range(0.1..1.0),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn vcg_payments_bounded_and_winners_from_bidder_set() {
+    let mut rng = StdRng::seed_from_u64(0x7C61);
+    for round in 0..300 {
+        let n = rng.random_range(1..12usize);
+        let bids = random_bids(&mut rng, n);
+        let valuation = Valuation::Linear(ClientValue {
+            value_per_unit: rng.random_range(0.05..1.0),
+            base_value: rng.random_range(0.0..2.0),
+        });
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: rng.random_range(1.0..30.0),
+            cost_weight: rng.random_range(0.5..5.0),
+            max_winners: Some(rng.random_range(1..6usize)),
+            reserve_price: None,
+        });
+        let outcome = auction.run(&bids, &valuation);
+
+        let mut seen = std::collections::HashSet::new();
+        for w in &outcome.winners {
+            // Winners come from the bidder set, each at most once.
+            assert!(w.bidder < n, "round {round}: phantom winner {}", w.bidder);
+            assert!(seen.insert(w.bidder), "round {round}: duplicate winner");
+            // Payments are non-negative and finite.
+            assert!(
+                w.payment.is_finite() && w.payment >= 0.0,
+                "round {round}: bad payment {}",
+                w.payment
+            );
+            // IR: the payment covers the winner's reported cost, so bidding
+            // truthfully never loses money (the procurement analogue of
+            // "pays at most the bid" in a forward auction).
+            assert!(
+                w.payment >= bids[w.bidder].cost - 1e-9,
+                "round {round}: payment {} below reported cost {}",
+                w.payment,
+                bids[w.bidder].cost
+            );
+        }
+    }
+}
+
+#[test]
+fn vcg_respects_winner_cap_and_determinism() {
+    let mut rng = StdRng::seed_from_u64(0x7C62);
+    for _ in 0..100 {
+        let n = rng.random_range(2..10usize);
+        let k = rng.random_range(1..4usize);
+        let bids = random_bids(&mut rng, n);
+        let valuation = Valuation::default();
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 10.0,
+            cost_weight: 2.0,
+            max_winners: Some(k),
+            reserve_price: None,
+        });
+        let a = auction.run(&bids, &valuation);
+        let b = auction.run(&bids, &valuation);
+        assert!(a.winners.len() <= k);
+        // Same inputs, same outcome: the auction itself is deterministic.
+        assert_eq!(a.winner_ids(), b.winner_ids());
+        assert_eq!(a.total_payment(), b.total_payment());
+    }
+}

@@ -4,7 +4,6 @@ use auction::bid::Bid;
 use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use lovm_core::mechanism::{Mechanism, RoundInfo};
-use serde::{Deserialize, Serialize};
 
 /// Recruits every present client and reimburses its reported cost.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// (maximum participation) and the budget-violation worst case (expenditure
 /// is whatever the clients ask). E2/E6 plot it as the "no mechanism"
 /// reference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AllAvailable {
     valuation: Valuation,
 }

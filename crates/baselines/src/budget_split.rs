@@ -5,7 +5,6 @@ use auction::critical::critical_value;
 use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use lovm_core::mechanism::{Mechanism, RoundInfo};
-use serde::{Deserialize, Serialize};
 
 /// Splits the *remaining* budget evenly across remaining rounds, then runs
 /// a greedy value-per-cost auction within that per-round allowance, paying
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Myopia is the point: it cannot bank budget for rounds with better bids,
 /// which is exactly what LOVM's virtual queue achieves.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BudgetSplitGreedy {
     valuation: Valuation,
     /// Cap on winners per round.

@@ -4,7 +4,6 @@ use auction::bid::Bid;
 use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use lovm_core::mechanism::{Mechanism, RoundInfo};
-use serde::{Deserialize, Serialize};
 
 /// Posts a fixed price `p̄`; every present client with reported cost
 /// `ĉ_i ≤ p̄` is recruited (cheapest first, until the per-round budget
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Trivially truthful (the payment never depends on the report; reporting
 /// above your cost only loses you profitable rounds) and extremely simple —
 /// but value-blind and unable to adapt to bid quality, which E1/E6 expose.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FixedPrice {
     price: f64,
     valuation: Valuation,

@@ -6,7 +6,6 @@ use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use auction::wdp::{solve, SolverKind, WdpInstance, WdpItem};
 use lovm_core::mechanism::{Mechanism, RoundInfo};
-use serde::{Deserialize, Serialize};
 
 /// Maximizes per-round welfare `Σ (v_i − ĉ_i)` subject to the selected
 /// set's *reported cost* staying within the equal-split cap `B/R`, with
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The mechanism remains myopic: it cannot bank budget across rounds,
 /// which is LOVM's advantage in E1/E8.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MyopicVcg {
     valuation: Valuation,
     max_winners: Option<usize>,

@@ -5,7 +5,6 @@ use auction::critical::critical_value;
 use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use lovm_core::mechanism::{Mechanism, RoundInfo};
-use serde::{Deserialize, Serialize};
 
 /// The proportional-share budget-feasible mechanism (Singer, FOCS 2010),
 /// applied per round with the equal-split allowance `B/R`.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// comparator; its gap to LOVM in E1/E8 measures the value of long-term
 /// (cross-round) budget reallocation specifically, with payment feasibility
 /// held equal.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ProportionalShare {
     valuation: Valuation,
 }
@@ -200,24 +199,33 @@ mod tests {
         assert_eq!(o.winners.len(), 4);
     }
 
-    proptest::proptest! {
-        /// Budget feasibility of payments holds on random instances.
-        #[test]
-        fn payments_never_exceed_allowance(
-            costs in proptest::collection::vec(0.1f64..5.0, 1..12),
-            datas in proptest::collection::vec(1usize..20, 12),
-            allowance in 1.0f64..30.0,
-        ) {
-            let bids: Vec<Bid> = costs
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| Bid::new(i, c, datas[i], 1.0))
+    /// Property: budget feasibility of payments holds on random instances
+    /// (seeded).
+    #[test]
+    fn payments_never_exceed_allowance() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5A1E);
+        for _ in 0..300 {
+            let n = rng.random_range(1..12usize);
+            let bids: Vec<Bid> = (0..n)
+                .map(|i| {
+                    Bid::new(
+                        i,
+                        rng.random_range(0.1..5.0),
+                        rng.random_range(1..20usize),
+                        1.0,
+                    )
+                })
                 .collect();
+            let allowance = rng.random_range(1.0..30.0f64);
             let mut m = ProportionalShare::new(val());
             let o = m.select(&info(allowance), &bids);
-            proptest::prop_assert!(o.total_payment() <= allowance + 1e-3,
-                "paid {} over allowance {allowance}", o.total_payment());
-            proptest::prop_assert!(individually_rational(&o, 1e-6));
+            assert!(
+                o.total_payment() <= allowance + 1e-3,
+                "paid {} over allowance {allowance}",
+                o.total_payment()
+            );
+            assert!(individually_rational(&o, 1e-6));
         }
     }
 }

@@ -4,8 +4,8 @@ use auction::bid::Bid;
 use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use lovm_core::mechanism::{Mechanism, RoundInfo};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 
 /// Selects `k` present clients uniformly at random each round and pays each
 /// its *reported* cost (first-price).

@@ -1,7 +1,7 @@
 //! Federated-learning substrate microbenchmarks: one local training pass
 //! and one server aggregation (the non-mechanism cost of a round).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Bencher;
 use fedsim::client::{LocalTrainer, LocalTrainerConfig};
 use fedsim::data::partition::{partition, PartitionStrategy};
 use fedsim::data::synth::{gaussian_blobs, BlobSpec};
@@ -10,8 +10,8 @@ use fedsim::optim::OptimizerKind;
 use fedsim::server::aggregate_weighted;
 use std::hint::black_box;
 
-fn bench_local_training(c: &mut Criterion) {
-    let mut group = c.benchmark_group("local_training_round");
+fn main() {
+    let mut train = Bencher::new("local_training_round");
     let ds = gaussian_blobs(&BlobSpec::new(10, 32, 100), 1);
     let parts = partition(&ds, 10, PartitionStrategy::Iid, 1);
     let shard = parts[0].dataset(&ds);
@@ -24,20 +24,13 @@ fn bench_local_training(c: &mut Criterion) {
 
     let logistic = LogisticRegression::new(32, 10);
     let trainer = LocalTrainer::new(0, shard.clone(), config);
-    group.bench_function("logistic_32f_10c", |b| {
-        b.iter(|| trainer.train(black_box(&logistic), 7))
-    });
+    train.bench("logistic_32f_10c", || trainer.train(black_box(&logistic), 7));
 
     let mlp = Mlp::new(32, 64, 10, 2);
     let trainer_mlp = LocalTrainer::new(0, shard, config);
-    group.bench_function("mlp_32f_64h_10c", |b| {
-        b.iter(|| trainer_mlp.train(black_box(&mlp), 7))
-    });
-    group.finish();
-}
+    train.bench("mlp_32f_64h_10c", || trainer_mlp.train(black_box(&mlp), 7));
 
-fn bench_aggregation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fedavg_aggregate");
+    let mut agg = Bencher::new("fedavg_aggregate");
     let ds = gaussian_blobs(&BlobSpec::new(10, 32, 40), 2);
     for n_clients in [10usize, 100] {
         let model = LogisticRegression::new(32, 10);
@@ -53,14 +46,8 @@ fn bench_aggregation(c: &mut Criterion) {
                 trainer.train(&model, p.client_id as u64)
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(n_clients),
-            &updates,
-            |b, updates| b.iter(|| aggregate_weighted(black_box(updates))),
-        );
+        agg.bench(&n_clients.to_string(), || {
+            aggregate_weighted(black_box(&updates))
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_local_training, bench_aggregation);
-criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end mechanism round benchmarks: the full LOVM round (scoring +
+//! exact WDP + Clarke payments + queue update) vs the baselines, at
+//! realistic population sizes.
+
+use auction::valuation::Valuation;
+use baselines::{BudgetSplitGreedy, FixedPrice, MyopicVcg};
+use bench::harness::Bencher;
+use bench::random_bids as bids;
+use lovm_core::lovm::{Lovm, LovmConfig};
+use lovm_core::mechanism::{Mechanism, RoundInfo};
+use std::hint::black_box;
+use workload::Scenario;
+
+fn info(n: usize) -> RoundInfo {
+    let s = Scenario::large(n);
+    RoundInfo {
+        round: 50,
+        horizon: s.horizon,
+        total_budget: s.total_budget,
+        spent_so_far: 40.0 * n as f64 / 100.0,
+    }
+}
+
+fn main() {
+    let mut lovm = Bencher::new("lovm_round");
+    for n in [100usize, 1000, 10000] {
+        let all = bids(n, 1);
+        let s = Scenario::large(n);
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&s, 50.0).with_max_winners(20));
+        let ri = info(n);
+        lovm.bench(&n.to_string(), || {
+            mech.select(black_box(&ri), black_box(&all))
+        });
+    }
+
+    let mut base = Bencher::new("baseline_round_n200");
+    let n = 200;
+    let all = bids(n, 2);
+    let ri = info(n);
+    let valuation = Valuation::default();
+
+    let mut myopic = MyopicVcg::new(valuation, None).with_grid(400);
+    base.bench("myopic_vcg_critical", || {
+        myopic.select(black_box(&ri), black_box(&all))
+    });
+
+    let mut greedy = BudgetSplitGreedy::new(valuation, None);
+    base.bench("budget_split_greedy", || {
+        greedy.select(black_box(&ri), black_box(&all))
+    });
+
+    let mut fixed = FixedPrice::new(1.2, valuation, None);
+    base.bench("fixed_price", || {
+        fixed.select(black_box(&ri), black_box(&all))
+    });
+}

@@ -1,0 +1,44 @@
+//! Payment-rule microbenchmarks: one full VCG round (allocation + Clarke
+//! pivots) vs critical-value bisection payments.
+
+use auction::bid::Bid;
+use auction::critical::critical_value;
+use auction::valuation::Valuation;
+use auction::vcg::{VcgAuction, VcgConfig};
+use bench::harness::Bencher;
+use bench::random_bids as bids;
+use std::hint::black_box;
+
+fn main() {
+    let valuation = Valuation::default();
+
+    let mut vcg = Bencher::new("vcg_full_round");
+    for n in [100usize, 1000, 10000] {
+        let all = bids(n, 1);
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 50.0,
+            cost_weight: 5.0,
+            max_winners: Some(20),
+            reserve_price: None,
+        });
+        vcg.bench(&n.to_string(), || auction.run(black_box(&all), &valuation));
+    }
+
+    let mut crit = Bencher::new("critical_value_bisection");
+    for n in [50usize, 200] {
+        let all = bids(n, 2);
+        // Monotone rule: top-10 by value/cost density.
+        let wins = move |bs: &[Bid]| -> bool {
+            let mut order: Vec<usize> = (0..bs.len()).collect();
+            order.sort_by(|&a, &b| {
+                let da = valuation.client_value(&bs[a]) / bs[a].cost.max(1e-9);
+                let db = valuation.client_value(&bs[b]) / bs[b].cost.max(1e-9);
+                db.partial_cmp(&da).unwrap()
+            });
+            order[..10].contains(&0)
+        };
+        crit.bench(&n.to_string(), || {
+            critical_value(black_box(&all), 0, 10.0, 1e-6, wins)
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! Drift-plus-penalty controller microbenchmarks: queue update and weight
+//! computation throughput (these sit on the mechanism's per-round critical
+//! path).
+
+use bench::harness::Bencher;
+use lyapunov::dpp::{DppConfig, DriftPlusPenalty};
+use lyapunov::queue::VirtualQueue;
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bencher::new("lyapunov");
+
+    let mut q = VirtualQueue::new();
+    let mut x = 0.0f64;
+    b.bench("virtual_queue_update", || {
+        x = (x + 1.3) % 5.0;
+        q.update(black_box(x), black_box(2.0))
+    });
+
+    let mut ctl = DriftPlusPenalty::new(DppConfig {
+        v: 50.0,
+        budget_per_round: 2.0,
+        min_cost_weight: 1.0,
+    });
+    let mut y = 0.0f64;
+    b.bench("dpp_weights_plus_observe", || {
+        let w = ctl.weights();
+        y = (y + 0.7) % 4.0;
+        ctl.observe_spend(black_box(y));
+        black_box(w)
+    });
+}

@@ -1,0 +1,45 @@
+//! Winner-determination solver microbenchmarks (supports E7's latency
+//! table): exact top-K vs greedy density vs knapsack DP across instance
+//! sizes.
+
+use auction::wdp::{solve, SolverKind, WdpInstance, WdpItem};
+use bench::harness::Bencher;
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn instance(n: usize, seed: u64) -> WdpInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let items: Vec<WdpItem> = (0..n)
+        .map(|bidder| WdpItem {
+            bidder,
+            weight: rng.random_range(-1.0..10.0),
+            cost: rng.random_range(0.1..3.0),
+        })
+        .collect();
+    WdpInstance::new(items)
+}
+
+fn main() {
+    let mut topk = Bencher::new("wdp_topk_exact");
+    for n in [100usize, 1000, 10000] {
+        let inst = instance(n, 1).with_max_winners(20);
+        topk.bench(&n.to_string(), || solve(black_box(&inst), SolverKind::Exact));
+    }
+
+    let mut greedy = Bencher::new("wdp_greedy_density");
+    for n in [100usize, 1000, 10000] {
+        let inst = instance(n, 2).with_budget(n as f64 * 0.2).with_max_winners(20);
+        greedy.bench(&n.to_string(), || {
+            solve(black_box(&inst), SolverKind::GreedyDensity)
+        });
+    }
+
+    let mut knapsack = Bencher::new("wdp_knapsack_dp");
+    for n in [50usize, 200, 1000] {
+        let inst = instance(n, 3).with_budget(n as f64 * 0.2);
+        knapsack.bench(&n.to_string(), || {
+            solve(black_box(&inst), SolverKind::Knapsack { grid: 800 })
+        });
+    }
+}

@@ -10,8 +10,8 @@ use bench::header;
 use lovm_core::lovm::{Lovm, LovmConfig};
 use lovm_core::mechanism::{Mechanism, RoundInfo};
 use metrics::table::Table;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 use std::time::Instant;
 use workload::Scenario;
 

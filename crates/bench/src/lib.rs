@@ -3,13 +3,36 @@
 //! Each `exp_e*` binary in `src/bin/` regenerates one table/figure of the
 //! reconstructed evaluation (see EXPERIMENTS.md); this library holds the
 //! pieces they share: the standard mechanism roster, checkpointed series
-//! tables, and environment-variable scaling for quick runs.
+//! tables, environment-variable scaling for quick runs, and the
+//! zero-dependency micro-benchmark [`harness`] behind the `bench_*` bins.
 
+pub mod harness;
+
+use auction::bid::Bid;
 use baselines::{AllAvailable, BudgetSplitGreedy, FixedPrice, MyopicVcg, ProportionalShare, RandomK};
 use lovm_core::lovm::{Lovm, LovmConfig};
 use lovm_core::mechanism::Mechanism;
 use metrics::table::Table;
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 use workload::Scenario;
+
+/// The standard random bid population used by the micro-benchmarks:
+/// costs in `0.2..3.0`, data sizes in `50..500`, qualities in `0.5..1.0`.
+/// One generator so every benchmark family measures the same workload.
+pub fn random_bids(n: usize, seed: u64) -> Vec<Bid> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            Bid::new(
+                i,
+                rng.random_range(0.2..3.0),
+                rng.random_range(50..500),
+                rng.random_range(0.5..1.0),
+            )
+        })
+        .collect()
+}
 
 /// Scale factor for experiment sizes, from `LOVM_SCALE` (default 1.0).
 /// `LOVM_SCALE=0.1 cargo run --bin exp_e1_welfare` gives a 10× faster smoke

@@ -10,13 +10,12 @@
 use crate::ledger::EconomicLedger;
 use crate::mechanism::{Mechanism, RoundInfo};
 use crate::simulation::Market;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 use workload::Scenario;
 
 /// Configuration of the adaptive-bidding dynamic.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveConfig {
     /// Rounds per adaptation epoch (utilities are compared across epochs).
     pub epoch_len: usize,
@@ -40,7 +39,7 @@ impl Default for AdaptiveConfig {
 }
 
 /// Result of an adaptive-bidding run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaptiveResult {
     /// Mechanism display name.
     pub mechanism: String,

@@ -1,11 +1,10 @@
 //! Economic bookkeeping across a whole run, with invariant checks.
 
 use auction::outcome::AuctionOutcome;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Per-client cumulative account.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClientAccount {
     /// Rounds won.
     pub wins: usize,
@@ -23,7 +22,7 @@ impl ClientAccount {
 }
 
 /// Aggregated economics of one simulated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct EconomicLedger {
     rounds: usize,
     total_value: f64,

@@ -21,11 +21,10 @@ use auction::outcome::AuctionOutcome;
 use auction::valuation::Valuation;
 use auction::vcg::{VcgAuction, VcgConfig};
 use lyapunov::dpp::{DppConfig, DriftPlusPenalty};
-use serde::{Deserialize, Serialize};
 use workload::Scenario;
 
 /// LOVM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LovmConfig {
     /// Lyapunov penalty weight `V > 0` (welfare emphasis).
     pub v: f64,

@@ -2,13 +2,12 @@
 
 use auction::bid::Bid;
 use auction::outcome::AuctionOutcome;
-use serde::{Deserialize, Serialize};
 
 /// Public per-round information every mechanism may condition on.
 ///
 /// Online mechanisms must not see the future; this struct is the complete
 /// observable state at round `round`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundInfo {
     /// Current round, `0 ≤ round < horizon`.
     pub round: usize,

@@ -23,10 +23,9 @@ use auction::bid::Bid;
 use auction::outcome::{AuctionOutcome, Award};
 use auction::valuation::Valuation;
 use lyapunov::queue::VirtualQueue;
-use serde::{Deserialize, Serialize};
 
 /// Verifiable per-client resource usage for one auxiliary constraint.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ResourceUsage {
     /// Affine in committed data: `base + per_data · d_i` (models training
     /// energy: compute scales with data, communication is constant).
@@ -53,7 +52,7 @@ impl ResourceUsage {
 }
 
 /// One auxiliary long-term constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Constraint {
     /// Display name (appears in telemetry series).
     pub name: String,
@@ -64,7 +63,7 @@ pub struct Constraint {
 }
 
 /// Configuration of the multi-constraint mechanism.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MultiLovmConfig {
     /// Lyapunov penalty weight `V > 0`.
     pub v: f64,

@@ -9,10 +9,9 @@
 use auction::bid::Bid;
 use auction::valuation::Valuation;
 use auction::wdp::{fractional_upper_bound, solve, SolverKind, WdpInstance, WdpItem};
-use serde::{Deserialize, Serialize};
 
 /// Result of the offline optimization.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OfflineBenchmark {
     /// Welfare of the (near-exact) integral knapsack optimum.
     pub welfare: f64,

@@ -1,6 +1,5 @@
 //! A finite-capacity energy store.
 
-use serde::{Deserialize, Serialize};
 
 /// A battery holding harvested energy (joules, abstract units).
 ///
@@ -14,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(!b.try_consume(3.0)); // only 1.0 left
 /// assert_eq!(b.level(), 1.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Battery {
     capacity: f64,
     level: f64,
@@ -152,14 +151,25 @@ mod tests {
         b.charge(-1.0);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn level_always_in_bounds(ops in proptest::collection::vec((proptest::bool::ANY, 0.0f64..20.0), 1..100)) {
+    /// Property: the level stays within `[0, capacity]` under random
+    /// charge/consume sequences (seeded random instances).
+    #[test]
+    fn level_always_in_bounds() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xBA77);
+        for _ in 0..200 {
             let mut b = Battery::new(10.0);
-            for (is_charge, amt) in ops {
-                if is_charge { b.charge(amt); } else { let _ = b.try_consume(amt); }
-                proptest::prop_assert!(b.level() >= 0.0);
-                proptest::prop_assert!(b.level() <= b.capacity() + 1e-12);
+            let ops = rng.random_range(1..100usize);
+            for _ in 0..ops {
+                let is_charge: bool = rng.random();
+                let amt = rng.random_range(0.0..20.0f64);
+                if is_charge {
+                    b.charge(amt);
+                } else {
+                    let _ = b.try_consume(amt);
+                }
+                assert!(b.level() >= 0.0);
+                assert!(b.level() <= b.capacity() + 1e-12);
             }
         }
     }

@@ -2,14 +2,13 @@
 
 use crate::battery::Battery;
 use crate::harvest::{Harvester, HarvesterKind};
-use serde::{Deserialize, Serialize};
 
 /// Energy cost of performing one global round of local training.
 ///
 /// `cost = compute_per_example · examples · local_epochs + comm_cost`,
 /// the standard affine model (computation scales with data processed,
 /// communication is size-of-model and thus constant per round).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingCostModel {
     /// Energy per training example per local epoch.
     pub compute_per_example: f64,

@@ -1,12 +1,11 @@
 //! Ambient-energy harvesting processes.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 
 /// Parametric families of harvesting processes. Each produces a
 /// non-negative amount of energy per (global FL) round.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HarvesterKind {
     /// Constant trickle: `rate` per round. With training cost `E·rate` this
     /// reproduces the "energy renewal cycle of E rounds" model.

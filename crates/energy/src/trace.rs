@@ -7,7 +7,6 @@
 //! replay it through the same simulation path via [`TraceHarvester`].
 
 use crate::harvest::{Harvester, HarvesterKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors from trace parsing.
@@ -38,7 +37,7 @@ impl fmt::Display for TraceError {
 impl std::error::Error for TraceError {}
 
 /// A fixed sequence of per-round harvest amounts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyTrace {
     samples: Vec<f64>,
 }

@@ -6,10 +6,9 @@ use crate::model::Model;
 use crate::optim::OptimizerKind;
 use crate::rng::{sample_without_replacement, seeded};
 use crate::schedule::LrSchedule;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a client's local training procedure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalTrainerConfig {
     /// Number of local passes (epochs) over the shard per round.
     pub local_epochs: usize,
@@ -43,7 +42,7 @@ impl Default for LocalTrainerConfig {
 }
 
 /// The result a client uploads after local training.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClientUpdate {
     /// Client identifier.
     pub client_id: usize,

@@ -2,7 +2,6 @@
 
 use crate::error::FedSimError;
 use crate::linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// A dense, in-memory classification dataset.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ds.len(), 2);
 /// assert_eq!(ds.num_features(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     features: Matrix,
     labels: Vec<usize>,

@@ -8,11 +8,10 @@
 use crate::data::dataset::Dataset;
 use crate::linalg::Matrix;
 use crate::rng::{self, seeded};
-use rand::RngExt;
-use serde::{Deserialize, Serialize};
+use simrng::RngExt;
 
 /// Parameters for the Gaussian-blobs generator.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlobSpec {
     /// Number of classes (one blob per class).
     pub num_classes: usize,
@@ -101,7 +100,7 @@ pub fn gaussian_blobs(spec: &BlobSpec, seed: u64) -> Dataset {
 }
 
 /// Parameters for the two-spirals generator (a hard nonlinear benchmark).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpiralSpec {
     /// Examples per spiral arm.
     pub per_arm: usize,
@@ -155,7 +154,7 @@ pub fn two_spirals(spec: &SpiralSpec, seed: u64) -> Dataset {
 /// Parameters for the synthetic-digits generator, a stand-in for MNIST-style
 /// data: class prototypes in a high-dimensional space observed through a
 /// random linear "sensor" with pixel-like clipping.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DigitsSpec {
     /// Number of classes.
     pub num_classes: usize,

@@ -2,10 +2,9 @@
 
 use crate::data::Dataset;
 use crate::model::Model;
-use serde::{Deserialize, Serialize};
 
 /// A confusion matrix: `counts[true][predicted]`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     counts: Vec<Vec<usize>>,
 }

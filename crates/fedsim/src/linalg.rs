@@ -4,7 +4,6 @@
 //! row-major [`Matrix`] over `f64` with straightforward loops is fast enough
 //! and keeps the substrate dependency-free.
 
-use serde::{Deserialize, Serialize};
 
 /// A dense vector of `f64` values.
 pub type Vector = Vec<f64>;
@@ -19,7 +18,7 @@ pub type Vector = Vec<f64>;
 /// assert_eq!(m.get(1, 0), 3.0);
 /// assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -278,7 +277,7 @@ pub fn argmax(x: &[f64]) -> Option<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use simrng::{rngs::StdRng, RngExt, SeedableRng};
 
     #[test]
     fn zeros_has_correct_shape() {
@@ -390,38 +389,49 @@ mod tests {
         assert_eq!(argmax(&[]), None);
     }
 
-    proptest! {
-        #[test]
-        fn softmax_always_probability(v in proptest::collection::vec(-50.0f64..50.0, 1..20)) {
+    /// Property: softmax outputs a probability vector (seeded random
+    /// instances).
+    #[test]
+    fn softmax_always_probability() {
+        let mut rng = StdRng::seed_from_u64(0x50F7);
+        for _ in 0..300 {
+            let len = rng.random_range(1..20usize);
+            let v: Vec<f64> = (0..len).map(|_| rng.random_range(-50.0..50.0)).collect();
             let p = softmax(&v);
             let sum: f64 = p.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
-            prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
+    }
 
-        #[test]
-        fn dot_commutative(a in proptest::collection::vec(-10.0f64..10.0, 1..16)) {
+    /// Property: the dot product is commutative (seeded random instances).
+    #[test]
+    fn dot_commutative() {
+        let mut rng = StdRng::seed_from_u64(0xD07);
+        for _ in 0..300 {
+            let len = rng.random_range(1..16usize);
+            let a: Vec<f64> = (0..len).map(|_| rng.random_range(-10.0..10.0)).collect();
             let b: Vec<f64> = a.iter().map(|x| x * 0.5 - 1.0).collect();
-            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+            assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn matvec_linearity(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
-            // Build a deterministic pseudo-random matrix and two vectors.
-            let mut vals = Vec::new();
-            let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let mut next = || {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-            };
-            for _ in 0..rows * cols { vals.push(next()); }
+    /// Property: `matvec` is linear, `M(x + y) = Mx + My` (seeded random
+    /// instances).
+    #[test]
+    fn matvec_linearity() {
+        let mut rng = StdRng::seed_from_u64(0x314C);
+        for _ in 0..300 {
+            let rows = rng.random_range(1..6usize);
+            let cols = rng.random_range(1..6usize);
+            let vals: Vec<f64> = (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect();
             let m = Matrix::from_flat(rows, cols, vals);
-            let x: Vec<f64> = (0..cols).map(|_| next()).collect();
-            let y: Vec<f64> = (0..cols).map(|_| next()).collect();
+            let x: Vec<f64> = (0..cols).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let y: Vec<f64> = (0..cols).map(|_| rng.random_range(-1.0..1.0)).collect();
             let lhs = m.matvec(&add(&x, &y));
             let rhs = add(&m.matvec(&x), &m.matvec(&y));
             for (l, r) in lhs.iter().zip(rhs.iter()) {
-                prop_assert!((l - r).abs() < 1e-9);
+                assert!((l - r).abs() < 1e-9);
             }
         }
     }

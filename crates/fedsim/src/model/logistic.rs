@@ -4,7 +4,6 @@ use crate::data::Dataset;
 use crate::linalg::{argmax, softmax, Matrix, Vector};
 use crate::model::Model;
 use crate::rng::{fill_normal, seeded};
-use serde::{Deserialize, Serialize};
 
 /// Multinomial logistic regression: `logits = W x + b`, softmax
 /// cross-entropy loss with optional L2 regularization.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(loss > 0.0);
 /// assert_eq!(grad.len(), model.num_params());
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegression {
     weights: Matrix, // num_classes x num_features
     bias: Vector,    // num_classes

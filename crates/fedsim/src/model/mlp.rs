@@ -4,7 +4,6 @@ use crate::data::Dataset;
 use crate::linalg::{argmax, softmax, Matrix, Vector};
 use crate::model::Model;
 use crate::rng::{fill_normal, seeded};
-use serde::{Deserialize, Serialize};
 
 /// A one-hidden-layer MLP: `logits = W2 · relu(W1 x + b1) + b2` trained with
 /// softmax cross-entropy.
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let m = Mlp::new(8, 16, 3, 0);
 /// assert_eq!(m.num_params(), 16 * 8 + 16 + 3 * 16 + 3);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mlp {
     w1: Matrix, // hidden x features
     b1: Vector, // hidden

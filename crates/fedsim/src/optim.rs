@@ -1,6 +1,5 @@
 //! First-order optimizers operating on flat parameter vectors.
 
-use serde::{Deserialize, Serialize};
 
 /// An optimizer consumes gradients and updates a flat parameter vector.
 pub trait Optimizer: Send {
@@ -17,7 +16,7 @@ pub trait Optimizer: Send {
 }
 
 /// Plain stochastic gradient descent with a fixed learning rate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sgd {
     lr: f64,
 }
@@ -51,7 +50,7 @@ impl Optimizer for Sgd {
 }
 
 /// SGD with classical (heavy-ball) momentum.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Momentum {
     lr: f64,
     beta: f64,
@@ -102,7 +101,7 @@ impl Optimizer for Momentum {
 }
 
 /// Adam optimizer (Kingma & Ba, 2014).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Adam {
     lr: f64,
     beta1: f64,
@@ -176,7 +175,7 @@ impl Optimizer for Adam {
 }
 
 /// Optimizer configuration for serializable experiment setups.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum OptimizerKind {
     /// Plain SGD.
     Sgd {

@@ -1,19 +1,19 @@
 //! Reproducible randomness helpers.
 //!
 //! All stochastic components of the simulator accept a seed and construct an
-//! [`rand::rngs::StdRng`] through [`seeded`], so that every experiment in the
+//! [`simrng::rngs::StdRng`] through [`seeded`], so that every experiment in the
 //! benchmark harness is exactly reproducible. Gaussian sampling is provided
 //! via the Box–Muller transform to avoid an extra dependency.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use simrng::rngs::StdRng;
+use simrng::{Rng, RngExt, SeedableRng};
 
 /// Creates a deterministic RNG from a 64-bit seed.
 ///
 /// # Example
 ///
 /// ```
-/// use rand::RngExt;
+/// use simrng::RngExt;
 /// let mut a = fedsim::rng::seeded(42);
 /// let mut b = fedsim::rng::seeded(42);
 /// assert_eq!(a.random::<u64>(), b.random::<u64>());
@@ -26,20 +26,11 @@ pub fn seeded(seed: u64) -> StdRng {
 ///
 /// Used to give each client/process its own independent stream while keeping
 /// the whole experiment reproducible from a single root seed.
-pub fn derive_seed(base: u64, stream: u64) -> u64 {
-    // SplitMix64 step over the combined value: good avalanche, cheap.
-    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub use simrng::derive_seed;
 
 /// Samples a standard normal value using the Box–Muller transform.
 pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // Avoid log(0) by sampling u1 from the open interval (0, 1].
-    let u1: f64 = 1.0 - rng.random::<f64>();
-    let u2: f64 = rng.random::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    rng.gaussian()
 }
 
 /// Samples a normal value with the given mean and standard deviation.
@@ -48,8 +39,7 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `std_dev` is negative.
 pub fn normal_with<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
-    mean + std_dev * normal(rng)
+    rng.gaussian_with(mean, std_dev)
 }
 
 /// Samples a log-normal value whose underlying normal has the given
@@ -83,10 +73,7 @@ pub fn fill_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64], std_dev: f64) 
 /// Returns a uniformly random permutation of `0..n` (Fisher–Yates).
 pub fn permutation<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..n).collect();
-    for i in (1..n).rev() {
-        let j = rng.random_range(0..=i);
-        idx.swap(i, j);
-    }
+    rng.shuffle(&mut idx);
     idx
 }
 

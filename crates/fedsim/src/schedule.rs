@@ -5,10 +5,9 @@
 //! `η_t = a / (b + t)`; this module provides that family plus the common
 //! practical alternatives, consumed by [`crate::client::LocalTrainer`].
 
-use serde::{Deserialize, Serialize};
 
 /// A learning-rate schedule: maps the global step index to a step size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LrSchedule {
     /// Constant rate.
     Constant {
@@ -127,17 +126,22 @@ mod tests {
         let _ = LrSchedule::InverseTime { a: 0.0, b: 1.0 }.at(0);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn all_schedules_positive_and_nonincreasing(t in 0u64..10_000) {
+    /// Property: every schedule stays positive and non-increasing over
+    /// random steps (seeded random instances).
+    #[test]
+    fn all_schedules_positive_and_nonincreasing() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5ED);
+        for _ in 0..500 {
+            let t = rng.random_range(0..10_000u64);
             for s in [
                 LrSchedule::Constant { lr: 0.1 },
                 LrSchedule::InverseTime { a: 2.0, b: 50.0 },
                 LrSchedule::Exponential { lr0: 0.1, gamma: 0.999 },
                 LrSchedule::Step { lr0: 0.1, factor: 0.5, every: 100 },
             ] {
-                proptest::prop_assert!(s.at(t) > 0.0);
-                proptest::prop_assert!(s.at(t + 1) <= s.at(t) + 1e-15);
+                assert!(s.at(t) > 0.0);
+                assert!(s.at(t + 1) <= s.at(t) + 1e-15);
             }
         }
     }

@@ -154,19 +154,22 @@ mod tests {
         assert_eq!(m.params(), vec![5.0, 5.0, 5.0, 5.0]);
     }
 
-    proptest::proptest! {
-        #[test]
-        fn aggregate_is_convex_combination(
-            a in proptest::collection::vec(-10.0f64..10.0, 4),
-            b in proptest::collection::vec(-10.0f64..10.0, 4),
-            na in 1usize..100,
-            nb in 1usize..100,
-        ) {
+    /// Property: the weighted aggregate stays inside the coordinate-wise
+    /// envelope of the inputs (seeded random instances).
+    #[test]
+    fn aggregate_is_convex_combination() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xFEDA);
+        for _ in 0..500 {
+            let a: Vec<f64> = (0..4).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let b: Vec<f64> = (0..4).map(|_| rng.random_range(-10.0..10.0)).collect();
+            let na = rng.random_range(1..100usize);
+            let nb = rng.random_range(1..100usize);
             let avg = aggregate_weighted(&[upd(0, a.clone(), na), upd(1, b.clone(), nb)]).unwrap();
             for i in 0..4 {
                 let lo = a[i].min(b[i]) - 1e-9;
                 let hi = a[i].max(b[i]) + 1e-9;
-                proptest::prop_assert!(avg[i] >= lo && avg[i] <= hi);
+                assert!(avg[i] >= lo && avg[i] <= hi);
             }
         }
     }

@@ -9,10 +9,9 @@ use crate::data::{ClientData, Dataset};
 use crate::model::Model;
 use crate::rng::derive_seed;
 use crate::server::FedAvgServer;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a federated training run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[derive(Default)]
 pub struct RunConfig {
     /// Local training configuration shared by all clients.
@@ -23,7 +22,7 @@ pub struct RunConfig {
 
 
 /// Telemetry for one federated round.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundReport {
     /// Round index (1-based after the first call).
     pub round: usize,

@@ -1,10 +1,9 @@
 //! Time-average tracking and theoretical bound calculators.
 
-use serde::{Deserialize, Serialize};
 
 /// Online tracker of a running time average with full history retained for
 /// plotting (history is cheap: one f64 per round).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TimeAverage {
     total: f64,
     history: Vec<f64>,

@@ -11,10 +11,9 @@
 //! ρ-feasible policy, at the price of an `O(V)` backlog transient.
 
 use crate::queue::VirtualQueue;
-use serde::{Deserialize, Serialize};
 
 /// Controller configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DppConfig {
     /// Penalty weight `V > 0`: larger favors welfare over constraint slack.
     pub v: f64,
@@ -37,7 +36,7 @@ impl Default for DppConfig {
 }
 
 /// The per-round weights handed to the winner-determination problem.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RoundWeights {
     /// Weight on platform value (`V`).
     pub value_weight: f64,
@@ -46,7 +45,7 @@ pub struct RoundWeights {
 }
 
 /// Drift-plus-penalty controller for a single long-term budget constraint.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DriftPlusPenalty {
     config: DppConfig,
     queue: VirtualQueue,

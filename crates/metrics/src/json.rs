@@ -1,0 +1,281 @@
+//! Minimal JSON output layer.
+//!
+//! The workspace builds offline with zero external dependencies, so the
+//! experiment and benchmark binaries emit machine-readable output through
+//! this module instead of `serde`/`serde_json`. It is write-only by design:
+//! nothing in the repo parses JSON back, it only logs result lines.
+//!
+//! # Example
+//!
+//! ```
+//! use metrics::json::JsonValue;
+//!
+//! let line = JsonValue::object()
+//!     .field("bench", "vcg_round/100")
+//!     .field("median_ns", 1250.0)
+//!     .field("ok", true)
+//!     .to_string();
+//! assert_eq!(line, r#"{"bench":"vcg_round/100","median_ns":1250,"ok":true}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON value tree. Construct with [`JsonValue::object`],
+/// [`JsonValue::array`], or the `From` impls; render with `Display`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite or non-finite f64 (non-finite renders as `null`, like
+    /// `serde_json`'s default behaviour).
+    Number(f64),
+    /// A string (escaped on render).
+    String(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Starts an empty object; chain [`field`](Self::field) to fill it.
+    pub fn object() -> JsonValue {
+        JsonValue::Object(Vec::new())
+    }
+
+    /// Starts an empty array; chain [`item`](Self::item) to fill it.
+    pub fn array() -> JsonValue {
+        JsonValue::Array(Vec::new())
+    }
+
+    /// Adds/overwrites a key on an object (panics on non-objects: that is a
+    /// programming error, not a data error).
+    pub fn field(mut self, key: &str, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Object(fields) => {
+                let value = value.into();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("JsonValue::field on a non-object"),
+        }
+        self
+    }
+
+    /// Appends an element to an array (panics on non-arrays).
+    pub fn item(mut self, value: impl Into<JsonValue>) -> JsonValue {
+        match &mut self {
+            JsonValue::Array(items) => items.push(value.into()),
+            _ => panic!("JsonValue::item on a non-array"),
+        }
+        self
+    }
+}
+
+/// Types that can render themselves as a [`JsonValue`]. The in-repo
+/// stand-in for `serde::Serialize`.
+pub trait ToJson {
+    /// Converts to a JSON tree.
+    fn to_json(&self) -> JsonValue;
+}
+
+impl ToJson for JsonValue {
+    fn to_json(&self) -> JsonValue {
+        self.clone()
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::String(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::String(s)
+    }
+}
+
+macro_rules! impl_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for JsonValue {
+            fn from(v: $t) -> Self {
+                JsonValue::Number(v as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_num!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<JsonValue> + Clone> From<&[T]> for JsonValue {
+    fn from(v: &[T]) -> Self {
+        JsonValue::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_number(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if !v.is_finite() {
+        // JSON has no NaN/Inf; `serde_json` emits null here too.
+        return f.write_str("null");
+    }
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        // Render integral values without a fraction part so ids and
+        // counters round-trip as integers.
+        write!(f, "{}", v as i64)
+    } else {
+        write!(f, "{v}")
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonValue::Null => f.write_str("null"),
+            JsonValue::Bool(b) => write!(f, "{b}"),
+            JsonValue::Number(v) => write_number(f, *v),
+            JsonValue::String(s) => write_escaped(f, s),
+            JsonValue::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            JsonValue::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl ToJson for crate::stats::Summary {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("n", self.n)
+            .field("mean", self.mean)
+            .field("std", self.std)
+            .field("min", self.min)
+            .field("max", self.max)
+            .field("median", self.median)
+    }
+}
+
+impl ToJson for crate::series::SeriesSet {
+    fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        for name in self.names() {
+            let series = self.get(name).unwrap_or(&[]);
+            obj = obj.field(name, series.to_vec());
+        }
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Summary;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.to_string(), "null");
+        assert_eq!(JsonValue::from(true).to_string(), "true");
+        assert_eq!(JsonValue::from(3usize).to_string(), "3");
+        assert_eq!(JsonValue::from(2.5).to_string(), "2.5");
+        assert_eq!(JsonValue::from(-7i64).to_string(), "-7");
+        assert_eq!(JsonValue::from(f64::NAN).to_string(), "null");
+        assert_eq!(JsonValue::from("hi").to_string(), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(s.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn objects_keep_order_and_overwrite() {
+        let o = JsonValue::object()
+            .field("b", 1)
+            .field("a", 2)
+            .field("b", 3);
+        assert_eq!(o.to_string(), r#"{"b":3,"a":2}"#);
+    }
+
+    #[test]
+    fn arrays_nest() {
+        let a = JsonValue::array()
+            .item(1)
+            .item(JsonValue::object().field("k", "v"))
+            .item(vec![1.0, 2.0]);
+        assert_eq!(a.to_string(), r#"[1,{"k":"v"},[1,2]]"#);
+    }
+
+    #[test]
+    fn summary_to_json_line() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).to_json().to_string();
+        assert!(s.starts_with(r#"{"n":3,"mean":2,"#), "{s}");
+        assert!(s.contains(r#""median":2"#));
+    }
+
+    #[test]
+    fn seriesset_to_json() {
+        let mut s = crate::series::SeriesSet::new();
+        s.push("welfare", 1.0);
+        s.push("welfare", 2.5);
+        assert_eq!(s.to_json().to_string(), r#"{"welfare":[1,2.5]}"#);
+    }
+}

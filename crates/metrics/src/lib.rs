@@ -8,13 +8,17 @@
 //! * [`table`] — markdown table rendering (the harness prints the same
 //!   rows EXPERIMENTS.md quotes),
 //! * [`plot`] — ASCII line charts so the harness regenerates figure
-//!   *shapes*, not just numbers.
+//!   *shapes*, not just numbers,
+//! * [`json`] — a write-only JSON layer (the zero-dependency stand-in for
+//!   `serde_json` used by the experiment and bench binaries).
 
+pub mod json;
 pub mod plot;
 pub mod series;
 pub mod stats;
 pub mod table;
 
+pub use json::{JsonValue, ToJson};
 pub use plot::ascii_chart;
 pub use series::SeriesSet;
 pub use stats::{jain_fairness, Summary};

@@ -1,6 +1,5 @@
 //! Named time-series recording.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A set of aligned, named time series (one value per series per step).
@@ -16,7 +15,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(s.get("welfare"), Some(&[1.0, 2.0][..]));
 /// assert!(s.to_csv().starts_with("step,spend,welfare"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SeriesSet {
     series: BTreeMap<String, Vec<f64>>,
 }

@@ -1,9 +1,8 @@
 //! Summary statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// Five-number-plus summary of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

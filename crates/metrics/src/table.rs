@@ -1,6 +1,5 @@
 //! Markdown table rendering for harness output.
 
-use serde::{Deserialize, Serialize};
 
 /// A simple column-aligned markdown table builder.
 ///
@@ -13,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// let md = t.to_markdown();
 /// assert!(md.contains("| LOVM"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     headers: Vec<String>,
     rows: Vec<Vec<String>>,

@@ -1,0 +1,573 @@
+//! # simrng — zero-dependency deterministic randomness
+//!
+//! A small, self-contained replacement for the parts of the `rand` crate this
+//! workspace uses, so the whole tree builds offline with no external
+//! dependencies. Everything is deterministic given a seed:
+//!
+//! * [`SplitMix64`] — seed expansion and [`derive_seed`] stream splitting.
+//! * [`Xoshiro256pp`] — the default generator behind [`rngs::StdRng`].
+//! * [`Pcg32`] — a compact 32-bit-output alternative core.
+//! * [`Rng`] / [`RngExt`] — the core trait plus extension methods
+//!   (`random`, `random_range`, `random_bool`, `gaussian`, `shuffle`).
+//!
+//! The API mirrors the subset of `rand` 0.9 idiom used across the workspace,
+//! so porting a module is a one-line import change:
+//!
+//! ```
+//! use simrng::rngs::StdRng;
+//! use simrng::{RngExt, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let u: f64 = rng.random();
+//! let k = rng.random_range(0..10usize);
+//! assert!((0.0..1.0).contains(&u));
+//! assert!(k < 10);
+//! ```
+
+/// Generators, named to mirror `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard deterministic generator (xoshiro256++).
+    pub type StdRng = super::Xoshiro256pp;
+}
+
+/// A seedable generator. Mirrors `rand::SeedableRng`'s `seed_from_u64` entry
+/// point; all workspace code seeds from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it through
+    /// [`SplitMix64`] so that nearby seeds give unrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The core randomness source: everything derives from `next_u64`.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    ///
+    /// Default takes the high half of [`next_u64`](Self::next_u64); cores
+    /// with a natural 32-bit output (PCG32) override it.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SplitMix64
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: a tiny, fast generator with excellent avalanche behaviour.
+///
+/// Used for seed expansion (per Blackman & Vigna's recommendation for
+/// seeding xoshiro state) and available as a generator in its own right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a SplitMix64 stream starting from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+}
+
+impl SeedableRng for SplitMix64 {
+    fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives an independent child seed from a base seed and a stream index.
+///
+/// One SplitMix64 avalanche step over the combined value; gives each
+/// client/process its own stream while keeping the experiment reproducible
+/// from a single root seed.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// xoshiro256++
+// ---------------------------------------------------------------------------
+
+/// xoshiro256++ (Blackman & Vigna): 256-bit state, 64-bit output, period
+/// 2^256 − 1. The workspace default behind [`rngs::StdRng`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl SeedableRng for Xoshiro256pp {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // All-zero state is the one fixed point; SplitMix64 cannot produce
+        // four consecutive zeros, but guard anyway for safety.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PCG32
+// ---------------------------------------------------------------------------
+
+/// PCG32 (XSH-RR 64/32): 64-bit LCG state, 32-bit permuted output.
+///
+/// A compact alternative core; `next_u64` concatenates two 32-bit draws.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a PCG32 generator from a state seed and a stream selector.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let inc = (stream << 1) | 1;
+        let mut rng = Self { state: 0, inc };
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(inc);
+        rng.state = rng.state.wrapping_add(seed);
+        rng.state = rng.state.wrapping_mul(PCG_MULT).wrapping_add(inc);
+        rng
+    }
+}
+
+impl SeedableRng for Pcg32 {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let state_seed = sm.next_u64();
+        let stream = sm.next_u64();
+        Self::new(state_seed, stream)
+    }
+}
+
+impl Rng for Pcg32 {
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling: `random::<T>()`
+// ---------------------------------------------------------------------------
+
+/// Types that can be drawn uniformly from a generator's full output range
+/// (unit interval for floats). Backs [`RngExt::random`].
+pub trait StandardSample {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Use the top bit: the high bits of every core here are the
+        // best-mixed ones.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sampling: `random_range(lo..hi)` / `random_range(lo..=hi)`
+// ---------------------------------------------------------------------------
+
+/// Returns a uniform value in `[0, n)` without modulo bias
+/// (Lemire's multiply-shift with rejection). `n` must be non-zero.
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (n as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types with uniform sampling over arbitrary sub-ranges.
+/// Backs [`RngExt::random_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`. Panics if the range is empty.
+    fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                lo + uniform_below(rng, (hi - lo) as u64) as $t
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range in random_range");
+                let u: $t = StandardSample::sample(rng);
+                let v = lo + (hi - lo) * u;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= hi { lo } else { v }
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let u: $t = StandardSample::sample(rng);
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range expressions accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RngExt
+// ---------------------------------------------------------------------------
+
+/// Extension methods available on every [`Rng`]. Mirrors the `rand 0.9`
+/// method names (`random`, `random_range`, `random_bool`) used across the
+/// workspace, plus Gaussian and shuffle helpers.
+pub trait RngExt: Rng {
+    /// Draws a value of type `T` from its standard distribution
+    /// (full integer range; `[0, 1)` for floats; fair coin for `bool`).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `lo..hi` or `lo..=hi`.
+    fn random_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.random();
+        u < p
+    }
+
+    /// Standard normal draw via the Box–Muller transform.
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.random::<f64>();
+        let u2: f64 = self.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative.
+    fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.random_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn same_seed_identical_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut p = Pcg32::seed_from_u64(42);
+        let mut q = Pcg32::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(p.next_u32(), q.next_u32());
+        }
+        let mut s = SplitMix64::seed_from_u64(7);
+        let mut t = SplitMix64::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(s.next_u64(), t.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds 1 and 2 should give unrelated streams");
+    }
+
+    #[test]
+    fn derive_seed_streams_are_independent() {
+        let s0 = derive_seed(42, 0);
+        let s1 = derive_seed(42, 1);
+        assert_ne!(s0, s1);
+        // Deterministic.
+        assert_eq!(derive_seed(42, 1), s1);
+        // Streams seeded from derived seeds should not collide pointwise.
+        let mut a = StdRng::seed_from_u64(s0);
+        let mut b = StdRng::seed_from_u64(s1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let k = rng.random_range(10..20usize);
+            assert!((10..20).contains(&k));
+            let j = rng.random_range(0..=4u64);
+            assert!(j <= 4);
+            let x = rng.random_range(-2.5..7.5f64);
+            assert!((-2.5..7.5).contains(&x));
+            let s = rng.random_range(-8..8i64);
+            assert!((-8..8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn random_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.random_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.125).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn gaussian_mean_and_variance_sanity() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.03, "variance {var} too far from 1");
+        let shifted: f64 =
+            (0..n).map(|_| rng.gaussian_with(5.0, 0.5)).sum::<f64>() / n as f64;
+        assert!((shifted - 5.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut v: Vec<usize> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        // A 100-element shuffle leaving everything fixed has probability
+        // 1/100!; treat that as a failure.
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bernoulli_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.random_bool(0.3)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+        assert!((0..1000).all(|_| !rng.random_bool(0.0)));
+        assert!((0..1000).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn pcg32_matches_reference_vector() {
+        // Reference values for PCG32 XSH-RR with seed 42, stream 54, as
+        // produced by the canonical pcg32_srandom_r/pcg32_random_r pair.
+        let mut rng = Pcg32::new(42, 54);
+        let expect: [u32; 6] = [
+            0xa15c_02b7,
+            0x7b47_f409,
+            0xba1d_3330,
+            0x83d2_f293,
+            0xbfa4_784b,
+            0xcbed_606e,
+        ];
+        for &e in &expect {
+            assert_eq!(rng.next_u32(), e);
+        }
+    }
+
+    #[test]
+    fn trait_objects_and_mut_refs_work() {
+        // `R: Rng + ?Sized` call sites pass `&mut rng` through generic fns.
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.random()
+        }
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = draw(&mut rng);
+        let b = draw(&mut rng);
+        assert_ne!(a, b);
+    }
+}

@@ -5,12 +5,11 @@
 //! core orchestrator; this module provides the exogenous arrival component
 //! (user presence, connectivity, charging plugged-in windows).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 
 /// Families of arrival processes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AvailabilityKind {
     /// Every client is present every round.
     Full,

@@ -2,12 +2,11 @@
 
 use auction::bid::Bid;
 use energy::harvest::HarvesterKind;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
 
 /// Distribution of clients' private per-round training costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CostDistribution {
     /// Uniform on `[lo, hi]`.
     Uniform {
@@ -66,7 +65,7 @@ impl CostDistribution {
 /// An energy-harvesting group: clients are dealt into groups round-robin,
 /// reproducing the grouped heterogeneous energy profiles of the paper's
 /// experiments (e.g. renewal cycles 1/5/10/20).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyGroup {
     /// Harvesting process for this group.
     pub harvester: HarvesterKind,
@@ -75,7 +74,7 @@ pub struct EnergyGroup {
 }
 
 /// Configuration of a client population.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PopulationConfig {
     /// Number of clients.
     pub num_clients: usize,
@@ -103,7 +102,7 @@ impl Default for PopulationConfig {
 }
 
 /// One client's immutable ground truth.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientProfile {
     /// Stable client id (also the bidder id).
     pub id: usize,

@@ -4,12 +4,11 @@ use crate::availability::AvailabilityKind;
 use crate::population::{CostDistribution, EnergyGroup, PopulationConfig};
 use auction::valuation::{ClientValue, Valuation};
 use energy::harvest::HarvesterKind;
-use serde::{Deserialize, Serialize};
 
 /// A complete marketplace scenario: population + arrivals + horizon +
 /// budget. Every experiment in EXPERIMENTS.md names the scenario and seed
 /// it ran with.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Human-readable name (stable; quoted by EXPERIMENTS.md).
     pub name: String,
