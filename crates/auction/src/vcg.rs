@@ -166,6 +166,11 @@ impl VcgAuction {
     /// Use an exact `solver` for truthfulness; a greedy solver voids the
     /// VCG guarantee (use critical-value payments instead — see
     /// [`crate::critical`]).
+    ///
+    /// The leave-one-out re-solves run on [`par::Pool::auto`]; use
+    /// [`VcgAuction::run_with_budget_on`] to pin the worker count. Output is
+    /// bit-identical at any worker count (each pivot is an independent
+    /// solve, collected in winner order).
     pub fn run_with_budget(
         &self,
         bids: &[Bid],
@@ -173,17 +178,35 @@ impl VcgAuction {
         budget: f64,
         solver: SolverKind,
     ) -> AuctionOutcome {
+        self.run_with_budget_on(bids, valuation, budget, solver, par::Pool::auto())
+    }
+
+    /// [`VcgAuction::run_with_budget`] with an explicit worker pool for the
+    /// `n` independent leave-one-out WDP solves.
+    pub fn run_with_budget_on(
+        &self,
+        bids: &[Bid],
+        valuation: &Valuation,
+        budget: f64,
+        solver: SolverKind,
+        pool: par::Pool,
+    ) -> AuctionOutcome {
         let inst = self.instance(bids, valuation).with_budget(budget);
         let sol = solve(&inst, solver);
         let w_star = sol.objective;
         let q = self.config.cost_weight;
+        // Each winner's pivot needs the optimum of the instance without it:
+        // n independent WDP solves, by far the round's dominant cost.
+        let w_minus: Vec<f64> = pool.map(&sol.selected, |&i| {
+            let reduced = inst.without_item(i);
+            solve(&reduced, solver).objective
+        });
         let winners = sol
             .selected
             .iter()
-            .map(|&i| {
+            .zip(w_minus)
+            .map(|(&i, w_minus_i)| {
                 let bid = &bids[i];
-                let reduced = inst.without_item(i);
-                let w_minus_i = solve(&reduced, solver).objective;
                 // With an exact solver the pivot is in [0, w_i]; clamp at 0
                 // to stay IR if an approximate solver is supplied anyway.
                 let pivot = (w_star - w_minus_i).max(0.0);

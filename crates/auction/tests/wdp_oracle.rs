@@ -1,0 +1,197 @@
+//! Brute-force oracle tests for the WDP solvers.
+//!
+//! An independent subset-enumeration oracle (written against the problem
+//! statement, sharing no code with `auction::wdp`) is compared against the
+//! exact solvers on every instance with ≤ 12 items, across all four
+//! constraint combinations: unconstrained, cardinality cap only, budget cap
+//! only, and both. On these sizes `SolverKind::Exact` must be *exactly*
+//! optimal — the budgeted dispatch goes through exhaustive search below 25
+//! items, so no knapsack grid tolerance applies.
+
+use auction::wdp::{solve, SolverKind, WdpInstance, WdpItem};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
+
+/// Independent oracle: enumerate all 2^n subsets, apply the constraints
+/// from first principles, and return the best objective (empty set = 0).
+fn oracle_best(items: &[WdpItem], max_winners: Option<usize>, budget: Option<f64>) -> f64 {
+    let n = items.len();
+    assert!(n <= 12, "oracle limited to 12 items");
+    let mut best = 0.0f64;
+    for mask in 0u32..(1u32 << n) {
+        if let Some(k) = max_winners {
+            if mask.count_ones() as usize > k {
+                continue;
+            }
+        }
+        let mut cost = 0.0;
+        let mut obj = 0.0;
+        for (i, it) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                cost += it.cost;
+                obj += it.weight;
+            }
+        }
+        if let Some(b) = budget {
+            if cost > b + 1e-9 {
+                continue;
+            }
+        }
+        if obj > best {
+            best = obj;
+        }
+    }
+    best
+}
+
+fn build(items: Vec<WdpItem>, max_winners: Option<usize>, budget: Option<f64>) -> WdpInstance {
+    let mut inst = WdpInstance::new(items);
+    if let Some(k) = max_winners {
+        inst = inst.with_max_winners(k);
+    }
+    if let Some(b) = budget {
+        inst = inst.with_budget(b);
+    }
+    inst
+}
+
+fn random_items(rng: &mut StdRng, n: usize) -> Vec<WdpItem> {
+    (0..n)
+        .map(|i| WdpItem {
+            bidder: i,
+            weight: rng.random_range(-5.0..10.0),
+            cost: rng.random_range(0.0..5.0),
+        })
+        .collect()
+}
+
+/// All four constraint combinations for one item set and RNG draw.
+fn constraint_combos(rng: &mut StdRng, n: usize) -> [(Option<usize>, Option<f64>); 4] {
+    let k = rng.random_range(1..=n.max(1));
+    let budget = rng.random_range(0.0..15.0);
+    [
+        (None, None),
+        (Some(k), None),
+        (None, Some(budget)),
+        (Some(k), Some(budget)),
+    ]
+}
+
+/// `SolverKind::Exact` matches the oracle objective exactly on every
+/// constraint combination, and its selection is feasible and consistent.
+#[test]
+fn exact_solver_matches_oracle_on_all_constraint_combos() {
+    let mut rng = StdRng::seed_from_u64(0x0AC1E);
+    let mut checked = 0usize;
+    for _ in 0..120 {
+        let n = rng.random_range(1..=12usize);
+        let items = random_items(&mut rng, n);
+        for (k, b) in constraint_combos(&mut rng, n) {
+            let inst = build(items.clone(), k, b);
+            let expect = oracle_best(&items, k, b);
+            let sol = solve(&inst, SolverKind::Exact);
+            assert!(
+                (sol.objective - expect).abs() < 1e-9,
+                "exact {} vs oracle {expect} (n={n}, k={k:?}, b={b:?})",
+                sol.objective
+            );
+            assert!(inst.feasible(&sol.selected), "infeasible selection");
+            assert!(
+                (inst.objective(&sol.selected) - sol.objective).abs() < 1e-12,
+                "reported objective inconsistent with selection"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 480);
+}
+
+/// `SolverKind::Exhaustive` (the in-crate brute force) agrees with the
+/// independent oracle — guards against both drifting together is impossible,
+/// but this catches the in-crate one drifting alone.
+#[test]
+fn exhaustive_solver_matches_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xE40AC1E);
+    for _ in 0..120 {
+        let n = rng.random_range(1..=12usize);
+        let items = random_items(&mut rng, n);
+        for (k, b) in constraint_combos(&mut rng, n) {
+            let inst = build(items.clone(), k, b);
+            let expect = oracle_best(&items, k, b);
+            let sol = solve(&inst, SolverKind::Exhaustive);
+            assert!(
+                (sol.objective - expect).abs() < 1e-9,
+                "exhaustive {} vs oracle {expect} (n={n}, k={k:?}, b={b:?})",
+                sol.objective
+            );
+        }
+    }
+}
+
+/// The knapsack DP with a fine grid stays within a sliver of the oracle on
+/// budgeted instances (its only approximation is cost-grid rounding) and is
+/// always feasible. With no budget it must be exact (top-K dispatch).
+#[test]
+fn knapsack_tracks_oracle_within_grid_tolerance() {
+    let mut rng = StdRng::seed_from_u64(0x5ACC);
+    for _ in 0..120 {
+        let n = rng.random_range(1..=12usize);
+        let items = random_items(&mut rng, n);
+        for (k, b) in constraint_combos(&mut rng, n) {
+            let inst = build(items.clone(), k, b);
+            let expect = oracle_best(&items, k, b);
+            let sol = solve(&inst, SolverKind::Knapsack { grid: 4000 });
+            assert!(inst.feasible(&sol.selected));
+            assert!(
+                sol.objective <= expect + 1e-9,
+                "knapsack {} beats oracle {expect}?!",
+                sol.objective
+            );
+            // Floor rounding can admit a pack that overshoots the true
+            // budget, and the repair pass then drops a whole (lowest-
+            // density) item — so the loss scales with the optimum, not
+            // with the grid cell.
+            let tol = if b.is_some() { 0.05 * expect.max(2.0) } else { 1e-9 };
+            assert!(
+                sol.objective >= expect - tol,
+                "knapsack {} vs oracle {expect} (n={n}, k={k:?}, b={b:?})",
+                sol.objective
+            );
+        }
+    }
+}
+
+/// Structured corner cases the random sweep is unlikely to hit exactly.
+#[test]
+fn oracle_agrees_on_corner_cases() {
+    let item = |w: f64, c: f64| WdpItem {
+        bidder: 0,
+        weight: w,
+        cost: c,
+    };
+    // All-negative weights: optimum is the empty set under every combo.
+    let negs = vec![item(-1.0, 1.0), item(-0.5, 0.0), item(-3.0, 2.0)];
+    for (k, b) in [(None, None), (Some(2), None), (None, Some(1.0)), (Some(1), Some(1.0))] {
+        let inst = build(negs.clone(), k, b);
+        assert_eq!(solve(&inst, SolverKind::Exact).objective, 0.0);
+        assert_eq!(oracle_best(&negs, k, b), 0.0);
+        assert!(solve(&inst, SolverKind::Exact).selected.is_empty());
+    }
+    // Zero budget admits only zero-cost items.
+    let mixed = vec![item(5.0, 1.0), item(2.0, 0.0), item(1.0, 0.0)];
+    let inst = build(mixed.clone(), None, Some(0.0));
+    let sol = solve(&inst, SolverKind::Exact);
+    assert_eq!(sol.objective, oracle_best(&mixed, None, Some(0.0)));
+    assert_eq!(sol.objective, 3.0);
+    // Cardinality cap of zero forces the empty set even with great items.
+    let great = vec![item(10.0, 0.1), item(9.0, 0.1)];
+    let inst = build(great.clone(), Some(0), None);
+    assert_eq!(solve(&inst, SolverKind::Exact).objective, 0.0);
+    assert_eq!(oracle_best(&great, Some(0), None), 0.0);
+    // Budget exactly equal to the best pack's cost: boundary is feasible.
+    let tight = vec![item(4.0, 2.0), item(3.0, 3.0), item(1.0, 4.0)];
+    let inst = build(tight.clone(), None, Some(5.0));
+    let sol = solve(&inst, SolverKind::Exact);
+    assert_eq!(sol.objective, 7.0);
+    assert_eq!(oracle_best(&tight, None, Some(5.0)), 7.0);
+}

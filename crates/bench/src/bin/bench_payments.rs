@@ -5,8 +5,10 @@ use auction::bid::Bid;
 use auction::critical::critical_value;
 use auction::valuation::Valuation;
 use auction::vcg::{VcgAuction, VcgConfig};
+use auction::wdp::SolverKind;
 use bench::harness::Bencher;
 use bench::random_bids as bids;
+use par::Pool;
 use std::hint::black_box;
 
 fn main() {
@@ -22,6 +24,51 @@ fn main() {
             reserve_price: None,
         });
         vcg.bench(&n.to_string(), || auction.run(black_box(&all), &valuation));
+    }
+
+    // The budgeted payment path: W*₋ᵢ re-solved from scratch for every
+    // winner (n independent knapsack solves). This is the path `crates/par`
+    // accelerates; we measure it serial and on the configured pool and
+    // report the speedup. `LOVM_THREADS=1` makes both rows equal.
+    let mut loo = Bencher::new("vcg_loo_pivots");
+    let threads = par::configured_threads();
+    for n in [64usize, 128] {
+        let all = bids(n, 3);
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 50.0,
+            cost_weight: 5.0,
+            max_winners: None,
+            reserve_price: None,
+        });
+        // A budget around 40% of total reported cost keeps roughly half the
+        // population winning, so there are ≥ n/4 leave-one-out solves.
+        let budget = 0.4 * all.iter().map(|b| b.cost).sum::<f64>();
+        let serial_ns = loo
+            .bench(&format!("{n}_serial"), || {
+                auction.run_with_budget_on(
+                    black_box(&all),
+                    &valuation,
+                    budget,
+                    SolverKind::Exact,
+                    Pool::serial(),
+                )
+            })
+            .median_ns;
+        let pool_ns = loo
+            .bench(&format!("{n}_threads{threads}"), || {
+                auction.run_with_budget_on(
+                    black_box(&all),
+                    &valuation,
+                    budget,
+                    SolverKind::Exact,
+                    Pool::auto(),
+                )
+            })
+            .median_ns;
+        eprintln!(
+            "vcg_loo_pivots/{n}: speedup {:.2}x at {threads} thread(s)",
+            serial_ns / pool_ns
+        );
     }
 
     let mut crit = Bencher::new("critical_value_bisection");

@@ -47,7 +47,11 @@ fn main() {
         "virtual welfare / fractional bound".into(),
     ]);
 
-    for n in [50usize, 100, 200, 500, 1000, 2000, 5000, 10000] {
+    // Phase 1 (parallel over population sizes): warm each mechanism's queue
+    // into steady state and compute the deterministic quality columns. Each
+    // N is independent, so the rows land identically at any worker count.
+    let sizes = [50usize, 100, 200, 500, 1000, 2000, 5000, 10000];
+    let prepared: Vec<(Lovm, Vec<Bid>, RoundInfo, usize, f64)> = par::par_map(&sizes, |&n| {
         let all_bids = bids(n, seed);
         let s = Scenario::large(n);
         let mut mech = Lovm::new(LovmConfig::for_scenario(&s, 50.0).with_max_winners(20));
@@ -57,18 +61,10 @@ fn main() {
             total_budget: s.total_budget,
             spent_so_far: 0.0,
         };
-        // Warm the queue so weights are in steady state, then time rounds.
+        // Warm the queue so weights are in steady state.
         for _ in 0..20 {
             mech.select(&info, &all_bids);
         }
-        let reps = (200_000 / n).max(5);
-        let start = Instant::now();
-        for _ in 0..reps {
-            mech.select(&info, &all_bids);
-        }
-        let elapsed = start.elapsed();
-        let per_round = elapsed / reps as u32;
-
         // Quality: one more round, with the bound computed at the *same*
         // queue state the round will use.
         let inst = auction::vcg::VcgAuction::new(auction::vcg::VcgConfig {
@@ -80,13 +76,26 @@ fn main() {
         .instance(&all_bids, &Valuation::default());
         let bound = fractional_upper_bound(&inst);
         let final_outcome = mech.select(&info, &all_bids);
-        let winners = final_outcome.winners.len();
-        let virtual_welfare = final_outcome.virtual_welfare;
         let quality = if bound > 0.0 {
-            virtual_welfare / bound
+            final_outcome.virtual_welfare / bound
         } else {
             1.0
         };
+        (mech, all_bids, info, final_outcome.winners.len(), quality)
+    });
+
+    // Phase 2 (serial, one N at a time): time steady-state rounds without
+    // worker contention polluting the latency measurement. The bids and
+    // round info come back from phase 1, so the timed rounds run against
+    // exactly the instances the mechanism was warmed on.
+    for (&n, (mut mech, all_bids, info, winners, quality)) in sizes.iter().zip(prepared) {
+        let reps = (200_000 / n).max(5);
+        let start = Instant::now();
+        for _ in 0..reps {
+            mech.select(&info, &all_bids);
+        }
+        let elapsed = start.elapsed();
+        let per_round = elapsed / reps as u32;
 
         table.row(vec![
             n.to_string(),

@@ -28,10 +28,15 @@ fn main() {
         "feasible".into(),
     ]);
 
-    for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+    // Sweep points are independent simulations: fan them out across the
+    // worker pool and collect the row blocks in multiplier order, so the
+    // table is identical at any worker count.
+    let mults = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let blocks: Vec<Vec<Vec<String>>> = par::par_map(&mults, |&mult| {
         let mut s = base.clone();
         s.total_budget *= mult;
         let mut oracle = None;
+        let mut rows = Vec::new();
         for mech in &mut roster(&s, 50.0, seed) {
             let result = simulate(mech.as_mut(), &s, seed);
             if oracle.is_none() {
@@ -44,7 +49,7 @@ fn main() {
             let oracle = oracle.as_ref().unwrap();
             let welfare = result.ledger.social_welfare();
             let spend = result.ledger.total_payment();
-            table.row(vec![
+            rows.push(vec![
                 format!("{mult}x"),
                 result.mechanism.clone(),
                 format!("{welfare:.1}"),
@@ -56,6 +61,12 @@ fn main() {
                     "NO".into()
                 },
             ]);
+        }
+        rows
+    });
+    for block in blocks {
+        for row in block {
+            table.row(row);
         }
     }
     println!("{}", table.to_markdown());

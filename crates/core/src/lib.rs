@@ -54,4 +54,4 @@ pub use lovm::{Lovm, LovmConfig};
 pub use mechanism::{HardBudgetCap, Mechanism, RoundInfo};
 pub use multi::{Constraint, MultiLovm, MultiLovmConfig, ResourceUsage};
 pub use offline::{offline_benchmark, OfflineBenchmark};
-pub use simulation::{simulate, SimulationResult};
+pub use simulation::{simulate, simulate_seeds, simulate_seeds_on, SimulationResult};

@@ -182,6 +182,36 @@ pub fn simulate(mechanism: &mut dyn Mechanism, scenario: &Scenario, seed: u64) -
     simulate_market(mechanism, scenario, Market::new(scenario, seed))
 }
 
+/// Runs one scenario across many seeds in parallel on [`par::Pool::auto`],
+/// returning results in seed order.
+///
+/// `factory` builds a fresh mechanism per seed (each worker owns its
+/// mechanism, so no state leaks between seeds). Because every seed's run is
+/// fully determined by its own RNG streams and results are collected in
+/// seed order, the output is bit-identical to running the seeds serially.
+pub fn simulate_seeds<F>(factory: F, scenario: &Scenario, seeds: &[u64]) -> Vec<SimulationResult>
+where
+    F: Fn() -> Box<dyn Mechanism> + Sync,
+{
+    simulate_seeds_on(factory, scenario, seeds, par::Pool::auto())
+}
+
+/// [`simulate_seeds`] with an explicit worker pool.
+pub fn simulate_seeds_on<F>(
+    factory: F,
+    scenario: &Scenario,
+    seeds: &[u64],
+    pool: par::Pool,
+) -> Vec<SimulationResult>
+where
+    F: Fn() -> Box<dyn Mechanism> + Sync,
+{
+    pool.map(seeds, |&seed| {
+        let mut mechanism = factory();
+        simulate(mechanism.as_mut(), scenario, seed)
+    })
+}
+
 /// Runs a mechanism over an explicit (possibly misreporting) market.
 pub fn simulate_market(
     mechanism: &mut dyn Mechanism,

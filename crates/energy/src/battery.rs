@@ -74,8 +74,11 @@ impl Battery {
             amount.is_finite() && amount >= 0.0,
             "charge amount must be non-negative"
         );
-        let stored = (self.capacity - self.level).min(amount);
-        self.level += stored;
+        // The subtraction can round negative by one ulp when a previous
+        // charge landed the level a hair above capacity; clamp so the
+        // returned "amount stored" is never negative.
+        let stored = (self.capacity - self.level).min(amount).max(0.0);
+        self.level = (self.level + stored).min(self.capacity);
         stored
     }
 

@@ -1,0 +1,222 @@
+//! Integration tests for the energy substrate: battery charge/discharge
+//! bounds, harvest-trace recording and replay, and cost-model monotonicity.
+
+use energy::battery::Battery;
+use energy::cost::{ClientEnergyProfile, TrainingCostModel};
+use energy::harvest::{Harvester, HarvesterKind};
+use energy::trace::{EnergyTrace, TraceHarvester};
+use simrng::rngs::StdRng;
+use simrng::{RngExt, SeedableRng};
+
+// ---------------------------------------------------------------- battery
+
+/// Charge/discharge invariants under adversarial random op sequences:
+/// level ∈ [0, capacity], charge returns exactly what was stored, consume
+/// is atomic, and a manual accounting of the level never diverges.
+#[test]
+fn battery_level_accounting_is_exact() {
+    let mut rng = StdRng::seed_from_u64(0xBA77E21);
+    for _ in 0..300 {
+        let capacity = rng.random_range(0.5..20.0f64);
+        let mut b = Battery::new(capacity);
+        let mut shadow = 0.0f64; // independent model of the level
+        for _ in 0..rng.random_range(1..120usize) {
+            if rng.random() {
+                let amt = rng.random_range(0.0..capacity * 1.5);
+                let stored = b.charge(amt);
+                assert!(stored >= 0.0 && stored <= amt + 1e-12);
+                shadow = (shadow + stored).min(capacity);
+            } else {
+                let amt = rng.random_range(0.0..capacity * 1.5);
+                let before = b.level();
+                if b.try_consume(amt) {
+                    shadow = (shadow - amt).max(0.0);
+                } else {
+                    assert_eq!(b.level(), before, "failed consume must not change level");
+                    assert!(before < amt, "refused a consume it could afford");
+                }
+            }
+            assert!(b.level() >= 0.0 && b.level() <= b.capacity() + 1e-12);
+            assert!((b.level() - shadow).abs() < 1e-6, "level drifted from accounting");
+            assert!(b.can_supply(b.level()));
+        }
+    }
+}
+
+/// Overflow beyond capacity is lost, never banked: a full battery reports
+/// zero stored on further charge.
+#[test]
+fn battery_overflow_is_lost() {
+    let mut b = Battery::with_level(5.0, 5.0);
+    assert_eq!(b.charge(10.0), 0.0);
+    assert_eq!(b.level(), 5.0);
+    // Fraction and can_supply agree at the boundary.
+    assert_eq!(b.fraction(), 1.0);
+    assert!(b.can_supply(5.0));
+    assert!(!b.can_supply(5.0 + 1e-6));
+}
+
+// ------------------------------------------------------------------ trace
+
+/// Recording any harvester into a trace and replaying it reproduces the
+/// direct sample stream exactly, for every process family.
+#[test]
+fn trace_replay_matches_direct_sampling_for_all_kinds() {
+    let kinds = [
+        HarvesterKind::Constant { rate: 0.7 },
+        HarvesterKind::Bernoulli { p: 0.4, amount: 1.5 },
+        HarvesterKind::MarkovOnOff {
+            p_on_off: 0.2,
+            p_off_on: 0.4,
+            rate_on: 1.2,
+        },
+        HarvesterKind::Solar {
+            day_length: 24,
+            peak: 2.0,
+            phase: 3,
+            noise: 0.3,
+        },
+    ];
+    for (i, kind) in kinds.into_iter().enumerate() {
+        let seed = 0x7EACE + i as u64;
+        let trace = EnergyTrace::record(kind, seed, 96);
+        let mut direct = Harvester::new(kind, seed);
+        let mut replay = TraceHarvester::new(trace.clone());
+        for t in 0..96 {
+            let d = direct.step();
+            let r = replay.step();
+            assert_eq!(d.to_bits(), r.to_bits(), "kind {i} diverged at round {t}");
+        }
+        // Past the end the replay cycles periodically.
+        for t in 0..96 {
+            assert_eq!(replay.step().to_bits(), trace.samples()[t].to_bits());
+        }
+        assert_eq!(replay.rounds(), 192);
+        // CSV round-trip preserves the samples the replay consumed.
+        let parsed = EnergyTrace::from_csv(&trace.to_csv()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+}
+
+/// A replayed trace drives a battery identically to the live harvester it
+/// was recorded from (the "bring your measured traces" path).
+#[test]
+fn trace_replay_drives_battery_identically() {
+    let kind = HarvesterKind::MarkovOnOff {
+        p_on_off: 0.3,
+        p_off_on: 0.3,
+        rate_on: 0.9,
+    };
+    let trace = EnergyTrace::record(kind, 42, 200);
+    let mut live = Harvester::new(kind, 42);
+    let mut replay = TraceHarvester::new(trace);
+    let mut b_live = Battery::new(3.0);
+    let mut b_replay = Battery::new(3.0);
+    for _ in 0..200 {
+        b_live.charge(live.step());
+        b_replay.charge(replay.step());
+        let _ = b_live.try_consume(0.5);
+        let _ = b_replay.try_consume(0.5);
+        assert_eq!(b_live.level().to_bits(), b_replay.level().to_bits());
+    }
+}
+
+// ------------------------------------------------------------------- cost
+
+/// Round cost is monotone in every input: examples, local epochs, per-
+/// example compute, and communication cost.
+#[test]
+fn round_cost_is_monotone_in_every_parameter() {
+    let base = TrainingCostModel {
+        compute_per_example: 0.002,
+        local_epochs: 2,
+        comm_cost: 0.3,
+    };
+    let mut prev = 0.0;
+    for examples in [0usize, 10, 100, 1000, 10_000] {
+        let c = base.round_cost(examples);
+        assert!(c >= prev, "cost decreased with more examples");
+        prev = c;
+    }
+    for e in 1..6usize {
+        let lo = TrainingCostModel {
+            local_epochs: e,
+            ..base
+        };
+        let hi = TrainingCostModel {
+            local_epochs: e + 1,
+            ..base
+        };
+        assert!(hi.round_cost(500) > lo.round_cost(500));
+    }
+    let cheap = TrainingCostModel {
+        compute_per_example: 0.001,
+        ..base
+    };
+    assert!(cheap.round_cost(500) < base.round_cost(500));
+    let chatty = TrainingCostModel {
+        comm_cost: 1.0,
+        ..base
+    };
+    assert!(chatty.round_cost(500) > base.round_cost(500));
+    // Zero examples still pay the communication floor.
+    assert_eq!(base.round_cost(0), base.comm_cost);
+}
+
+/// The renewal cycle (rounds of harvesting per round of training) is
+/// antitone in the harvest rate and diverges as the rate goes to zero.
+#[test]
+fn renewal_cycle_antitone_in_harvest_rate() {
+    let profile = |rate: f64| {
+        ClientEnergyProfile::new(
+            HarvesterKind::Constant { rate },
+            10.0,
+            TrainingCostModel::default(),
+            500,
+            0,
+        )
+    };
+    let mut prev = f64::INFINITY;
+    assert!(profile(0.0).renewal_cycle().is_infinite());
+    for rate in [0.01, 0.1, 1.0, 10.0] {
+        let cycle = profile(rate).renewal_cycle();
+        assert!(cycle < prev, "cycle must shrink as the rate grows");
+        assert!(cycle > 0.0);
+        prev = cycle;
+    }
+}
+
+/// End-to-end energy gate: a profile can only train while its battery
+/// covers the round cost, and long-run training frequency is pinned by the
+/// renewal cycle.
+#[test]
+fn training_frequency_matches_renewal_cycle() {
+    let mut p = ClientEnergyProfile::new(
+        HarvesterKind::Constant { rate: 0.25 },
+        5.0,
+        TrainingCostModel {
+            compute_per_example: 0.01,
+            local_epochs: 1,
+            comm_cost: 0.25,
+        },
+        100, // round cost = 1.25 → renewal cycle = 5 rounds
+        0,
+    );
+    assert!((p.renewal_cycle() - 5.0).abs() < 1e-12);
+    let mut trained = 0usize;
+    for _ in 0..2000 {
+        p.harvest();
+        if p.can_train() {
+            assert!(p.consume_training());
+            trained += 1;
+        } else {
+            assert!(!p.consume_training(), "consume must agree with can_train");
+        }
+    }
+    // Initial full battery funds 4 extra rounds over the steady-state 400.
+    let expect = 2000 / 5 + 4;
+    assert!(
+        (trained as i64 - expect as i64).abs() <= 2,
+        "trained {trained}, expected ≈ {expect}"
+    );
+}

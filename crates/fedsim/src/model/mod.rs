@@ -13,7 +13,12 @@ pub use mlp::Mlp;
 ///
 /// Parameters are exposed as a single flat vector so that federated
 /// aggregation and optimizers operate uniformly over any model.
-pub trait Model: Clone + Send {
+///
+/// `Send + Sync` are supertraits so a global model can be shared by
+/// reference with the worker threads that train selected clients in
+/// parallel (see [`crate::training::FederatedRun::round_on`]); models are
+/// plain parameter holders, so the bounds are automatic.
+pub trait Model: Clone + Send + Sync {
     /// Total number of trainable parameters.
     fn num_params(&self) -> usize;
 

@@ -88,16 +88,32 @@ impl<M: Model> FederatedRun<M> {
 
     /// Executes one federated round with the given participant set and
     /// returns telemetry. Unknown client ids are ignored.
+    ///
+    /// Selected clients train in parallel on [`par::Pool::auto`]; use
+    /// [`FederatedRun::round_on`] to pin the worker count. Every client's
+    /// minibatch stream derives from its own `(root seed, round, client)`
+    /// seed and aggregation runs in participant order, so the resulting
+    /// global model is bit-identical at any worker count.
     pub fn round(&mut self, participants: &[usize]) -> RoundReport {
+        self.round_on(participants, par::Pool::auto())
+    }
+
+    /// [`FederatedRun::round`] with an explicit worker pool for the
+    /// participants' independent local training runs.
+    pub fn round_on(&mut self, participants: &[usize], pool: par::Pool) -> RoundReport {
         let round = self.server.round() + 1;
-        let mut updates: Vec<ClientUpdate> = Vec::with_capacity(participants.len());
-        for &cid in participants {
-            if cid >= self.trainers.len() {
-                continue;
-            }
-            let seed = derive_seed(self.config.seed, (round as u64) << 32 | cid as u64);
-            updates.push(self.trainers[cid].train(self.server.model(), seed));
-        }
+        let valid: Vec<usize> = participants
+            .iter()
+            .copied()
+            .filter(|&cid| cid < self.trainers.len())
+            .collect();
+        let trainers = &self.trainers;
+        let global = self.server.model();
+        let root_seed = self.config.seed;
+        let updates: Vec<ClientUpdate> = pool.map(&valid, |&cid| {
+            let seed = derive_seed(root_seed, (round as u64) << 32 | cid as u64);
+            trainers[cid].train(global, seed)
+        });
         let total_examples: usize = updates.iter().map(|u| u.num_examples).sum();
         let mean_train_loss = if total_examples > 0 {
             updates

@@ -1,0 +1,335 @@
+//! # par — deterministic data-parallel execution on scoped std threads
+//!
+//! A zero-dependency worker pool for the embarrassingly parallel hot paths
+//! of this workspace: the `n` leave-one-out WDP solves behind VCG payments,
+//! per-client local training inside a federated round, and independent
+//! seeds/sweep points in the experiment binaries.
+//!
+//! **Determinism contract.** Every combinator returns results in *input
+//! index order*, regardless of which worker computed which item or in what
+//! order workers finished. As long as the per-item closure is a pure
+//! function of its input (true everywhere in this workspace: all randomness
+//! is derived from per-item seeds), the output of a parallel run is
+//! *bit-identical* to the serial run — floats included, because each item's
+//! arithmetic happens entirely within one task and any cross-item reduction
+//! is performed by the caller over the index-ordered `Vec`. The test suite
+//! in `tests/determinism.rs` (umbrella crate) locks this down for each
+//! wired path.
+//!
+//! **Worker count.** [`Pool::auto`] uses the `LOVM_THREADS` environment
+//! variable when set (`LOVM_THREADS=1` forces serial execution), otherwise
+//! [`std::thread::available_parallelism`]. Work is distributed by an atomic
+//! index counter, so uneven per-item costs (e.g. leave-one-out instances of
+//! different sizes) balance automatically.
+//!
+//! ```
+//! let squares = par::par_map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! // Explicit pools pin the worker count independent of the environment:
+//! let serial = par::Pool::serial().map(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(serial, squares);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Hard ceiling on the worker count: beyond this, per-call thread spawn
+/// overhead dwarfs any conceivable gain for this workspace's task sizes.
+pub const MAX_THREADS: usize = 128;
+
+/// Name of the environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "LOVM_THREADS";
+
+/// Worker count from the environment (`LOVM_THREADS`) when set to an
+/// integer — `LOVM_THREADS=0` is honored as "serial", not ignored —
+/// otherwise the machine's available parallelism. Always in
+/// `1..=MAX_THREADS`.
+pub fn configured_threads() -> usize {
+    let from_env = std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .map(|n| n.max(1));
+    from_env
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .min(MAX_THREADS)
+}
+
+/// A worker-count policy for the data-parallel combinators.
+///
+/// A `Pool` is a plain value (no OS resources): threads are scoped to each
+/// call and joined before it returns, so there is no shutdown to manage and
+/// panics from workers propagate to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::auto()
+    }
+}
+
+impl Pool {
+    /// Pool sized by [`configured_threads`] (environment override or
+    /// detected parallelism).
+    pub fn auto() -> Self {
+        Pool {
+            threads: configured_threads(),
+        }
+    }
+
+    /// Single-worker pool: runs everything inline on the caller's thread.
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Pool with an explicit worker count (clamped to `1..=MAX_THREADS`).
+    pub fn with_threads(threads: usize) -> Self {
+        Pool {
+            threads: threads.clamp(1, MAX_THREADS),
+        }
+    }
+
+    /// The worker count this pool will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(0), f(1), …, f(n-1)` across the workers and returns the
+    /// results in index order.
+    ///
+    /// With one worker (or fewer than two items) this degenerates to a
+    /// plain serial loop with no thread spawned at all.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from `f` on the calling thread.
+    pub fn run<U, F>(&self, n: usize, f: F) -> Vec<U>
+    where
+        U: Send,
+        F: Fn(usize) -> U + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+        // Each worker pulls the next unclaimed index from a shared counter
+        // and keeps (index, result) pairs locally; the caller then scatters
+        // them into their slots. No locks, no result-order dependence on
+        // scheduling.
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for part in parts {
+            for (i, v) in part {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(v);
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index in 0..n is claimed exactly once"))
+            .collect()
+    }
+
+    /// Maps `f` over `items`, returning results in item order.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        self.run(items.len(), |i| f(&items[i]))
+    }
+
+    /// Maps `f(index, &item)` over `items`, returning results in item order.
+    pub fn map_indexed<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(usize, &T) -> U + Sync,
+    {
+        self.run(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Applies `f` to consecutive chunks of at most `chunk_size` items,
+    /// returning one result per chunk in chunk order. Useful when per-item
+    /// work is too small to amortize task dispatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn chunks<T, U, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&[T]) -> U + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let n_chunks = items.len().div_ceil(chunk_size);
+        self.run(n_chunks, |c| {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            f(&items[lo..hi])
+        })
+    }
+}
+
+/// [`Pool::map`] on the [`Pool::auto`] pool.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    Pool::auto().map(items, f)
+}
+
+/// [`Pool::map_indexed`] on the [`Pool::auto`] pool.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    Pool::auto().map_indexed(items, f)
+}
+
+/// [`Pool::chunks`] on the [`Pool::auto`] pool.
+pub fn par_chunks<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T]) -> U + Sync,
+{
+    Pool::auto().chunks(items, chunk_size, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 4, 7] {
+            let out = Pool::with_threads(threads).map(&items, |&x| x * 3 + 1);
+            let expect: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_indexed_sees_correct_indices() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let out = Pool::with_threads(3).map_indexed(&items, |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(Pool::with_threads(4).map(&empty, |&x| x).is_empty());
+        assert_eq!(Pool::with_threads(4).map(&[9u32], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn serial_pool_never_spawns_and_matches_parallel() {
+        let items: Vec<f64> = (0..257).map(|i| i as f64 * 0.37).collect();
+        let f = |&x: &f64| (x.sin() * 1e9).mul_add(x, x.sqrt());
+        let serial = Pool::serial().map(&items, f);
+        let parallel = Pool::with_threads(4).map(&items, f);
+        // Bit-identical, not approximately equal.
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let sums = Pool::with_threads(4).chunks(&items, 10, |c| c.iter().sum::<usize>());
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        // First chunk is exactly 0..10 regardless of scheduling.
+        assert_eq!(sums[0], (0..10).sum::<usize>());
+        assert_eq!(sums[10], (100..103).sum::<usize>());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size must be positive")]
+    fn chunks_rejects_zero_size() {
+        let _ = Pool::serial().chunks(&[1, 2, 3], 0, |c| c.len());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::with_threads(2).run(8, |i| {
+                if i == 5 {
+                    panic!("boom at 5");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn with_threads_clamps() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert_eq!(Pool::with_threads(usize::MAX).threads(), MAX_THREADS);
+        assert_eq!(Pool::serial().threads(), 1);
+        assert!(Pool::auto().threads() >= 1);
+        assert!(Pool::auto().threads() <= MAX_THREADS);
+    }
+
+    #[test]
+    fn uneven_workloads_still_ordered() {
+        // Item i busy-loops proportionally to (i % 7), so completion order
+        // differs wildly from index order.
+        let items: Vec<u64> = (0..200).collect();
+        let out = Pool::with_threads(4).map(&items, |&i| {
+            let mut acc = i;
+            for _ in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (i, acc)
+        });
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(idx as u64, *i);
+        }
+    }
+
+    #[test]
+    fn run_counts_each_index_once() {
+        let out = Pool::with_threads(8).run(10_000, |i| i);
+        let expect: Vec<usize> = (0..10_000).collect();
+        assert_eq!(out, expect);
+    }
+}

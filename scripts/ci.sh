@@ -2,11 +2,23 @@
 # Tier-1 verify as one command: build everything in release mode, run the
 # whole-workspace test suite, and hold the tree to zero clippy warnings.
 # The workspace has no external dependencies, so this runs fully offline.
+#
+# The test suite runs twice — serial (LOVM_THREADS=1) and on a 4-worker
+# pool — because the parallel execution layer (crates/par) guarantees
+# bit-identical output at any worker count and both modes must stay green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+LOVM_THREADS=1 cargo test -q
+LOVM_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Smoke the payment-path benchmark in both modes (tiny sample counts: this
+# checks the bins run and report, not the timings themselves).
+for t in 1 4; do
+  LOVM_THREADS=$t LOVM_BENCH_SAMPLES=5 LOVM_BENCH_BATCH_NS=200000 \
+    ./target/release/bench_payments > /dev/null
+done
 
 echo "ci: all green"
