@@ -9,6 +9,9 @@
 //!   exhaustive, greedy density),
 //! * [`vcg`] — Clarke-pivot payments over a scored winner-determination
 //!   instance (the per-round auction used by LOVM),
+//! * [`pivots`] — the incremental leave-one-out welfare engine behind VCG
+//!   payments: all `W*₋ᵢ` from one shared pass, bit-identical to the naive
+//!   per-winner re-solve,
 //! * [`critical`] — Myerson critical-value payments for monotone
 //!   allocation rules (used by greedy baselines),
 //! * [`properties`] — executable checks for truthfulness, individual
@@ -43,6 +46,7 @@
 pub mod bid;
 pub mod critical;
 pub mod outcome;
+pub mod pivots;
 pub mod properties;
 pub mod valuation;
 pub mod vcg;
@@ -50,6 +54,7 @@ pub mod wdp;
 
 pub use bid::Bid;
 pub use outcome::{AuctionOutcome, Award};
+pub use pivots::PaymentStrategy;
 pub use valuation::{ClientValue, Valuation};
 pub use vcg::{VcgAuction, VcgConfig};
 pub use wdp::{solve, SolverKind, WdpInstance, WdpItem, WdpSolution};

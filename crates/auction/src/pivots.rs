@@ -1,0 +1,601 @@
+//! Incremental leave-one-out welfare engine for Clarke pivots.
+//!
+//! VCG payments need, for every winner `i`, the optimal welfare `W*₋ᵢ` of
+//! the instance with `i` excluded. Re-solving the winner-determination
+//! problem from scratch per winner costs `n` full solves — O(n² log n) for
+//! top-K instances and O(n²·G) for the budgeted knapsack — and dominates
+//! every round. This module computes the same quantities incrementally:
+//!
+//! * **Top-K / unconstrained** (no budget): one stable sort of the full
+//!   preference order. Removing one item never reorders the rest, so each
+//!   reduced optimum is a splice of that single order — the surviving
+//!   winners plus the first displaced candidate. O(n log n + n·K) total.
+//! * **Budgeted knapsack**: one forward and one backward DP sweep over the
+//!   candidate sequence, then a per-winner merge of `prefix[i−1] ⊕
+//!   suffix[i+1]` over the cost grid. O(n·G) table work total instead of
+//!   O(n²·G), with the per-winner merges fanned out on [`par::Pool`].
+//!
+//! **Bit-compatibility contract.** The engine is drop-in for the naive
+//! re-solve: `W*₋ᵢ` (and hence every payment) is bit-identical to
+//! `solve(inst.without_item(i), kind).objective`. This works because the
+//! engine never sums welfare from precomputed aggregates — it determines
+//! the reduced instance's *selected set* incrementally and then recomputes
+//! the objective exactly the way [`crate::wdp`] does: canonical
+//! ascending-index order, left-to-right float adds, identical candidate
+//! filter / grid rounding / budget-repair code. The differential suite
+//! (`tests/pivot_equivalence.rs`) pins this across all four constraint
+//! combinations. Solver kinds the engine has no incremental formulation
+//! for (exhaustive, greedy, or instances crossing the exhaustive-dispatch
+//! size boundary) transparently fall back to the naive re-solve,
+//! preserving the contract trivially.
+//!
+//! Scope of the guarantee: the top-K path is unconditionally bit-identical
+//! (a stable sort makes every reduced order a splice of the full one, ties
+//! included). The budgeted DP-merge path guarantees bit-identity whenever
+//! the reduced instance's optimal *selection* is unique at the DP's
+//! comparison epsilon — always the case for cost/weight draws from
+//! continuous distributions, which is what LOVM markets produce. On
+//! adversarially tied instances (distinct subsets with exactly equal
+//! welfare, e.g. duplicated integer weights) the naive sequential DP and
+//! the prefix/suffix merge may break the tie toward different — equally
+//! DP-optimal — selections, and once budget repair acts on those different
+//! sets the welfares and payments need no longer agree at all.
+
+use crate::wdp::{
+    knapsack_candidates, knapsack_cell, knapsack_gcost, knapsack_width_2d, repair_overspend,
+    solve, SolverKind, WdpInstance,
+};
+
+/// How `W*₋ᵢ` pivot welfares are computed for payments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PaymentStrategy {
+    /// Re-solve the reduced instance from scratch for every pivot — the
+    /// textbook O(n) independent solves. Kept as the differential-testing
+    /// reference and for odd solver kinds.
+    Naive,
+    /// Incremental leave-one-out engine (the default): shared sorted-order
+    /// / DP-table passes, per-pivot merge. Bit-identical to [`Self::Naive`].
+    #[default]
+    Incremental,
+}
+
+/// [`leave_one_out_welfares_on`] on the [`par::Pool::auto`] pool.
+pub fn leave_one_out_welfares(
+    inst: &WdpInstance,
+    targets: &[usize],
+    kind: SolverKind,
+    strategy: PaymentStrategy,
+) -> Vec<f64> {
+    leave_one_out_welfares_on(inst, targets, kind, strategy, par::Pool::auto())
+}
+
+/// Computes `W*₋ᵢ = solve(inst.without_item(i), kind).objective` for every
+/// `i` in `targets` (indices into `inst.items`), in target order.
+///
+/// With `PaymentStrategy::Incremental` the result is bit-identical to the
+/// naive per-target re-solve (see module docs) at a fraction of the cost.
+/// Per-target work is fanned out on `pool`; output does not depend on the
+/// worker count.
+pub fn leave_one_out_welfares_on(
+    inst: &WdpInstance,
+    targets: &[usize],
+    kind: SolverKind,
+    strategy: PaymentStrategy,
+    pool: par::Pool,
+) -> Vec<f64> {
+    match strategy {
+        PaymentStrategy::Naive => naive_loo(inst, targets, kind, pool),
+        PaymentStrategy::Incremental => match (inst.budget, kind) {
+            (None, SolverKind::Exact) | (None, SolverKind::Knapsack { .. }) => {
+                topk_loo(inst, targets, pool)
+            }
+            (Some(_), SolverKind::Knapsack { grid }) => merge_loo(inst, targets, grid, kind, pool),
+            // `Exact` dispatches reduced instances of ≤ 25 items to
+            // exhaustive search; the DP merge only mirrors the knapsack
+            // path, so it applies once every reduced instance is knapsack-
+            // dispatched (n − 1 > 25).
+            (Some(_), SolverKind::Exact) if inst.items.len() > 26 => {
+                merge_loo(inst, targets, 4000, kind, pool)
+            }
+            _ => naive_loo(inst, targets, kind, pool),
+        },
+    }
+}
+
+/// The reference engine: one full re-solve per excluded target.
+fn naive_loo(inst: &WdpInstance, targets: &[usize], kind: SolverKind, pool: par::Pool) -> Vec<f64> {
+    pool.map(targets, |&i| solve(&inst.without_item(i), kind).objective)
+}
+
+/// Canonical objective: ascending-index, left-to-right sum — exactly what
+/// `WdpSolution::from_indices` computes for the reduced instance (removing
+/// one item maps the surviving indices monotonically, so the weight
+/// sequence is identical).
+fn canonical_objective(inst: &WdpInstance, mut selected: Vec<usize>) -> f64 {
+    selected.sort_unstable();
+    selected.iter().map(|&i| inst.items[i].weight).sum()
+}
+
+/// Incremental engine for instances without a budget constraint.
+///
+/// `top_k` stable-sorts the positive-weight items by descending weight and
+/// truncates; removing any single item never changes the relative order of
+/// the rest, so every reduced optimum reads directly off the full order:
+/// the surviving top-K plus (when the cap was binding) the first displaced
+/// candidate.
+fn topk_loo(inst: &WdpInstance, targets: &[usize], pool: par::Pool) -> Vec<f64> {
+    match inst.max_winners {
+        None => {
+            // Reduced optimum = every positive item except the target.
+            // Filtered in index order, which *is* the canonical order, so
+            // each pivot is one allocation-free skip-one fold.
+            let positives: Vec<usize> = (0..inst.items.len())
+                .filter(|&i| inst.items[i].weight > 0.0)
+                .collect();
+            pool.map(targets, |&t| {
+                positives
+                    .iter()
+                    .filter(|&&i| i != t)
+                    .map(|&i| inst.items[i].weight)
+                    .sum()
+            })
+        }
+        Some(k) => topk_capped_loo(inst, targets, k, pool),
+    }
+}
+
+/// Cardinality-capped arm of [`topk_loo`].
+fn topk_capped_loo(inst: &WdpInstance, targets: &[usize], k: usize, pool: par::Pool) -> Vec<f64> {
+    let order = crate::wdp::preference_order(inst);
+    pool.map(targets, |&t| {
+        let pos = order.iter().position(|&i| i == t);
+        let selected = match pos {
+            Some(p) if p < k => {
+                // The target was in the money: the other winners stay
+                // and the first displaced candidate (if any) slides in.
+                let mut s: Vec<usize> = order[..k.min(order.len())]
+                    .iter()
+                    .copied()
+                    .filter(|&i| i != t)
+                    .collect();
+                if let Some(&d) = order.get(k) {
+                    s.push(d);
+                }
+                s
+            }
+            // The target never won (or has non-positive weight):
+            // removing it leaves the top-K untouched.
+            _ => order[..k.min(order.len())].to_vec(),
+        };
+        canonical_objective(inst, selected)
+    })
+}
+
+/// Bit set indexed as `item * row_width + cell`, one row per DP state cell.
+/// The DP taken-flag tables would be the engine's dominant allocation as
+/// `Vec<bool>`; packing them 64× keeps even 10⁴-bidder instances cheap.
+struct FlagTable {
+    words: Vec<u64>,
+    row_words: usize,
+}
+
+impl FlagTable {
+    fn new(rows: usize, row_bits: usize) -> Self {
+        let row_words = row_bits.div_ceil(64);
+        FlagTable {
+            words: vec![0u64; rows * row_words],
+            row_words,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, bit: usize) {
+        self.words[row * self.row_words + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn get(&self, row: usize, bit: usize) -> bool {
+        self.words[row * self.row_words + bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+}
+
+/// Incremental engine for budgeted instances: forward/backward knapsack DP
+/// tables over the candidate sequence, merged per target.
+///
+/// The reduced instance's candidate roster is the full roster minus the
+/// target, in the same order, with the same grid geometry, so the naive
+/// LOO DP's state after the prefix is exactly the forward table — the
+/// merge only has to pick the optimal budget split between prefix and
+/// suffix and reconstruct each half from its taken flags. The reconstructed
+/// set is re-summed canonically, which is what makes the result
+/// bit-identical to the naive re-solve rather than merely equal to
+/// float noise.
+fn merge_loo(
+    inst: &WdpInstance,
+    targets: &[usize],
+    grid: usize,
+    kind: SolverKind,
+    pool: par::Pool,
+) -> Vec<f64> {
+    let budget = inst.budget.expect("merge engine requires a budget");
+    assert!(grid >= 1, "grid must be at least 1");
+    for it in &inst.items {
+        assert!(
+            it.cost.is_finite() && it.cost >= 0.0,
+            "knapsack requires non-negative finite costs"
+        );
+    }
+    let cand = knapsack_candidates(inst, budget);
+    let m = cand.len();
+
+    // The reduced instance drops one candidate, so its DP geometry is
+    // computed from m − 1 candidates — identical for every target.
+    let loo_len = m.saturating_sub(1);
+    let (kmax, width) = match inst.max_winners {
+        None => (None, grid + 1),
+        Some(k) => {
+            let km = k.min(loo_len);
+            (Some(km), knapsack_width_2d(loo_len, km, grid))
+        }
+    };
+    let rows = kmax.map_or(1, |k| k + 1);
+    let grid_eff = width - 1;
+    let cell = knapsack_cell(budget, grid_eff);
+    let gc = |i: usize| knapsack_gcost(inst.items[i].cost, budget, cell, grid_eff);
+
+    // Table-size guard: past this the snapshot/flag memory outweighs the
+    // saved solves, so hand the job back to the reference engine.
+    let snapshot_positions: Vec<usize> = {
+        let mut ps: Vec<usize> = targets
+            .iter()
+            .filter_map(|&t| cand.binary_search(&t).ok())
+            .collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    };
+    let cells = rows * width;
+    if m.saturating_mul(cells) > (1 << 28) || snapshot_positions.len().saturating_mul(cells) > (1 << 24)
+    {
+        return naive_loo(inst, targets, kind, pool);
+    }
+
+    // Any target that is not a knapsack candidate leaves the DP unchanged:
+    // its reduced optimum is the full optimum (computed over the same
+    // candidate roster, hence the same floats).
+    let full_objective = if targets.iter().any(|&t| cand.binary_search(&t).is_err()) {
+        solve(inst, SolverKind::Knapsack { grid }).objective
+    } else {
+        0.0
+    };
+    if m == 0 {
+        return targets.iter().map(|_| full_objective).collect();
+    }
+
+    let snap_index = |p: usize| snapshot_positions.binary_search(&p).ok();
+
+    // Forward sweep: fwd state before processing cand[p] is bit-identical
+    // to the naive LOO DP's state after the prefix cand[0..p] (same items,
+    // same order, same update rule). Backward sweep mirrors it from the
+    // end, so the snapshot at p covers exactly the suffix cand[p+1..].
+    let mut fwd_tk = FlagTable::new(m, cells);
+    let mut fwd_snap: Vec<Vec<f64>> = Vec::with_capacity(snapshot_positions.len());
+    fwd_snap.resize(snapshot_positions.len(), Vec::new());
+    {
+        let mut dp = vec![0.0f64; cells];
+        for (t, &i) in cand.iter().enumerate() {
+            if let Some(s) = snap_index(t) {
+                fwd_snap[s] = dp.clone();
+            }
+            knapsack_step(&mut dp, &mut fwd_tk, t, gc(i), inst.items[i].weight, kmax, width);
+        }
+    }
+    let mut bwd_tk = FlagTable::new(m, cells);
+    let mut bwd_snap: Vec<Vec<f64>> = Vec::new();
+    bwd_snap.resize(snapshot_positions.len(), Vec::new());
+    {
+        let mut dp = vec![0.0f64; cells];
+        for t in (0..m).rev() {
+            if let Some(s) = snap_index(t) {
+                bwd_snap[s] = dp.clone();
+            }
+            let i = cand[t];
+            knapsack_step(&mut dp, &mut bwd_tk, t, gc(i), inst.items[i].weight, kmax, width);
+        }
+    }
+
+    // Per-target merge: pick the best prefix/suffix split of the budget
+    // (and of the winner count, when capped), reconstruct both halves from
+    // their flags in the naive walk's descending order, repair, re-sum.
+    pool.map(targets, |&t| {
+        let Ok(p) = cand.binary_search(&t) else {
+            return full_objective;
+        };
+        if m == 1 {
+            // Reduced instance has no candidates at all. (Summed, not a
+            // literal zero: an empty float sum is −0.0 and the contract is
+            // bit-identity.)
+            return canonical_objective(inst, Vec::new());
+        }
+        let s = snap_index(p).expect("snapshot recorded for every candidate target");
+        let fs = &fwd_snap[s];
+        let bs = &bwd_snap[s];
+
+        // Best split, scanned low-to-high with the DP's strict-improvement
+        // epsilon. Both tables are monotone in count and cost, so each
+        // prefix state pairs with the full remaining capacity.
+        let mut best = f64::NEG_INFINITY;
+        let (mut bj1, mut bc1) = (0usize, 0usize);
+        for j1 in 0..rows {
+            let j2 = rows - 1 - j1;
+            for c1 in 0..width {
+                let v = fs[j1 * width + c1] + bs[j2 * width + (grid_eff - c1)];
+                if v > best + 1e-15 {
+                    best = v;
+                    bj1 = j1;
+                    bc1 = c1;
+                }
+            }
+        }
+
+        // Suffix walk (forward through items, as the backward table was
+        // built last-item-first), then reversed so the combined vector is
+        // in the naive reconstruction's descending item order.
+        let mut selected: Vec<usize> = Vec::new();
+        {
+            let mut j = rows - 1 - bj1;
+            let mut c = grid_eff - bc1;
+            let mut part = Vec::new();
+            for (q, &i) in cand.iter().enumerate().skip(p + 1) {
+                if kmax.is_some() && j == 0 {
+                    break;
+                }
+                let row = if kmax.is_some() { j } else { 0 };
+                if bwd_tk.get(q, row * width + c) {
+                    part.push(i);
+                    c -= gc(i);
+                    j = j.saturating_sub(1);
+                }
+            }
+            part.reverse();
+            selected.extend(part);
+        }
+        {
+            let mut j = bj1;
+            let mut c = bc1;
+            for q in (0..p).rev() {
+                if kmax.is_some() && j == 0 {
+                    break;
+                }
+                let row = if kmax.is_some() { j } else { 0 };
+                if fwd_tk.get(q, row * width + c) {
+                    selected.push(cand[q]);
+                    c -= gc(cand[q]);
+                    j = j.saturating_sub(1);
+                }
+            }
+        }
+        repair_overspend(inst, &mut selected, budget);
+        canonical_objective(inst, selected)
+    })
+}
+
+/// One knapsack DP item update (shared by both sweeps): the classic
+/// reverse-cell relaxation, with a count dimension when `kmax` is set.
+/// Identical update rule and epsilon to `wdp::knapsack`.
+fn knapsack_step(
+    dp: &mut [f64],
+    tk: &mut FlagTable,
+    item_row: usize,
+    gcost: usize,
+    weight: f64,
+    kmax: Option<usize>,
+    width: usize,
+) {
+    let grid_eff = width - 1;
+    if gcost > grid_eff {
+        return;
+    }
+    match kmax {
+        None => {
+            for c in (gcost..width).rev() {
+                let candidate = dp[c - gcost] + weight;
+                if candidate > dp[c] + 1e-15 {
+                    dp[c] = candidate;
+                    tk.set(item_row, c);
+                }
+            }
+        }
+        Some(kmax) => {
+            for j in (1..=kmax).rev() {
+                for c in (gcost..width).rev() {
+                    let candidate = dp[(j - 1) * width + (c - gcost)] + weight;
+                    if candidate > dp[j * width + c] + 1e-15 {
+                        dp[j * width + c] = candidate;
+                        tk.set(item_row, j * width + c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wdp::WdpItem;
+    use simrng::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn item(bidder: usize, weight: f64, cost: f64) -> WdpItem {
+        WdpItem {
+            bidder,
+            weight,
+            cost,
+        }
+    }
+
+    fn assert_bits_equal(a: &[f64], b: &[f64], context: &str) {
+        assert_eq!(a.len(), b.len(), "{context}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{context}: target {i} incremental {x} vs naive {y}"
+            );
+        }
+    }
+
+    fn both(inst: &WdpInstance, targets: &[usize], kind: SolverKind) -> (Vec<f64>, Vec<f64>) {
+        let pool = par::Pool::serial();
+        (
+            leave_one_out_welfares_on(inst, targets, kind, PaymentStrategy::Incremental, pool),
+            leave_one_out_welfares_on(inst, targets, kind, PaymentStrategy::Naive, pool),
+        )
+    }
+
+    #[test]
+    fn topk_displacement_pivot() {
+        // Weights 8, 5, 3; K = 2 → winners {0, 1}; removing a winner
+        // promotes item 2.
+        let inst = WdpInstance::new(vec![
+            item(0, 8.0, 1.0),
+            item(1, 5.0, 1.0),
+            item(2, 3.0, 1.0),
+        ])
+        .with_max_winners(2);
+        let (inc, naive) = both(&inst, &[0, 1], SolverKind::Exact);
+        assert_bits_equal(&inc, &naive, "topk displacement");
+        assert_eq!(inc, vec![5.0 + 3.0, 8.0 + 3.0]);
+    }
+
+    #[test]
+    fn unconstrained_pivot_drops_only_target() {
+        let inst = WdpInstance::new(vec![
+            item(0, 2.5, 1.0),
+            item(1, -1.0, 1.0),
+            item(2, 4.25, 1.0),
+        ]);
+        let (inc, naive) = both(&inst, &[0, 2], SolverKind::Exact);
+        assert_bits_equal(&inc, &naive, "unconstrained");
+        assert_eq!(inc, vec![4.25, 2.5]);
+    }
+
+    #[test]
+    fn loser_target_leaves_topk_unchanged() {
+        let inst = WdpInstance::new(vec![
+            item(0, 8.0, 1.0),
+            item(1, 5.0, 1.0),
+            item(2, 3.0, 1.0),
+        ])
+        .with_max_winners(2);
+        let (inc, naive) = both(&inst, &[2], SolverKind::Exact);
+        assert_bits_equal(&inc, &naive, "loser target");
+        assert_eq!(inc, vec![13.0]);
+    }
+
+    #[test]
+    fn merge_engine_single_candidate_reduces_to_empty() {
+        let inst = WdpInstance::new(vec![item(0, 3.1, 1.3), item(1, -2.0, 0.5)]).with_budget(4.0);
+        let (inc, naive) = both(&inst, &[0], SolverKind::Knapsack { grid: 64 });
+        assert_bits_equal(&inc, &naive, "single candidate");
+        assert_eq!(inc, vec![0.0]);
+    }
+
+    #[test]
+    fn merge_engine_matches_naive_on_random_budgeted_instances() {
+        let mut rng = StdRng::seed_from_u64(0x9107_5EED);
+        for round in 0..40 {
+            let n = rng.random_range(2..30usize);
+            let items: Vec<WdpItem> = (0..n)
+                .map(|i| {
+                    item(
+                        i,
+                        rng.random_range(-2.0..9.0),
+                        rng.random_range(0.01..4.0),
+                    )
+                })
+                .collect();
+            let budget = rng.random_range(0.5..8.0);
+            let grid = rng.random_range(32..400usize);
+            let mut inst = WdpInstance::new(items).with_budget(budget);
+            if rng.random() {
+                inst = inst.with_max_winners(rng.random_range(1..8usize));
+            }
+            let kind = SolverKind::Knapsack { grid };
+            let sol = solve(&inst, kind);
+            let (inc, naive) = both(&inst, &sol.selected, kind);
+            assert_bits_equal(&inc, &naive, &format!("random budgeted round {round}"));
+        }
+    }
+
+    #[test]
+    fn zero_budget_keeps_free_items_only() {
+        let inst = WdpInstance::new(vec![
+            item(0, 5.5, 1.0),
+            item(1, 2.25, 0.0),
+            item(2, 1.125, 0.0),
+        ])
+        .with_budget(0.0);
+        let kind = SolverKind::Knapsack { grid: 50 };
+        let sol = solve(&inst, kind);
+        assert_eq!(sol.selected, vec![1, 2]);
+        let (inc, naive) = both(&inst, &sol.selected, kind);
+        assert_bits_equal(&inc, &naive, "zero budget");
+        assert_eq!(inc, vec![1.125, 2.25]);
+    }
+
+    #[test]
+    fn non_candidate_target_returns_full_objective() {
+        // Item 1 has negative weight: never a candidate, so excluding it
+        // changes nothing.
+        let inst = WdpInstance::new(vec![
+            item(0, 3.3, 1.0),
+            item(1, -1.0, 1.0),
+            item(2, 2.2, 1.0),
+        ])
+        .with_budget(5.0);
+        let kind = SolverKind::Knapsack { grid: 100 };
+        let full = solve(&inst, kind).objective;
+        let (inc, naive) = both(&inst, &[1], kind);
+        assert_bits_equal(&inc, &naive, "non-candidate");
+        assert_eq!(inc[0].to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn exhaustive_kind_falls_back_to_naive() {
+        let inst = WdpInstance::new(vec![
+            item(0, 6.0, 10.0),
+            item(1, 4.0, 4.0),
+            item(2, 3.0, 3.0),
+        ])
+        .with_budget(8.0);
+        let (inc, naive) = both(&inst, &[1, 2], SolverKind::Exhaustive);
+        assert_bits_equal(&inc, &naive, "exhaustive fallback");
+    }
+
+    #[test]
+    fn pool_fanout_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(0xFA11);
+        let items: Vec<WdpItem> = (0..40)
+            .map(|i| item(i, rng.random_range(0.1..9.0), rng.random_range(0.05..3.0)))
+            .collect();
+        let inst = WdpInstance::new(items).with_budget(12.0);
+        let kind = SolverKind::Knapsack { grid: 256 };
+        let sol = solve(&inst, kind);
+        let serial = leave_one_out_welfares_on(
+            &inst,
+            &sol.selected,
+            kind,
+            PaymentStrategy::Incremental,
+            par::Pool::serial(),
+        );
+        let pooled = leave_one_out_welfares_on(
+            &inst,
+            &sol.selected,
+            kind,
+            PaymentStrategy::Incremental,
+            par::Pool::with_threads(4),
+        );
+        assert_bits_equal(&pooled, &serial, "pool fanout");
+    }
+}

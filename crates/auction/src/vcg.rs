@@ -18,6 +18,7 @@
 
 use crate::bid::Bid;
 use crate::outcome::{AuctionOutcome, Award};
+use crate::pivots::{leave_one_out_welfares_on, PaymentStrategy};
 use crate::valuation::Valuation;
 use crate::wdp::{solve, SolverKind, WdpInstance, WdpItem};
 
@@ -113,38 +114,46 @@ impl VcgAuction {
 
     /// Runs the auction: exact winner determination plus Clarke payments.
     ///
-    /// Runtime is `O(n log n)`: with no budget constraint the optimum is the
-    /// top-K positive-score set and every Clarke pivot differs from the
-    /// grand optimum only by the displaced marginal candidate.
+    /// Runtime is `O(n log n + n·K)` where `K` is the winner count: the
+    /// optimum is the top-K positive-score set and the incremental pivot
+    /// engine ([`crate::pivots`]) reads every `W*₋ᵢ` off one shared sorted
+    /// order, at an O(n) canonical re-sum per winner (the price of
+    /// bit-identity with the naive re-solve). With the winner caps LOVM
+    /// runs in practice (`K` ≪ n) that is `O(n log n)`; with no cap and
+    /// all-positive scores it degrades to `O(n²)` float adds.
     pub fn run(&self, bids: &[Bid], valuation: &Valuation) -> AuctionOutcome {
+        // Serial pool: per-pivot work here is O(K) — far below the
+        // threshold where fan-out pays for itself in this hot loop.
+        self.run_with_strategy_on(bids, valuation, PaymentStrategy::Incremental, par::Pool::serial())
+    }
+
+    /// [`VcgAuction::run`] with an explicit pivot-welfare strategy and
+    /// worker pool. Both strategies produce bit-identical payments; `Naive`
+    /// re-solves the winner determination once per winner and exists as the
+    /// differential-testing reference.
+    pub fn run_with_strategy_on(
+        &self,
+        bids: &[Bid],
+        valuation: &Valuation,
+        strategy: PaymentStrategy,
+        pool: par::Pool,
+    ) -> AuctionOutcome {
         let inst = self.instance(bids, valuation);
         let sol = solve(&inst, SolverKind::Exact);
         let w_star = sol.objective;
         let q = self.config.cost_weight;
-
-        // The displaced candidate: best positive-score item not selected.
-        let selected_set: std::collections::HashSet<usize> = sol.selected.iter().copied().collect();
-        let mut displaced = 0.0f64;
-        for (i, item) in inst.items.iter().enumerate() {
-            if !selected_set.contains(&i) && item.weight > displaced {
-                displaced = item.weight;
-            }
-        }
-
-        let cardinality_binds = self
-            .config
-            .max_winners
-            .is_some_and(|k| sol.selected.len() >= k);
-
+        let w_minus =
+            leave_one_out_welfares_on(&inst, &sol.selected, SolverKind::Exact, strategy, pool);
         let winners = sol
             .selected
             .iter()
-            .map(|&i| {
-                let item = inst.items[i];
+            .zip(w_minus)
+            .map(|(&i, w_minus_i)| {
                 let bid = &bids[i];
-                // W*₋ᵢ = W* − w_i + (displaced candidate if the cap binds).
-                let w_minus_i = w_star - item.weight + if cardinality_binds { displaced } else { 0.0 };
-                let mut payment = bid.cost + (w_star - w_minus_i) / q;
+                // Exact top-K gives W* ≥ W*₋ᵢ; the clamp only absorbs
+                // last-ulp float noise when the pivot is a mathematical tie.
+                let pivot = (w_star - w_minus_i).max(0.0);
+                let mut payment = bid.cost + pivot / q;
                 // The reserve caps the critical report, hence the payment.
                 if let Some(r) = self.config.reserve_price {
                     payment = payment.min(r);
@@ -161,16 +170,19 @@ impl VcgAuction {
     }
 
     /// Runs the auction with an arbitrary (budget-capped) instance and the
-    /// generic Clarke pivot computed by re-solving without each winner.
+    /// generic Clarke pivot `W* − W*₋ᵢ`.
     ///
     /// Use an exact `solver` for truthfulness; a greedy solver voids the
     /// VCG guarantee (use critical-value payments instead — see
     /// [`crate::critical`]).
     ///
-    /// The leave-one-out re-solves run on [`par::Pool::auto`]; use
-    /// [`VcgAuction::run_with_budget_on`] to pin the worker count. Output is
-    /// bit-identical at any worker count (each pivot is an independent
-    /// solve, collected in winner order).
+    /// Pivot welfares come from the incremental leave-one-out engine
+    /// ([`crate::pivots`], `PaymentStrategy::Incremental`), which shares
+    /// one forward/backward DP pass across all winners instead of
+    /// re-solving per winner — same payments, bit for bit, at a fraction of
+    /// the cost. The per-winner merges run on [`par::Pool::auto`]; use
+    /// [`VcgAuction::run_with_budget_on`] to pin the worker count. Output
+    /// is bit-identical at any worker count.
     pub fn run_with_budget(
         &self,
         bids: &[Bid],
@@ -182,7 +194,7 @@ impl VcgAuction {
     }
 
     /// [`VcgAuction::run_with_budget`] with an explicit worker pool for the
-    /// `n` independent leave-one-out WDP solves.
+    /// per-winner pivot computations.
     pub fn run_with_budget_on(
         &self,
         bids: &[Bid],
@@ -191,16 +203,37 @@ impl VcgAuction {
         solver: SolverKind,
         pool: par::Pool,
     ) -> AuctionOutcome {
+        self.run_with_budget_strategy_on(
+            bids,
+            valuation,
+            budget,
+            solver,
+            PaymentStrategy::Incremental,
+            pool,
+        )
+    }
+
+    /// [`VcgAuction::run_with_budget_on`] with an explicit pivot-welfare
+    /// strategy. `PaymentStrategy::Naive` re-solves the reduced instance
+    /// once per winner (the pre-incremental behavior); the differential
+    /// suite holds both strategies to bit-identical outcomes.
+    pub fn run_with_budget_strategy_on(
+        &self,
+        bids: &[Bid],
+        valuation: &Valuation,
+        budget: f64,
+        solver: SolverKind,
+        strategy: PaymentStrategy,
+        pool: par::Pool,
+    ) -> AuctionOutcome {
         let inst = self.instance(bids, valuation).with_budget(budget);
         let sol = solve(&inst, solver);
         let w_star = sol.objective;
         let q = self.config.cost_weight;
-        // Each winner's pivot needs the optimum of the instance without it:
-        // n independent WDP solves, by far the round's dominant cost.
-        let w_minus: Vec<f64> = pool.map(&sol.selected, |&i| {
-            let reduced = inst.without_item(i);
-            solve(&reduced, solver).objective
-        });
+        // Each winner's pivot needs the optimum of the instance without it
+        // — the round's dominant cost, and the engine's whole reason to
+        // exist.
+        let w_minus = leave_one_out_welfares_on(&inst, &sol.selected, solver, strategy, pool);
         let winners = sol
             .selected
             .iter()

@@ -164,10 +164,11 @@ pub fn solve(inst: &WdpInstance, kind: SolverKind) -> WdpSolution {
     }
 }
 
-/// Exact solver for instances without a budget constraint: select the top-K
-/// positive-weight items.
-fn top_k(inst: &WdpInstance) -> WdpSolution {
-    let k = inst.max_winners.unwrap_or(inst.items.len());
+/// Preference order of the no-budget solver: positive-weight items,
+/// stable-sorted by descending weight. Shared with the incremental pivot
+/// engine (`crate::pivots`), whose bit-identity contract depends on using
+/// exactly this filter and comparator — keep the two in lockstep.
+pub(crate) fn preference_order(inst: &WdpInstance) -> Vec<usize> {
     let mut order: Vec<usize> = (0..inst.items.len())
         .filter(|&i| inst.items[i].weight > 0.0)
         .collect();
@@ -177,6 +178,14 @@ fn top_k(inst: &WdpInstance) -> WdpSolution {
             .partial_cmp(&inst.items[a].weight)
             .expect("weights are finite")
     });
+    order
+}
+
+/// Exact solver for instances without a budget constraint: select the top-K
+/// positive-weight items.
+fn top_k(inst: &WdpInstance) -> WdpSolution {
+    let k = inst.max_winners.unwrap_or(inst.items.len());
+    let mut order = preference_order(inst);
     order.truncate(k);
     WdpSolution::from_indices(inst, order)
 }
@@ -201,6 +210,92 @@ fn exhaustive(inst: &WdpInstance) -> WdpSolution {
     WdpSolution::from_indices(inst, best)
 }
 
+/// Knapsack candidate filter: positive weight and individually affordable.
+/// Shared by the DP and the incremental pivot engine (`crate::pivots`) so
+/// both see exactly the same item roster.
+pub(crate) fn knapsack_candidates(inst: &WdpInstance, budget: f64) -> Vec<usize> {
+    (0..inst.items.len())
+        .filter(|&i| inst.items[i].weight > 0.0 && inst.items[i].cost <= budget + 1e-12)
+        .collect()
+}
+
+/// Grid cell size for a budget discretized into `grid_eff` cells.
+pub(crate) fn knapsack_cell(budget: f64, grid_eff: usize) -> f64 {
+    if budget > 0.0 {
+        budget / grid_eff as f64
+    } else {
+        1.0
+    }
+}
+
+/// Discretized cost of one item. With a zero budget only zero-cost items
+/// fit; `grid_eff + 1` marks "never fits".
+pub(crate) fn knapsack_gcost(cost: f64, budget: f64, cell: f64, grid_eff: usize) -> usize {
+    if budget == 0.0 {
+        if cost > 0.0 {
+            grid_eff + 1
+        } else {
+            0
+        }
+    } else {
+        (cost / cell).floor() as usize
+    }
+}
+
+/// Effective table width for the count-constrained DP: memory is
+/// O(items · k · grid) bits, so the grid is coarsened if an absurd
+/// combination is requested.
+pub(crate) fn knapsack_width_2d(cand_len: usize, kmax: usize, grid: usize) -> usize {
+    let width = grid + 1;
+    let max_cells: usize = 1 << 28; // 256M flags ≈ 256 MB worst case
+    if cand_len * (kmax + 1) * width > max_cells {
+        (max_cells / (cand_len * (kmax + 1))).max(64)
+    } else {
+        width
+    }
+}
+
+/// Post-DP repair: floor rounding may overshoot the true budget by up to
+/// one cell per item; drops lowest-density selections (first-of-equal in
+/// the vector's current order) until the true budget holds. Shared verbatim
+/// with the incremental pivot engine so both produce identical floats.
+///
+/// Dropping the current global density minimum repeatedly is the same as
+/// walking a stable density-ascending order (removals never change the
+/// densities of the remaining items), so this sorts once — O(s log s)
+/// instead of a rescan per drop — while reproducing the greedy loop's drop
+/// sequence and float trajectory exactly.
+pub(crate) fn repair_overspend(inst: &WdpInstance, selected: &mut Vec<usize>, budget: f64) {
+    let mut spent: f64 = selected.iter().map(|&i| inst.items[i].cost).sum();
+    if spent <= budget + 1e-9 {
+        return;
+    }
+    let density: Vec<f64> = selected
+        .iter()
+        .map(|&i| inst.items[i].weight / inst.items[i].cost.max(1e-12))
+        .collect();
+    let mut drop_order: Vec<usize> = (0..selected.len()).collect();
+    drop_order.sort_by(|&a, &b| {
+        density[a]
+            .partial_cmp(&density[b])
+            .expect("densities are finite")
+    });
+    let mut dropped = vec![false; selected.len()];
+    for &pos in &drop_order {
+        if spent <= budget + 1e-9 {
+            break;
+        }
+        dropped[pos] = true;
+        spent -= inst.items[selected[pos]].cost;
+    }
+    let mut idx = 0;
+    selected.retain(|_| {
+        let keep = !dropped[idx];
+        idx += 1;
+        keep
+    });
+}
+
 /// Budget-constrained 0/1 knapsack DP over a discretized cost grid.
 ///
 /// Costs are rounded *down* to grid cells (which keeps tight optimal packs
@@ -217,26 +312,12 @@ fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
             "knapsack requires non-negative finite costs"
         );
     }
-    // Candidate items: positive weight and individually affordable.
-    let cand: Vec<usize> = (0..inst.items.len())
-        .filter(|&i| inst.items[i].weight > 0.0 && inst.items[i].cost <= budget + 1e-12)
-        .collect();
+    let cand = knapsack_candidates(inst, budget);
     if cand.is_empty() {
         return WdpSolution::from_indices(inst, Vec::new());
     }
-    let cell = if budget > 0.0 { budget / grid as f64 } else { 1.0 };
-    let gcost = |i: usize| -> usize {
-        if budget == 0.0 {
-            // Only zero-cost items fit.
-            if inst.items[i].cost > 0.0 {
-                grid + 1
-            } else {
-                0
-            }
-        } else {
-            (inst.items[i].cost / cell).floor() as usize
-        }
-    };
+    let cell = knapsack_cell(budget, grid);
+    let gcost = |i: usize| -> usize { knapsack_gcost(inst.items[i].cost, budget, cell, grid) };
     let width = grid + 1;
     let selected = match inst.max_winners {
         // No cardinality cap: 1-D DP over the cost grid. `taken[t][c]`
@@ -283,28 +364,11 @@ fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
         // grid if an absurd combination is requested.
         Some(k) => {
             let kmax = k.min(cand.len());
-            let max_cells: usize = 1 << 28; // 256M flags ≈ 256 MB worst case
-            let width = if cand.len() * (kmax + 1) * width > max_cells {
-                (max_cells / (cand.len() * (kmax + 1))).max(64)
-            } else {
-                width
-            };
+            let width = knapsack_width_2d(cand.len(), kmax, grid);
             let grid_eff = width - 1;
-            let cell_eff = if budget > 0.0 {
-                budget / grid_eff as f64
-            } else {
-                1.0
-            };
+            let cell_eff = knapsack_cell(budget, grid_eff);
             let gcost_eff = |i: usize| -> usize {
-                if budget == 0.0 {
-                    if inst.items[i].cost > 0.0 {
-                        grid_eff + 1
-                    } else {
-                        0
-                    }
-                } else {
-                    (inst.items[i].cost / cell_eff).floor() as usize
-                }
+                knapsack_gcost(inst.items[i].cost, budget, cell_eff, grid_eff)
             };
             let mut dp = vec![vec![0.0f64; width]; kmax + 1];
             let mut taken: Vec<Vec<bool>> = Vec::with_capacity(cand.len());
@@ -352,23 +416,8 @@ fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
             selected
         }
     };
-    // Repair: floor rounding may overshoot the true budget by up to one
-    // cell per item; drop lowest-density selections until feasible.
     let mut selected = selected;
-    let mut spent: f64 = selected.iter().map(|&i| inst.items[i].cost).sum();
-    while spent > budget + 1e-9 && !selected.is_empty() {
-        let (pos, _) = selected
-            .iter()
-            .enumerate()
-            .min_by(|(_, &a), (_, &b)| {
-                let da = inst.items[a].weight / inst.items[a].cost.max(1e-12);
-                let db = inst.items[b].weight / inst.items[b].cost.max(1e-12);
-                da.partial_cmp(&db).expect("densities are finite")
-            })
-            .expect("non-empty selection");
-        let dropped = selected.remove(pos);
-        spent -= inst.items[dropped].cost;
-    }
+    repair_overspend(inst, &mut selected, budget);
     WdpSolution::from_indices(inst, selected)
 }
 

@@ -1,8 +1,17 @@
 //! Payment-rule microbenchmarks: one full VCG round (allocation + Clarke
-//! pivots) vs critical-value bisection payments.
+//! pivots), the incremental-vs-naive leave-one-out engine comparison, and
+//! critical-value bisection payments.
+//!
+//! Row names carry the payment engine in use (`naive` = per-winner
+//! re-solve, `incremental` = shared forward/backward pass —
+//! `auction::pivots`). The `payment_engine` group is the scaling report the
+//! CI gate reads: at n = 1024 the incremental engine must beat the naive
+//! one on a single worker, because the win is algorithmic (O(n·G) total vs
+//! O(n²·G)), not core-count-dependent.
 
 use auction::bid::Bid;
 use auction::critical::critical_value;
+use auction::pivots::PaymentStrategy;
 use auction::valuation::Valuation;
 use auction::vcg::{VcgAuction, VcgConfig};
 use auction::wdp::SolverKind;
@@ -23,13 +32,62 @@ fn main() {
             max_winners: Some(20),
             reserve_price: None,
         });
-        vcg.bench(&n.to_string(), || auction.run(black_box(&all), &valuation));
+        vcg.bench(&format!("{n}_incremental"), || {
+            auction.run(black_box(&all), &valuation)
+        });
     }
 
-    // The budgeted payment path: W*₋ᵢ re-solved from scratch for every
-    // winner (n independent knapsack solves). This is the path `crates/par`
-    // accelerates; we measure it serial and on the configured pool and
-    // report the speedup. `LOVM_THREADS=1` makes both rows equal.
+    // The engine comparison: identical budgeted instances, payments
+    // computed by the naive per-winner re-solve vs the incremental
+    // leave-one-out engine, both pinned to one worker so the measured gap
+    // is the algorithm, not the core count. The two rows produce
+    // bit-identical outcomes (differential suite), so this is a pure
+    // like-for-like timing.
+    let mut engines = Bencher::new("payment_engine");
+    for n in [64usize, 256, 1024] {
+        let all = bids(n, 3);
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 50.0,
+            cost_weight: 5.0,
+            max_winners: None,
+            reserve_price: None,
+        });
+        // ~40% of total reported cost keeps roughly half the population
+        // winning, so there are Θ(n) pivots to price.
+        let budget = 0.4 * all.iter().map(|b| b.cost).sum::<f64>();
+        let kind = SolverKind::Knapsack { grid: 512 };
+        let naive_ns = engines
+            .bench(&format!("{n}_naive"), || {
+                auction.run_with_budget_strategy_on(
+                    black_box(&all),
+                    &valuation,
+                    budget,
+                    kind,
+                    PaymentStrategy::Naive,
+                    Pool::serial(),
+                )
+            })
+            .median_ns;
+        let incremental_ns = engines
+            .bench(&format!("{n}_incremental"), || {
+                auction.run_with_budget_strategy_on(
+                    black_box(&all),
+                    &valuation,
+                    budget,
+                    kind,
+                    PaymentStrategy::Incremental,
+                    Pool::serial(),
+                )
+            })
+            .median_ns;
+        eprintln!(
+            "payment_engine/{n}: incremental {:.2}x faster than naive (1 worker)",
+            naive_ns / incremental_ns
+        );
+    }
+
+    // Pool scaling of the incremental engine's per-winner merge fan-out
+    // (the residual parallel surface once the DP tables are shared).
     let mut loo = Bencher::new("vcg_loo_pivots");
     let threads = par::configured_threads();
     for n in [64usize, 128] {
@@ -40,11 +98,9 @@ fn main() {
             max_winners: None,
             reserve_price: None,
         });
-        // A budget around 40% of total reported cost keeps roughly half the
-        // population winning, so there are ≥ n/4 leave-one-out solves.
         let budget = 0.4 * all.iter().map(|b| b.cost).sum::<f64>();
         let serial_ns = loo
-            .bench(&format!("{n}_serial"), || {
+            .bench(&format!("{n}_incremental_serial"), || {
                 auction.run_with_budget_on(
                     black_box(&all),
                     &valuation,
@@ -55,7 +111,7 @@ fn main() {
             })
             .median_ns;
         let pool_ns = loo
-            .bench(&format!("{n}_threads{threads}"), || {
+            .bench(&format!("{n}_incremental_threads{threads}"), || {
                 auction.run_with_budget_on(
                     black_box(&all),
                     &valuation,

@@ -5,8 +5,9 @@
 
 use auction::bid::Bid;
 use auction::valuation::Valuation;
-use auction::wdp::fractional_upper_bound;
-use bench::header;
+use auction::vcg::{VcgAuction, VcgConfig};
+use auction::wdp::{fractional_upper_bound, SolverKind};
+use bench::{header, scale};
 use lovm_core::lovm::{Lovm, LovmConfig};
 use lovm_core::mechanism::{Mechanism, RoundInfo};
 use metrics::table::Table;
@@ -45,12 +46,16 @@ fn main() {
         "rounds/sec".into(),
         "winners".into(),
         "virtual welfare / fractional bound".into(),
+        "budgeted payments/round [incremental]".into(),
     ]);
 
     // Phase 1 (parallel over population sizes): warm each mechanism's queue
     // into steady state and compute the deterministic quality columns. Each
     // N is independent, so the rows land identically at any worker count.
-    let sizes = [50usize, 100, 200, 500, 1000, 2000, 5000, 10000];
+    // `LOVM_SCALE < 1` trims the largest populations for smoke runs.
+    let all_sizes = [50usize, 100, 200, 500, 1000, 2000, 5000, 10000];
+    let max_n = ((10_000.0 * scale()) as usize).max(200);
+    let sizes: Vec<usize> = all_sizes.iter().copied().filter(|&n| n <= max_n).collect();
     let prepared: Vec<(Lovm, Vec<Bid>, RoundInfo, usize, f64)> = par::par_map(&sizes, |&n| {
         let all_bids = bids(n, seed);
         let s = Scenario::large(n);
@@ -97,14 +102,39 @@ fn main() {
         let elapsed = start.elapsed();
         let per_round = elapsed / reps as u32;
 
+        // The paper's E7 claim covers payments too: time full budgeted
+        // rounds (knapsack allocation + all Clarke pivots) on the
+        // incremental leave-one-out engine, the default payment path.
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 50.0,
+            cost_weight: 5.0,
+            max_winners: None,
+            reserve_price: None,
+        });
+        let budget = 0.4 * all_bids.iter().map(|b| b.cost).sum::<f64>();
+        let pay_reps = (2_000 / n).max(1);
+        let start = Instant::now();
+        for _ in 0..pay_reps {
+            auction.run_with_budget_on(
+                &all_bids,
+                &Valuation::default(),
+                budget,
+                SolverKind::Knapsack { grid: 1024 },
+                par::Pool::auto(),
+            );
+        }
+        let per_payment_round = start.elapsed() / pay_reps as u32;
+
         table.row(vec![
             n.to_string(),
             format!("{per_round:?}"),
             format!("{:.0}", 1.0 / per_round.as_secs_f64()),
             winners.to_string(),
             format!("{quality:.4}"),
+            format!("{per_payment_round:?}"),
         ]);
     }
     println!("{}", table.to_markdown());
     println!("expected: latency grows ~n log n; quality stays 1.0000 (the solver is exact).");
+    println!("payments column: one full budgeted VCG round (knapsack + all pivots) on the incremental engine — near-linear in N, not quadratic.");
 }

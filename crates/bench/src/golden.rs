@@ -1,0 +1,229 @@
+//! Golden-output regression harness for the experiment binaries.
+//!
+//! Every `exp_e*` bin is a pure function of its seeds and the `LOVM_SCALE`
+//! / `LOVM_THREADS` knobs — except for wall-clock measurements. This module
+//! pins each bin's stdout to a checked-in snapshot (`tests/golden/*.md` at
+//! the repo root) after normalizing the timing noise away:
+//!
+//! * markdown-table columns whose header names a timing quantity
+//!   (`latency`, `/sec`, `/round`, `time`) are replaced with `<masked>`,
+//!   and such tables are re-rendered with canonical single-space padding so
+//!   column widths cannot drift with the timing strings,
+//! * any remaining duration-shaped token (`123.4µs`, `17ns`, `2.5s`, …) is
+//!   replaced with `<t>`.
+//!
+//! Workflow: `LOVM_BLESS=1 cargo test -p bench --test golden_experiments`
+//! rewrites the snapshots; a plain test run diffs against them and fails
+//! with the first mismatching line. Snapshots are recorded at
+//! `LOVM_SCALE=0.1` / `LOVM_THREADS=1`; the determinism contract
+//! (`crates/par`) makes the same snapshots hold at any worker count.
+
+use std::path::PathBuf;
+
+/// Header keywords marking a column as wall-clock-derived.
+const MASKED_COLUMN_KEYWORDS: [&str; 4] = ["latency", "/sec", "/round", "time"];
+
+/// Whether snapshot files should be rewritten instead of compared.
+pub fn blessing() -> bool {
+    std::env::var("LOVM_BLESS").is_ok_and(|v| v == "1")
+}
+
+/// Location of one named snapshot (repo-root `tests/golden/<name>.md`).
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(format!("{name}.md"))
+}
+
+fn is_table_row(line: &str) -> bool {
+    let t = line.trim_end();
+    t.starts_with('|') && t.ends_with('|') && t.len() >= 2
+}
+
+fn cells_of(line: &str) -> Vec<String> {
+    let t = line.trim_end();
+    t[1..t.len() - 1]
+        .split('|')
+        .map(|c| c.trim().to_string())
+        .collect()
+}
+
+fn is_separator(cells: &[String]) -> bool {
+    !cells.is_empty()
+        && cells
+            .iter()
+            .all(|c| !c.is_empty() && c.chars().all(|ch| ch == '-' || ch == ':'))
+}
+
+fn render_cells(cells: &[String]) -> String {
+    let mut out = String::from("|");
+    for c in cells {
+        out.push(' ');
+        out.push_str(c);
+        out.push_str(" |");
+    }
+    out
+}
+
+/// Replaces duration-shaped tokens (digits, optional decimal point, a time
+/// unit suffix) with `<t>`; everything else passes through untouched.
+fn mask_duration_tokens(line: &str) -> String {
+    let mask_token = |tok: &str| -> Option<()> {
+        if !tok.chars().next()?.is_ascii_digit() {
+            return None;
+        }
+        for unit in ["ns", "µs", "us", "ms", "s"] {
+            if let Some(num) = tok.strip_suffix(unit) {
+                if !num.is_empty()
+                    && num.chars().all(|c| c.is_ascii_digit() || c == '.')
+                    && num.parse::<f64>().is_ok()
+                {
+                    return Some(());
+                }
+            }
+        }
+        None
+    };
+    line.split(' ')
+        .map(|tok| {
+            if mask_token(tok).is_some() {
+                "<t>".to_string()
+            } else {
+                tok.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Normalizes raw experiment stdout for snapshot comparison (see module
+/// docs).
+pub fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let mut mask: Option<Vec<bool>> = None; // active masked-table columns
+    for line in raw.lines() {
+        if is_table_row(line) {
+            let mut cells = cells_of(line);
+            match &mask {
+                None => {
+                    // First row of a table block: the header decides
+                    // whether this table needs masking at all.
+                    let m: Vec<bool> = cells
+                        .iter()
+                        .map(|h| {
+                            let h = h.to_lowercase();
+                            MASKED_COLUMN_KEYWORDS.iter().any(|k| h.contains(k))
+                        })
+                        .collect();
+                    if m.iter().any(|&b| b) {
+                        out.push_str(&mask_duration_tokens(&render_cells(&cells)));
+                        mask = Some(m);
+                    } else {
+                        out.push_str(&mask_duration_tokens(line));
+                        mask = Some(Vec::new()); // in a table, nothing masked
+                    }
+                }
+                Some(m) if m.is_empty() => out.push_str(&mask_duration_tokens(line)),
+                Some(m) => {
+                    if is_separator(&cells) {
+                        let seps: Vec<String> =
+                            cells.iter().map(|_| "---".to_string()).collect();
+                        out.push_str(&render_cells(&seps));
+                    } else {
+                        for (cell, &masked) in cells.iter_mut().zip(m.iter()) {
+                            if masked {
+                                *cell = "<masked>".to_string();
+                            }
+                        }
+                        out.push_str(&mask_duration_tokens(&render_cells(&cells)));
+                    }
+                }
+            }
+        } else {
+            mask = None;
+            out.push_str(&mask_duration_tokens(line));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares normalized output against the named snapshot, or rewrites the
+/// snapshot when `LOVM_BLESS=1`.
+///
+/// # Panics
+///
+/// Panics (failing the calling test) when the snapshot is missing or
+/// differs, pointing at the first mismatching line.
+pub fn assert_golden(name: &str, normalized: &str) {
+    let path = golden_path(name);
+    if blessing() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create tests/golden");
+        std::fs::write(&path, normalized).expect("write golden snapshot");
+        eprintln!("blessed golden snapshot {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {} ({e}); record it with \
+             LOVM_BLESS=1 cargo test -p bench --test golden_experiments",
+            path.display()
+        )
+    });
+    if expected != normalized {
+        let diff_line = expected
+            .lines()
+            .zip(normalized.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| expected.lines().count().min(normalized.lines().count()));
+        let show = |s: &str| s.lines().nth(diff_line).unwrap_or("<missing line>").to_string();
+        panic!(
+            "golden mismatch for `{name}` at line {} —\n  expected: {}\n  actual:   {}\n\
+             (full snapshot: {}; re-record with LOVM_BLESS=1 if the change is intended)",
+            diff_line + 1,
+            show(&expected),
+            show(normalized),
+            path.display()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_duration_tokens_everywhere() {
+        let n = normalize("took 123.456µs and 17ns plus 2.5s done\nvalue 0.9992 stays");
+        assert_eq!(n, "took <t> and <t> plus <t> done\nvalue 0.9992 stays\n");
+    }
+
+    #[test]
+    fn masks_timed_table_columns_and_canonicalizes() {
+        let raw = "\
+| N bidders | round latency | rounds/sec | winners |\n\
+|-----------|---------------|------------|---------|\n\
+| 50        | 35.4µs        | 28232      | 4       |\n";
+        let n = normalize(raw);
+        assert_eq!(
+            n,
+            "\
+| N bidders | round latency | rounds/sec | winners |\n\
+| --- | --- | --- | --- |\n\
+| 50 | <masked> | <masked> | 4 |\n"
+        );
+    }
+
+    #[test]
+    fn leaves_untimed_tables_untouched() {
+        let raw = "| mechanism | welfare |\n|-----------|---------|\n| LOVM      | 12.5    |\n";
+        assert_eq!(normalize(raw), raw);
+    }
+
+    #[test]
+    fn words_ending_in_s_are_not_durations() {
+        let n = normalize("5 winners across 3 rounds with bids");
+        assert_eq!(n, "5 winners across 3 rounds with bids\n");
+    }
+}

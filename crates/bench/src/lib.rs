@@ -3,9 +3,11 @@
 //! Each `exp_e*` binary in `src/bin/` regenerates one table/figure of the
 //! reconstructed evaluation (see EXPERIMENTS.md); this library holds the
 //! pieces they share: the standard mechanism roster, checkpointed series
-//! tables, environment-variable scaling for quick runs, and the
-//! zero-dependency micro-benchmark [`harness`] behind the `bench_*` bins.
+//! tables, environment-variable scaling for quick runs, the
+//! zero-dependency micro-benchmark [`harness`] behind the `bench_*` bins,
+//! and the [`golden`] snapshot helper that pins every experiment's stdout.
 
+pub mod golden;
 pub mod harness;
 
 use auction::bid::Bid;

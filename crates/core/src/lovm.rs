@@ -18,6 +18,7 @@
 use crate::mechanism::{Mechanism, RoundInfo};
 use auction::bid::Bid;
 use auction::outcome::AuctionOutcome;
+use auction::pivots::PaymentStrategy;
 use auction::valuation::Valuation;
 use auction::vcg::{VcgAuction, VcgConfig};
 use lyapunov::dpp::{DppConfig, DriftPlusPenalty};
@@ -37,6 +38,11 @@ pub struct LovmConfig {
     pub min_cost_weight: f64,
     /// Platform valuation of clients.
     pub valuation: Valuation,
+    /// How per-round Clarke pivots are computed. The incremental engine
+    /// (default) and the naive per-winner re-solve produce bit-identical
+    /// payments; the knob exists for differential testing and comparison
+    /// benchmarks.
+    pub payment_strategy: PaymentStrategy,
 }
 
 impl Default for LovmConfig {
@@ -47,6 +53,7 @@ impl Default for LovmConfig {
             max_winners: None,
             min_cost_weight: 1.0,
             valuation: Valuation::default(),
+            payment_strategy: PaymentStrategy::Incremental,
         }
     }
 }
@@ -81,6 +88,12 @@ impl LovmConfig {
     /// Sets the valuation.
     pub fn with_valuation(mut self, valuation: Valuation) -> Self {
         self.valuation = valuation;
+        self
+    }
+
+    /// Sets the pivot-welfare strategy for payments.
+    pub fn with_payment_strategy(mut self, strategy: PaymentStrategy) -> Self {
+        self.payment_strategy = strategy;
         self
     }
 }
@@ -137,7 +150,14 @@ impl Mechanism for Lovm {
             max_winners: self.config.max_winners,
             reserve_price: None,
         });
-        let outcome = auction.run(bids, &self.config.valuation);
+        // Serial pool: the incremental engine's per-pivot work on the
+        // top-K path is O(K), well under fan-out break-even for a round.
+        let outcome = auction.run_with_strategy_on(
+            bids,
+            &self.config.valuation,
+            self.config.payment_strategy,
+            par::Pool::serial(),
+        );
         self.dpp.observe_spend(outcome.total_payment());
         outcome
     }
@@ -173,6 +193,7 @@ mod tests {
                 value_per_unit: 0.02,
                 base_value: 0.2,
             }),
+            payment_strategy: PaymentStrategy::Incremental,
         }
     }
 
@@ -260,6 +281,25 @@ mod tests {
                 report.is_truthful(1e-9),
                 "bidder {i} gains {}",
                 report.max_gain()
+            );
+        }
+    }
+
+    /// The whole round loop — selection, payments, queue update — is
+    /// bit-identical under the incremental and naive payment engines, so
+    /// the queue trajectories never diverge.
+    #[test]
+    fn payment_strategies_bit_identical_over_rounds() {
+        let mut a = Lovm::new(config());
+        let mut b = Lovm::new(config().with_payment_strategy(PaymentStrategy::Naive));
+        for t in 0..30 {
+            let oa = a.select(&info(t), &bids());
+            let ob = b.select(&info(t), &bids());
+            assert_eq!(oa, ob, "outcomes diverged at round {t}");
+            assert_eq!(
+                a.queue_backlog().to_bits(),
+                b.queue_backlog().to_bits(),
+                "queue diverged at round {t}"
             );
         }
     }

@@ -6,6 +6,12 @@
 # The test suite runs twice — serial (LOVM_THREADS=1) and on a 4-worker
 # pool — because the parallel execution layer (crates/par) guarantees
 # bit-identical output at any worker count and both modes must stay green.
+# Both passes include the golden-output suite (crates/bench
+# tests/golden_experiments.rs: every exp_e* bin's stdout vs
+# tests/golden/*.md) and the payment-engine differential suite
+# (crates/auction tests/pivot_equivalence.rs: incremental vs naive vs
+# oracle, bit-identical), so the 4-worker pass re-proves both contracts
+# off the serial snapshots.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,10 +21,36 @@ LOVM_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
 # Smoke the payment-path benchmark in both modes (tiny sample counts: this
-# checks the bins run and report, not the timings themselves).
+# checks the bins run and report, not the timings themselves) and gate the
+# payment-engine regression: the incremental leave-one-out engine must stay
+# at least 5x faster than the naive per-winner re-solve for the n=1024
+# budgeted payment path on a single worker. The win is algorithmic
+# (O(n·G) total DP work vs O(n²·G)), so one core is exactly where it must
+# show.
+bench_out=""
 for t in 1 4; do
-  LOVM_THREADS=$t LOVM_BENCH_SAMPLES=5 LOVM_BENCH_BATCH_NS=200000 \
-    ./target/release/bench_payments > /dev/null
+  out=$(LOVM_THREADS=$t LOVM_BENCH_SAMPLES=5 LOVM_BENCH_BATCH_NS=200000 \
+    ./target/release/bench_payments)
+  if [ "$t" = 1 ]; then bench_out="$out"; fi
 done
+
+median_of() {
+  # `|| true`: a missing row must fall through to the awk diagnostic below,
+  # not kill the script via set -e / pipefail at the assignment.
+  printf '%s\n' "$bench_out" | { grep -F "\"bench\":\"payment_engine/$1\"" || true; } \
+    | sed 's/.*"median_ns":\([0-9.e+-]*\).*/\1/'
+}
+naive_ns=$(median_of "1024_naive")
+incremental_ns=$(median_of "1024_incremental")
+awk -v n="$naive_ns" -v i="$incremental_ns" 'BEGIN {
+  if (n == "" || i == "" || i <= 0) {
+    print "ci: payment_engine rows missing from bench_payments output"; exit 1
+  }
+  speedup = n / i
+  printf "ci: payment engine n=1024 speedup %.2fx (naive %.0f ns, incremental %.0f ns)\n", speedup, n, i
+  if (speedup < 5.0) {
+    print "ci: FAIL — incremental payment engine below the 5x floor at n=1024"; exit 1
+  }
+}'
 
 echo "ci: all green"
