@@ -12,6 +12,10 @@
 //! * [`pivots`] — the incremental leave-one-out welfare engine behind VCG
 //!   payments: all `W*₋ᵢ` from one shared pass, bit-identical to the naive
 //!   per-winner re-solve,
+//! * [`shard`] — the sharded market engine: stable seeded partition,
+//!   independent per-shard WDP + pivot solves, and a champion
+//!   reconciliation that is bit-identical to the monolithic top-K path
+//!   and welfare-bounded for budgeted rounds,
 //! * [`critical`] — Myerson critical-value payments for monotone
 //!   allocation rules (used by greedy baselines),
 //! * [`properties`] — executable checks for truthfulness, individual
@@ -34,7 +38,7 @@
 //!     value_weight: 1.0,
 //!     cost_weight: 1.0,
 //!     max_winners: Some(2),
-//!     reserve_price: None,
+//!     ..VcgConfig::default()
 //! });
 //! let outcome = auction.run(&bids, &valuation);
 //! // Winners are paid at least their reported cost (individual rationality).
@@ -48,6 +52,7 @@ pub mod critical;
 pub mod outcome;
 pub mod pivots;
 pub mod properties;
+pub mod shard;
 pub mod valuation;
 pub mod vcg;
 pub mod wdp;
@@ -55,6 +60,7 @@ pub mod wdp;
 pub use bid::Bid;
 pub use outcome::{AuctionOutcome, Award};
 pub use pivots::PaymentStrategy;
+pub use shard::MarketTopology;
 pub use valuation::{ClientValue, Valuation};
 pub use vcg::{VcgAuction, VcgConfig};
-pub use wdp::{solve, SolverKind, WdpInstance, WdpItem, WdpSolution};
+pub use wdp::{solve, solve_view, SolverKind, WdpInstance, WdpItem, WdpSolution, WdpView};

@@ -43,7 +43,7 @@
 
 use crate::wdp::{
     knapsack_candidates, knapsack_cell, knapsack_gcost, knapsack_width_2d, repair_overspend,
-    solve, SolverKind, WdpInstance,
+    solve_view, SolverKind, WdpInstance, WdpView,
 };
 
 /// How `W*₋ᵢ` pivot welfares are computed for payments.
@@ -83,37 +83,54 @@ pub fn leave_one_out_welfares_on(
     strategy: PaymentStrategy,
     pool: par::Pool,
 ) -> Vec<f64> {
+    leave_one_out_welfares_view_on(&WdpView::full(inst), targets, kind, strategy, pool)
+}
+
+/// [`leave_one_out_welfares_on`] generalized to a sub-instance view:
+/// `W*₋ᵢ` of the view with target `i` (a parent index that must be a view
+/// member) excluded. This is what the shard pipeline (`crate::shard`) runs
+/// per shard and over the champion pool, and what lets the naive engine
+/// skip an item without the O(n) `without_item` clone.
+pub fn leave_one_out_welfares_view_on(
+    view: &WdpView<'_>,
+    targets: &[usize],
+    kind: SolverKind,
+    strategy: PaymentStrategy,
+    pool: par::Pool,
+) -> Vec<f64> {
     match strategy {
-        PaymentStrategy::Naive => naive_loo(inst, targets, kind, pool),
-        PaymentStrategy::Incremental => match (inst.budget, kind) {
+        PaymentStrategy::Naive => naive_loo(view, targets, kind, pool),
+        PaymentStrategy::Incremental => match (view.budget(), kind) {
             (None, SolverKind::Exact) | (None, SolverKind::Knapsack { .. }) => {
-                topk_loo(inst, targets, pool)
+                topk_loo(view, targets, pool)
             }
-            (Some(_), SolverKind::Knapsack { grid }) => merge_loo(inst, targets, grid, kind, pool),
+            (Some(_), SolverKind::Knapsack { grid }) => merge_loo(view, targets, grid, kind, pool),
             // `Exact` dispatches reduced instances of ≤ 25 items to
             // exhaustive search; the DP merge only mirrors the knapsack
             // path, so it applies once every reduced instance is knapsack-
             // dispatched (n − 1 > 25).
-            (Some(_), SolverKind::Exact) if inst.items.len() > 26 => {
-                merge_loo(inst, targets, 4000, kind, pool)
+            (Some(_), SolverKind::Exact) if view.len() > 26 => {
+                merge_loo(view, targets, 4000, kind, pool)
             }
-            _ => naive_loo(inst, targets, kind, pool),
+            _ => naive_loo(view, targets, kind, pool),
         },
     }
 }
 
-/// The reference engine: one full re-solve per excluded target.
-fn naive_loo(inst: &WdpInstance, targets: &[usize], kind: SolverKind, pool: par::Pool) -> Vec<f64> {
-    pool.map(targets, |&i| solve(&inst.without_item(i), kind).objective)
+/// The reference engine: one full re-solve per excluded target, each on an
+/// allocation-free skip view (bit-identical to re-solving the materialized
+/// `without_item` clone — same item sequence, same float order).
+fn naive_loo(view: &WdpView<'_>, targets: &[usize], kind: SolverKind, pool: par::Pool) -> Vec<f64> {
+    pool.map(targets, |&i| solve_view(&view.skipping(i), kind).objective)
 }
 
 /// Canonical objective: ascending-index, left-to-right sum — exactly what
-/// `WdpSolution::from_indices` computes for the reduced instance (removing
-/// one item maps the surviving indices monotonically, so the weight
-/// sequence is identical).
-fn canonical_objective(inst: &WdpInstance, mut selected: Vec<usize>) -> f64 {
+/// `WdpSolution::from_view` computes for the reduced view (removing one
+/// item maps the surviving indices monotonically, so the weight sequence
+/// is identical).
+fn canonical_objective(view: &WdpView<'_>, mut selected: Vec<usize>) -> f64 {
     selected.sort_unstable();
-    selected.iter().map(|&i| inst.items[i].weight).sum()
+    selected.iter().map(|&i| view.item(i).weight).sum()
 }
 
 /// Incremental engine for instances without a budget constraint.
@@ -123,30 +140,31 @@ fn canonical_objective(inst: &WdpInstance, mut selected: Vec<usize>) -> f64 {
 /// the rest, so every reduced optimum reads directly off the full order:
 /// the surviving top-K plus (when the cap was binding) the first displaced
 /// candidate.
-fn topk_loo(inst: &WdpInstance, targets: &[usize], pool: par::Pool) -> Vec<f64> {
-    match inst.max_winners {
+fn topk_loo(view: &WdpView<'_>, targets: &[usize], pool: par::Pool) -> Vec<f64> {
+    match view.max_winners() {
         None => {
             // Reduced optimum = every positive item except the target.
             // Filtered in index order, which *is* the canonical order, so
             // each pivot is one allocation-free skip-one fold.
-            let positives: Vec<usize> = (0..inst.items.len())
-                .filter(|&i| inst.items[i].weight > 0.0)
+            let positives: Vec<usize> = view
+                .indices()
+                .filter(|&i| view.item(i).weight > 0.0)
                 .collect();
             pool.map(targets, |&t| {
                 positives
                     .iter()
                     .filter(|&&i| i != t)
-                    .map(|&i| inst.items[i].weight)
+                    .map(|&i| view.item(i).weight)
                     .sum()
             })
         }
-        Some(k) => topk_capped_loo(inst, targets, k, pool),
+        Some(k) => topk_capped_loo(view, targets, k, pool),
     }
 }
 
 /// Cardinality-capped arm of [`topk_loo`].
-fn topk_capped_loo(inst: &WdpInstance, targets: &[usize], k: usize, pool: par::Pool) -> Vec<f64> {
-    let order = crate::wdp::preference_order(inst);
+fn topk_capped_loo(view: &WdpView<'_>, targets: &[usize], k: usize, pool: par::Pool) -> Vec<f64> {
+    let order = crate::wdp::preference_order(view);
     pool.map(targets, |&t| {
         let pos = order.iter().position(|&i| i == t);
         let selected = match pos {
@@ -167,7 +185,7 @@ fn topk_capped_loo(inst: &WdpInstance, targets: &[usize], k: usize, pool: par::P
             // removing it leaves the top-K untouched.
             _ => order[..k.min(order.len())].to_vec(),
         };
-        canonical_objective(inst, selected)
+        canonical_objective(view, selected)
     })
 }
 
@@ -211,27 +229,28 @@ impl FlagTable {
 /// bit-identical to the naive re-solve rather than merely equal to
 /// float noise.
 fn merge_loo(
-    inst: &WdpInstance,
+    view: &WdpView<'_>,
     targets: &[usize],
     grid: usize,
     kind: SolverKind,
     pool: par::Pool,
 ) -> Vec<f64> {
-    let budget = inst.budget.expect("merge engine requires a budget");
+    let budget = view.budget().expect("merge engine requires a budget");
     assert!(grid >= 1, "grid must be at least 1");
-    for it in &inst.items {
+    for i in view.indices() {
+        let it = view.item(i);
         assert!(
             it.cost.is_finite() && it.cost >= 0.0,
             "knapsack requires non-negative finite costs"
         );
     }
-    let cand = knapsack_candidates(inst, budget);
+    let cand = knapsack_candidates(view, budget);
     let m = cand.len();
 
     // The reduced instance drops one candidate, so its DP geometry is
     // computed from m − 1 candidates — identical for every target.
     let loo_len = m.saturating_sub(1);
-    let (kmax, width) = match inst.max_winners {
+    let (kmax, width) = match view.max_winners() {
         None => (None, grid + 1),
         Some(k) => {
             let km = k.min(loo_len);
@@ -241,7 +260,7 @@ fn merge_loo(
     let rows = kmax.map_or(1, |k| k + 1);
     let grid_eff = width - 1;
     let cell = knapsack_cell(budget, grid_eff);
-    let gc = |i: usize| knapsack_gcost(inst.items[i].cost, budget, cell, grid_eff);
+    let gc = |i: usize| knapsack_gcost(view.item(i).cost, budget, cell, grid_eff);
 
     // Table-size guard: past this the snapshot/flag memory outweighs the
     // saved solves, so hand the job back to the reference engine.
@@ -257,14 +276,14 @@ fn merge_loo(
     let cells = rows * width;
     if m.saturating_mul(cells) > (1 << 28) || snapshot_positions.len().saturating_mul(cells) > (1 << 24)
     {
-        return naive_loo(inst, targets, kind, pool);
+        return naive_loo(view, targets, kind, pool);
     }
 
     // Any target that is not a knapsack candidate leaves the DP unchanged:
     // its reduced optimum is the full optimum (computed over the same
     // candidate roster, hence the same floats).
     let full_objective = if targets.iter().any(|&t| cand.binary_search(&t).is_err()) {
-        solve(inst, SolverKind::Knapsack { grid }).objective
+        solve_view(view, SolverKind::Knapsack { grid }).objective
     } else {
         0.0
     };
@@ -287,7 +306,7 @@ fn merge_loo(
             if let Some(s) = snap_index(t) {
                 fwd_snap[s] = dp.clone();
             }
-            knapsack_step(&mut dp, &mut fwd_tk, t, gc(i), inst.items[i].weight, kmax, width);
+            knapsack_step(&mut dp, &mut fwd_tk, t, gc(i), view.item(i).weight, kmax, width);
         }
     }
     let mut bwd_tk = FlagTable::new(m, cells);
@@ -300,7 +319,7 @@ fn merge_loo(
                 bwd_snap[s] = dp.clone();
             }
             let i = cand[t];
-            knapsack_step(&mut dp, &mut bwd_tk, t, gc(i), inst.items[i].weight, kmax, width);
+            knapsack_step(&mut dp, &mut bwd_tk, t, gc(i), view.item(i).weight, kmax, width);
         }
     }
 
@@ -315,7 +334,7 @@ fn merge_loo(
             // Reduced instance has no candidates at all. (Summed, not a
             // literal zero: an empty float sum is −0.0 and the contract is
             // bit-identity.)
-            return canonical_objective(inst, Vec::new());
+            return canonical_objective(view, Vec::new());
         }
         let s = snap_index(p).expect("snapshot recorded for every candidate target");
         let fs = &fwd_snap[s];
@@ -375,8 +394,8 @@ fn merge_loo(
                 }
             }
         }
-        repair_overspend(inst, &mut selected, budget);
-        canonical_objective(inst, selected)
+        repair_overspend(view, &mut selected, budget);
+        canonical_objective(view, selected)
     })
 }
 
@@ -423,7 +442,7 @@ fn knapsack_step(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wdp::WdpItem;
+    use crate::wdp::{solve, WdpItem};
     use simrng::{rngs::StdRng, RngExt, SeedableRng};
 
     fn item(bidder: usize, weight: f64, cost: f64) -> WdpItem {

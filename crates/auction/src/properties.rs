@@ -135,7 +135,7 @@ mod tests {
             value_weight: 1.0,
             cost_weight: 1.0,
             max_winners: Some(2),
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         (bids, valuation, auction)
     }
@@ -221,7 +221,7 @@ mod tests {
                 value_weight: rng.random_range(0.5..20.0),
                 cost_weight: rng.random_range(0.5..5.0),
                 max_winners: Some(rng.random_range(1..5usize)),
-                reserve_price: None,
+                ..VcgConfig::default()
             });
             let outcome = auction.run(&bids, &valuation);
             assert!(individually_rational(&outcome, 1e-9));
@@ -303,7 +303,7 @@ mod tests {
                 value_weight: rng.random_range(1.0..15.0),
                 cost_weight: rng.random_range(0.5..4.0),
                 max_winners: Some(rng.random_range(1..5usize)),
-                reserve_price: None,
+                ..VcgConfig::default()
             });
             // Far above any sum of (even 4×-misreported) costs: exercises
             // the budgeted engine without letting the budget bind. (At
@@ -376,7 +376,7 @@ mod tests {
                 value_weight: rng.random_range(2.0..20.0),
                 cost_weight: rng.random_range(0.5..3.0),
                 max_winners: None,
-                reserve_price: None,
+                ..VcgConfig::default()
             });
             let mech = |b: &[Bid]| {
                 auction.run_with_budget_strategy_on(
@@ -435,7 +435,7 @@ mod tests {
                 value_weight: 20.0,
                 cost_weight: 2.0,
                 max_winners: None,
-                reserve_price: None,
+                ..VcgConfig::default()
             });
             let budget = 0.4 * bids.iter().map(|b| b.cost).sum::<f64>();
             let run = |strategy: PaymentStrategy| {

@@ -19,8 +19,9 @@
 use crate::bid::Bid;
 use crate::outcome::{AuctionOutcome, Award};
 use crate::pivots::{leave_one_out_welfares_on, PaymentStrategy};
+use crate::shard::{solve_sharded_on, MarketTopology};
 use crate::valuation::Valuation;
-use crate::wdp::{solve, SolverKind, WdpInstance, WdpItem};
+use crate::wdp::{solve, SolverKind, WdpInstance, WdpItem, WdpSolution};
 
 /// Configuration of one VCG round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +37,13 @@ pub struct VcgConfig {
     /// becomes `min(standard pivot price, reserve)`, so truthfulness is
     /// preserved. `None` disables the reserve.
     pub reserve_price: Option<f64>,
+    /// Market layout: one monolithic winner determination, or the
+    /// partition → per-shard solve → champion-reconciliation pipeline of
+    /// [`crate::shard`]. `Sharded { count: 1 }` is the monolithic path;
+    /// for no-budget (top-K) rounds every shard count is bit-identical to
+    /// it, while budgeted rounds trade a measured sliver of welfare for
+    /// bounded memory.
+    pub topology: MarketTopology,
 }
 
 impl Default for VcgConfig {
@@ -45,6 +53,7 @@ impl Default for VcgConfig {
             cost_weight: 1.0,
             max_winners: None,
             reserve_price: None,
+            topology: MarketTopology::Monolithic,
         }
     }
 }
@@ -80,6 +89,27 @@ impl VcgAuction {
     /// The configuration.
     pub fn config(&self) -> &VcgConfig {
         &self.config
+    }
+
+    /// Winner determination plus leave-one-out pivot welfares under the
+    /// configured market topology. Monolithic (and single-shard) rounds
+    /// take the direct solve + pivot path; larger shard counts run the
+    /// partition → per-shard solve → champion-reconciliation pipeline.
+    fn solve_and_pivots(
+        &self,
+        inst: &WdpInstance,
+        kind: SolverKind,
+        strategy: PaymentStrategy,
+        pool: par::Pool,
+    ) -> (WdpSolution, Vec<f64>) {
+        if self.config.topology.effective_shards(inst.items.len()) <= 1 {
+            let sol = solve(inst, kind);
+            let w_minus = leave_one_out_welfares_on(inst, &sol.selected, kind, strategy, pool);
+            (sol, w_minus)
+        } else {
+            let round = solve_sharded_on(inst, kind, self.config.topology, strategy, pool);
+            (round.solution, round.loo_welfares)
+        }
     }
 
     /// Builds the winner-determination instance for the given bids. Bids
@@ -139,11 +169,9 @@ impl VcgAuction {
         pool: par::Pool,
     ) -> AuctionOutcome {
         let inst = self.instance(bids, valuation);
-        let sol = solve(&inst, SolverKind::Exact);
+        let (sol, w_minus) = self.solve_and_pivots(&inst, SolverKind::Exact, strategy, pool);
         let w_star = sol.objective;
         let q = self.config.cost_weight;
-        let w_minus =
-            leave_one_out_welfares_on(&inst, &sol.selected, SolverKind::Exact, strategy, pool);
         let winners = sol
             .selected
             .iter()
@@ -227,13 +255,12 @@ impl VcgAuction {
         pool: par::Pool,
     ) -> AuctionOutcome {
         let inst = self.instance(bids, valuation).with_budget(budget);
-        let sol = solve(&inst, solver);
-        let w_star = sol.objective;
-        let q = self.config.cost_weight;
         // Each winner's pivot needs the optimum of the instance without it
         // — the round's dominant cost, and the engine's whole reason to
         // exist.
-        let w_minus = leave_one_out_welfares_on(&inst, &sol.selected, solver, strategy, pool);
+        let (sol, w_minus) = self.solve_and_pivots(&inst, solver, strategy, pool);
+        let w_star = sol.objective;
+        let q = self.config.cost_weight;
         let winners = sol
             .selected
             .iter()
@@ -345,8 +372,7 @@ mod tests {
             VcgAuction::new(VcgConfig {
                 value_weight: 1.0,
                 cost_weight: q,
-                max_winners: None,
-                reserve_price: None,
+                ..VcgConfig::default()
             })
             .run(&bids, &linear())
             .payment_of(0)

@@ -73,22 +73,18 @@ impl WdpInstance {
         selected.iter().map(|&i| self.items[i].cost).sum()
     }
 
-    /// Whether a selection satisfies both constraints.
+    /// Whether a selection satisfies both constraints (delegates to the
+    /// full view so the comparison logic exists exactly once).
     pub fn feasible(&self, selected: &[usize]) -> bool {
-        if let Some(k) = self.max_winners {
-            if selected.len() > k {
-                return false;
-            }
-        }
-        if let Some(b) = self.budget {
-            if self.total_cost(selected) > b + 1e-9 {
-                return false;
-            }
-        }
-        true
+        WdpView::full(self).feasible(selected)
     }
 
     /// Returns the instance with item `idx` removed (for Clarke pivots).
+    ///
+    /// This materializes a new `Vec` of items; the hot paths (the naive
+    /// pivot engine, the shard pipeline) use the allocation-free
+    /// [`WdpView`] instead — `WdpView::full(inst).skipping(idx)` visits
+    /// exactly the same item sequence without the O(n) clone.
     pub fn without_item(&self, idx: usize) -> WdpInstance {
         let mut items = self.items.clone();
         items.remove(idx);
@@ -96,6 +92,168 @@ impl WdpInstance {
             items,
             max_winners: self.max_winners,
             budget: self.budget,
+        }
+    }
+}
+
+/// A borrowed sub-instance: a subset of a parent instance's items
+/// (optionally minus one skipped item) under the parent's constraints.
+///
+/// Every solver in this module runs on views; [`solve`] is the
+/// whole-instance wrapper. Views exist for two reasons:
+///
+/// * **Leave-one-out pivots** — `WdpView::full(inst).skipping(i)` visits
+///   the same item sequence as `inst.without_item(i)` with zero
+///   allocation, and because the surviving parent indices map
+///   monotonically, every float is added in the same order: solving the
+///   view is *bit-identical* to solving the cloned instance.
+/// * **Sharding** (`crate::shard`) — a shard or a champion pool is an
+///   ascending index subset of the full market; solving the view returns
+///   parent indices directly, so shard solutions and reconciliation
+///   outcomes compose without re-indexing.
+///
+/// Solutions of a view carry **parent indices** in `selected`; for a full
+/// view these coincide with the instance's own indices.
+#[derive(Debug, Clone, Copy)]
+pub struct WdpView<'a> {
+    parent: &'a WdpInstance,
+    /// Ascending parent indices in the view, or `None` for all items.
+    subset: Option<&'a [usize]>,
+    /// Parent index excluded from the view (leave-one-out pivots).
+    skip: Option<usize>,
+}
+
+impl<'a> WdpView<'a> {
+    /// View over every item of `parent`.
+    pub fn full(parent: &'a WdpInstance) -> Self {
+        WdpView {
+            parent,
+            subset: None,
+            skip: None,
+        }
+    }
+
+    /// View over the given parent indices, which must be sorted ascending
+    /// and unique (debug-checked).
+    pub fn of_subset(parent: &'a WdpInstance, indices: &'a [usize]) -> Self {
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "subset indices must be ascending and unique"
+        );
+        debug_assert!(indices.iter().all(|&i| i < parent.items.len()));
+        WdpView {
+            parent,
+            subset: Some(indices),
+            skip: None,
+        }
+    }
+
+    /// The same view minus the item at `parent_idx` (for Clarke pivots).
+    pub fn skipping(mut self, parent_idx: usize) -> Self {
+        debug_assert!(self.skip.is_none(), "views support a single skip");
+        self.skip = Some(parent_idx);
+        self
+    }
+
+    /// The parent instance.
+    pub fn parent(&self) -> &'a WdpInstance {
+        self.parent
+    }
+
+    /// Cardinality cap (inherited from the parent).
+    pub fn max_winners(&self) -> Option<usize> {
+        self.parent.max_winners
+    }
+
+    /// Budget cap (inherited from the parent).
+    pub fn budget(&self) -> Option<f64> {
+        self.parent.budget
+    }
+
+    fn skip_is_member(&self) -> bool {
+        match (self.skip, self.subset) {
+            (None, _) => false,
+            (Some(k), None) => k < self.parent.items.len(),
+            (Some(k), Some(s)) => s.binary_search(&k).is_ok(),
+        }
+    }
+
+    /// Number of items in the view.
+    pub fn len(&self) -> usize {
+        let base = match self.subset {
+            Some(s) => s.len(),
+            None => self.parent.items.len(),
+        };
+        base - usize::from(self.skip_is_member())
+    }
+
+    /// Whether the view has no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item at a parent index (must be a member of the view).
+    #[inline]
+    pub fn item(&self, parent_idx: usize) -> &WdpItem {
+        &self.parent.items[parent_idx]
+    }
+
+    /// Iterates the view's parent indices in ascending order.
+    pub fn indices(&self) -> WdpViewIter<'a> {
+        WdpViewIter {
+            subset: self.subset,
+            pos: 0,
+            parent_len: self.parent.items.len(),
+            skip: self.skip,
+        }
+    }
+
+    /// Whether a selection of parent indices satisfies the view's
+    /// constraints (same comparisons and float order as
+    /// [`WdpInstance::feasible`]).
+    pub fn feasible(&self, selected: &[usize]) -> bool {
+        if let Some(k) = self.max_winners() {
+            if selected.len() > k {
+                return false;
+            }
+        }
+        if let Some(b) = self.budget() {
+            let cost: f64 = selected.iter().map(|&i| self.item(i).cost).sum();
+            if cost > b + 1e-9 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Ascending parent-index iterator of a [`WdpView`].
+pub struct WdpViewIter<'a> {
+    subset: Option<&'a [usize]>,
+    pos: usize,
+    parent_len: usize,
+    skip: Option<usize>,
+}
+
+impl Iterator for WdpViewIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            let i = match self.subset {
+                Some(s) => *s.get(self.pos)?,
+                None => {
+                    if self.pos >= self.parent_len {
+                        return None;
+                    }
+                    self.pos
+                }
+            };
+            self.pos += 1;
+            if Some(i) == self.skip {
+                continue;
+            }
+            return Some(i);
         }
     }
 }
@@ -110,9 +268,13 @@ pub struct WdpSolution {
 }
 
 impl WdpSolution {
-    fn from_indices(inst: &WdpInstance, mut selected: Vec<usize>) -> Self {
+    /// Canonical solution construction: ascending parent indices, with the
+    /// objective summed left-to-right over that order. Every solver and the
+    /// incremental pivot engine go through this, which is what makes
+    /// different derivations of the same selected set bit-identical.
+    fn from_view(view: &WdpView<'_>, mut selected: Vec<usize>) -> Self {
         selected.sort_unstable();
-        let objective = inst.objective(&selected);
+        let objective = selected.iter().map(|&i| view.item(i).weight).sum();
         WdpSolution {
             selected,
             objective,
@@ -136,7 +298,14 @@ pub enum SolverKind {
     GreedyDensity,
 }
 
-/// Solves a winner-determination instance.
+/// Solves a winner-determination instance ([`solve_view`] on the full
+/// view).
+pub fn solve(inst: &WdpInstance, kind: SolverKind) -> WdpSolution {
+    solve_view(&WdpView::full(inst), kind)
+}
+
+/// Solves a winner-determination sub-instance view. `selected` in the
+/// returned solution holds **parent indices**.
 ///
 /// `SolverKind::Exact` dispatches to:
 /// * top-K selection when no budget constraint is present (exact),
@@ -148,74 +317,80 @@ pub enum SolverKind {
 ///
 /// Panics if `Exhaustive` is requested for more than 25 items, or item
 /// costs are negative/non-finite when a budget constraint is present.
-pub fn solve(inst: &WdpInstance, kind: SolverKind) -> WdpSolution {
+pub fn solve_view(view: &WdpView<'_>, kind: SolverKind) -> WdpSolution {
     match kind {
-        SolverKind::Exact => match inst.budget {
-            None => top_k(inst),
-            Some(_) if inst.items.len() <= 25 => exhaustive(inst),
-            Some(_) => knapsack(inst, 4000),
+        SolverKind::Exact => match view.budget() {
+            None => top_k(view),
+            Some(_) if view.len() <= 25 => exhaustive(view),
+            Some(_) => knapsack(view, 4000),
         },
-        SolverKind::Exhaustive => exhaustive(inst),
-        SolverKind::Knapsack { grid } => match inst.budget {
-            Some(_) => knapsack(inst, grid),
-            None => top_k(inst),
+        SolverKind::Exhaustive => exhaustive(view),
+        SolverKind::Knapsack { grid } => match view.budget() {
+            Some(_) => knapsack(view, grid),
+            None => top_k(view),
         },
-        SolverKind::GreedyDensity => greedy_density(inst),
+        SolverKind::GreedyDensity => greedy_density(view),
     }
 }
 
 /// Preference order of the no-budget solver: positive-weight items,
-/// stable-sorted by descending weight. Shared with the incremental pivot
-/// engine (`crate::pivots`), whose bit-identity contract depends on using
-/// exactly this filter and comparator — keep the two in lockstep.
-pub(crate) fn preference_order(inst: &WdpInstance) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..inst.items.len())
-        .filter(|&i| inst.items[i].weight > 0.0)
+/// stable-sorted by descending weight (parent indices). Shared with the
+/// incremental pivot engine (`crate::pivots`), whose bit-identity contract
+/// depends on using exactly this filter and comparator — keep the two in
+/// lockstep.
+pub(crate) fn preference_order(view: &WdpView<'_>) -> Vec<usize> {
+    let mut order: Vec<usize> = view
+        .indices()
+        .filter(|&i| view.item(i).weight > 0.0)
         .collect();
     order.sort_by(|&a, &b| {
-        inst.items[b]
+        view.item(b)
             .weight
-            .partial_cmp(&inst.items[a].weight)
+            .partial_cmp(&view.item(a).weight)
             .expect("weights are finite")
     });
     order
 }
 
-/// Exact solver for instances without a budget constraint: select the top-K
+/// Exact solver for views without a budget constraint: select the top-K
 /// positive-weight items.
-fn top_k(inst: &WdpInstance) -> WdpSolution {
-    let k = inst.max_winners.unwrap_or(inst.items.len());
-    let mut order = preference_order(inst);
+fn top_k(view: &WdpView<'_>) -> WdpSolution {
+    let k = view.max_winners().unwrap_or(view.len());
+    let mut order = preference_order(view);
     order.truncate(k);
-    WdpSolution::from_indices(inst, order)
+    WdpSolution::from_view(view, order)
 }
 
 /// Brute-force exact solver.
-fn exhaustive(inst: &WdpInstance) -> WdpSolution {
-    let n = inst.items.len();
+fn exhaustive(view: &WdpView<'_>) -> WdpSolution {
+    let n = view.len();
     assert!(n <= 25, "exhaustive solver limited to 25 items, got {n}");
+    let members: Vec<usize> = view.indices().collect();
     let mut best: Vec<usize> = Vec::new();
     let mut best_obj = 0.0f64;
     for mask in 0u32..(1u32 << n) {
-        let sel: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
-        if !inst.feasible(&sel) {
+        let sel: Vec<usize> = (0..n)
+            .filter(|&p| mask & (1 << p) != 0)
+            .map(|p| members[p])
+            .collect();
+        if !view.feasible(&sel) {
             continue;
         }
-        let obj = inst.objective(&sel);
+        let obj: f64 = sel.iter().map(|&i| view.item(i).weight).sum();
         if obj > best_obj + 1e-15 {
             best_obj = obj;
             best = sel;
         }
     }
-    WdpSolution::from_indices(inst, best)
+    WdpSolution::from_view(view, best)
 }
 
-/// Knapsack candidate filter: positive weight and individually affordable.
-/// Shared by the DP and the incremental pivot engine (`crate::pivots`) so
-/// both see exactly the same item roster.
-pub(crate) fn knapsack_candidates(inst: &WdpInstance, budget: f64) -> Vec<usize> {
-    (0..inst.items.len())
-        .filter(|&i| inst.items[i].weight > 0.0 && inst.items[i].cost <= budget + 1e-12)
+/// Knapsack candidate filter: positive weight and individually affordable
+/// (parent indices, ascending). Shared by the DP and the incremental pivot
+/// engine (`crate::pivots`) so both see exactly the same item roster.
+pub(crate) fn knapsack_candidates(view: &WdpView<'_>, budget: f64) -> Vec<usize> {
+    view.indices()
+        .filter(|&i| view.item(i).weight > 0.0 && view.item(i).cost <= budget + 1e-12)
         .collect()
 }
 
@@ -265,14 +440,14 @@ pub(crate) fn knapsack_width_2d(cand_len: usize, kmax: usize, grid: usize) -> us
 /// densities of the remaining items), so this sorts once — O(s log s)
 /// instead of a rescan per drop — while reproducing the greedy loop's drop
 /// sequence and float trajectory exactly.
-pub(crate) fn repair_overspend(inst: &WdpInstance, selected: &mut Vec<usize>, budget: f64) {
-    let mut spent: f64 = selected.iter().map(|&i| inst.items[i].cost).sum();
+pub(crate) fn repair_overspend(view: &WdpView<'_>, selected: &mut Vec<usize>, budget: f64) {
+    let mut spent: f64 = selected.iter().map(|&i| view.item(i).cost).sum();
     if spent <= budget + 1e-9 {
         return;
     }
     let density: Vec<f64> = selected
         .iter()
-        .map(|&i| inst.items[i].weight / inst.items[i].cost.max(1e-12))
+        .map(|&i| view.item(i).weight / view.item(i).cost.max(1e-12))
         .collect();
     let mut drop_order: Vec<usize> = (0..selected.len()).collect();
     drop_order.sort_by(|&a, &b| {
@@ -286,7 +461,7 @@ pub(crate) fn repair_overspend(inst: &WdpInstance, selected: &mut Vec<usize>, bu
             break;
         }
         dropped[pos] = true;
-        spent -= inst.items[selected[pos]].cost;
+        spent -= view.item(selected[pos]).cost;
     }
     let mut idx = 0;
     selected.retain(|_| {
@@ -303,23 +478,24 @@ pub(crate) fn repair_overspend(inst: &WdpInstance, selected: &mut Vec<usize>, bu
 /// feasibility by dropping lowest-density items; with a fine grid the
 /// objective loss is negligible. A cardinality constraint, when present, is
 /// handled by adding a count dimension.
-fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
-    let budget = inst.budget.expect("knapsack requires a budget");
+fn knapsack(view: &WdpView<'_>, grid: usize) -> WdpSolution {
+    let budget = view.budget().expect("knapsack requires a budget");
     assert!(grid >= 1, "grid must be at least 1");
-    for it in &inst.items {
+    for i in view.indices() {
+        let it = view.item(i);
         assert!(
             it.cost.is_finite() && it.cost >= 0.0,
             "knapsack requires non-negative finite costs"
         );
     }
-    let cand = knapsack_candidates(inst, budget);
+    let cand = knapsack_candidates(view, budget);
     if cand.is_empty() {
-        return WdpSolution::from_indices(inst, Vec::new());
+        return WdpSolution::from_view(view, Vec::new());
     }
     let cell = knapsack_cell(budget, grid);
-    let gcost = |i: usize| -> usize { knapsack_gcost(inst.items[i].cost, budget, cell, grid) };
+    let gcost = |i: usize| -> usize { knapsack_gcost(view.item(i).cost, budget, cell, grid) };
     let width = grid + 1;
-    let selected = match inst.max_winners {
+    let selected = match view.max_winners() {
         // No cardinality cap: 1-D DP over the cost grid. `taken[t][c]`
         // records that candidate t strictly improved state c; walking
         // candidates backwards and following the first set flag at the
@@ -329,7 +505,7 @@ fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
             let mut taken: Vec<Vec<bool>> = Vec::with_capacity(cand.len());
             for &i in &cand {
                 let gc = gcost(i);
-                let w = inst.items[i].weight;
+                let w = view.item(i).weight;
                 let mut tk = vec![false; width];
                 if gc <= grid {
                     for c in (gc..width).rev() {
@@ -368,13 +544,13 @@ fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
             let grid_eff = width - 1;
             let cell_eff = knapsack_cell(budget, grid_eff);
             let gcost_eff = |i: usize| -> usize {
-                knapsack_gcost(inst.items[i].cost, budget, cell_eff, grid_eff)
+                knapsack_gcost(view.item(i).cost, budget, cell_eff, grid_eff)
             };
             let mut dp = vec![vec![0.0f64; width]; kmax + 1];
             let mut taken: Vec<Vec<bool>> = Vec::with_capacity(cand.len());
             for &i in &cand {
                 let gc = gcost_eff(i);
-                let w = inst.items[i].weight;
+                let w = view.item(i).weight;
                 let mut tk = vec![false; (kmax + 1) * width];
                 if gc <= grid_eff {
                     for j in (1..=kmax).rev() {
@@ -417,45 +593,46 @@ fn knapsack(inst: &WdpInstance, grid: usize) -> WdpSolution {
         }
     };
     let mut selected = selected;
-    repair_overspend(inst, &mut selected, budget);
-    WdpSolution::from_indices(inst, selected)
+    repair_overspend(view, &mut selected, budget);
+    WdpSolution::from_view(view, selected)
 }
 
 /// Greedy approximation: by weight when only cardinality binds, by
 /// weight/cost density under a budget.
-fn greedy_density(inst: &WdpInstance) -> WdpSolution {
-    let mut order: Vec<usize> = (0..inst.items.len())
-        .filter(|&i| inst.items[i].weight > 0.0)
+fn greedy_density(view: &WdpView<'_>) -> WdpSolution {
+    let mut order: Vec<usize> = view
+        .indices()
+        .filter(|&i| view.item(i).weight > 0.0)
         .collect();
-    match inst.budget {
+    match view.budget() {
         None => order.sort_by(|&a, &b| {
-            inst.items[b]
+            view.item(b)
                 .weight
-                .partial_cmp(&inst.items[a].weight)
+                .partial_cmp(&view.item(a).weight)
                 .expect("weights are finite")
         }),
         Some(_) => order.sort_by(|&a, &b| {
-            let da = inst.items[a].weight / inst.items[a].cost.max(1e-12);
-            let db = inst.items[b].weight / inst.items[b].cost.max(1e-12);
+            let da = view.item(a).weight / view.item(a).cost.max(1e-12);
+            let db = view.item(b).weight / view.item(b).cost.max(1e-12);
             db.partial_cmp(&da).expect("densities are finite")
         }),
     }
-    let k = inst.max_winners.unwrap_or(inst.items.len());
+    let k = view.max_winners().unwrap_or(view.len());
     let mut selected = Vec::new();
     let mut spent = 0.0;
     for i in order {
         if selected.len() >= k {
             break;
         }
-        if let Some(b) = inst.budget {
-            if spent + inst.items[i].cost > b + 1e-12 {
+        if let Some(b) = view.budget() {
+            if spent + view.item(i).cost > b + 1e-12 {
                 continue;
             }
         }
-        spent += inst.items[i].cost;
+        spent += view.item(i).cost;
         selected.push(i);
     }
-    WdpSolution::from_indices(inst, selected)
+    WdpSolution::from_view(view, selected)
 }
 
 /// Fractional (LP-relaxation) upper bound on the optimum of a
@@ -463,7 +640,7 @@ fn greedy_density(inst: &WdpInstance) -> WdpSolution {
 /// present. Used as the denominator in competitive-ratio plots.
 pub fn fractional_upper_bound(inst: &WdpInstance) -> f64 {
     match inst.budget {
-        None => top_k(inst).objective,
+        None => top_k(&WdpView::full(inst)).objective,
         Some(budget) => {
             let mut order: Vec<usize> = (0..inst.items.len())
                 .filter(|&i| inst.items[i].weight > 0.0)
@@ -611,6 +788,107 @@ mod tests {
         let reduced = inst.without_item(1);
         assert_eq!(reduced.items.len(), 2);
         assert_eq!(reduced.items[1].bidder, 2);
+    }
+
+    /// Property: the allocation-free skip view visits the same item
+    /// sequence as the materialized `without_item` clone, so solving it is
+    /// bit-identical — objective included — across all four constraint
+    /// combos and every solver dispatch.
+    #[test]
+    fn skip_view_bit_identical_to_without_item() {
+        let mut rng = StdRng::seed_from_u64(0x5C1B);
+        for round in 0..60 {
+            // Small n exercises the exhaustive dispatch (2ⁿ masks), larger
+            // n the knapsack/top-K dispatch via an explicit grid kind.
+            let small = rng.random();
+            let n = if small {
+                rng.random_range(2..11usize)
+            } else {
+                rng.random_range(28..50usize)
+            };
+            let items: Vec<WdpItem> = (0..n)
+                .map(|i| item(i, rng.random_range(-3.0..9.0), rng.random_range(0.0..4.0)))
+                .collect();
+            let mut inst = WdpInstance::new(items);
+            if rng.random() {
+                inst = inst.with_max_winners(rng.random_range(1..8usize));
+            }
+            if rng.random() {
+                inst = inst.with_budget(rng.random_range(0.0..12.0));
+            }
+            let kind = if small {
+                SolverKind::Exact
+            } else {
+                SolverKind::Knapsack { grid: 300 }
+            };
+            for idx in 0..n {
+                let cloned = solve(&inst.without_item(idx), kind);
+                let viewed = solve_view(&WdpView::full(&inst).skipping(idx), kind);
+                assert_eq!(
+                    cloned.objective.to_bits(),
+                    viewed.objective.to_bits(),
+                    "round {round} idx {idx}: clone {} vs view {}",
+                    cloned.objective,
+                    viewed.objective
+                );
+                assert_eq!(cloned.selected.len(), viewed.selected.len());
+            }
+        }
+    }
+
+    /// A subset view solves exactly the materialized sub-instance: same
+    /// winner set (mapped through the subset) and bit-identical objective.
+    #[test]
+    fn subset_view_matches_materialized_subinstance() {
+        let mut rng = StdRng::seed_from_u64(0x50B5);
+        for _ in 0..40 {
+            // Subsets stay ≤ ~16 items so the budgeted Exact dispatch
+            // (exhaustive) remains cheap.
+            let n = rng.random_range(4..32usize);
+            let items: Vec<WdpItem> = (0..n)
+                .map(|i| item(i, rng.random_range(-2.0..8.0), rng.random_range(0.1..3.0)))
+                .collect();
+            let mut inst = WdpInstance::new(items).with_max_winners(rng.random_range(1..6usize));
+            if rng.random() {
+                inst = inst.with_budget(rng.random_range(0.5..10.0));
+            }
+            let subset: Vec<usize> = (0..n).filter(|_| rng.random_range(0..2usize) == 0).take(16).collect();
+            let materialized = WdpInstance {
+                items: subset.iter().map(|&i| inst.items[i]).collect(),
+                max_winners: inst.max_winners,
+                budget: inst.budget,
+            };
+            let sub_sol = solve(&materialized, SolverKind::Exact);
+            let view_sol = solve_view(&WdpView::of_subset(&inst, &subset), SolverKind::Exact);
+            assert_eq!(
+                sub_sol.objective.to_bits(),
+                view_sol.objective.to_bits(),
+                "objectives diverged"
+            );
+            let mapped: Vec<usize> = sub_sol.selected.iter().map(|&p| subset[p]).collect();
+            assert_eq!(mapped, view_sol.selected, "selections diverged");
+        }
+    }
+
+    #[test]
+    fn view_len_and_iteration_respect_skip() {
+        let inst = WdpInstance::new(vec![
+            item(0, 1.0, 1.0),
+            item(1, 2.0, 1.0),
+            item(2, 3.0, 1.0),
+            item(3, 4.0, 1.0),
+        ]);
+        let full = WdpView::full(&inst);
+        assert_eq!(full.len(), 4);
+        assert_eq!(full.indices().collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let skipped = full.skipping(2);
+        assert_eq!(skipped.len(), 3);
+        assert_eq!(skipped.indices().collect::<Vec<_>>(), vec![0, 1, 3]);
+        let subset = [1usize, 2, 3];
+        let sub = WdpView::of_subset(&inst, &subset).skipping(3);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.indices().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!sub.is_empty());
     }
 
     #[test]

@@ -249,7 +249,7 @@ fn vcg_payments_bit_identical_across_strategies() {
             value_weight: rng.random_range(5.0..60.0),
             cost_weight: rng.random_range(0.5..6.0),
             max_winners: None,
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         let budget = rng.random_range(0.2..0.6) * bids.iter().map(|b| b.cost).sum::<f64>();
         for pool in [par::Pool::serial(), par::Pool::with_threads(4)] {
@@ -315,6 +315,7 @@ fn vcg_topk_payments_bit_identical_across_strategies() {
             cost_weight: 4.0,
             max_winners: Some(rng.random_range(1..12usize)),
             reserve_price: if rng.random() { Some(2.0) } else { None },
+            ..VcgConfig::default()
         });
         let naive = auction.run_with_strategy_on(
             &bids,

@@ -37,7 +37,7 @@ fn vcg_payments_bounded_and_winners_from_bidder_set() {
             value_weight: rng.random_range(1.0..30.0),
             cost_weight: rng.random_range(0.5..5.0),
             max_winners: Some(rng.random_range(1..6usize)),
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         let outcome = auction.run(&bids, &valuation);
 
@@ -77,7 +77,7 @@ fn vcg_respects_winner_cap_and_determinism() {
             value_weight: 10.0,
             cost_weight: 2.0,
             max_winners: Some(k),
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         let a = auction.run(&bids, &valuation);
         let b = auction.run(&bids, &valuation);

@@ -191,7 +191,7 @@ mod tests {
                 value_weight: 1.0,
                 cost_weight: 1.0,
                 max_winners: None,
-            reserve_price: None,
+            ..VcgConfig::default()
         })
             .run_with_budget(b, &val(), 4.0, SolverKind::Exhaustive)
         };

@@ -12,6 +12,7 @@
 use auction::bid::Bid;
 use auction::critical::critical_value;
 use auction::pivots::PaymentStrategy;
+use auction::shard::MarketTopology;
 use auction::valuation::Valuation;
 use auction::vcg::{VcgAuction, VcgConfig};
 use auction::wdp::SolverKind;
@@ -30,7 +31,7 @@ fn main() {
             value_weight: 50.0,
             cost_weight: 5.0,
             max_winners: Some(20),
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         vcg.bench(&format!("{n}_incremental"), || {
             auction.run(black_box(&all), &valuation)
@@ -50,7 +51,7 @@ fn main() {
             value_weight: 50.0,
             cost_weight: 5.0,
             max_winners: None,
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         // ~40% of total reported cost keeps roughly half the population
         // winning, so there are Θ(n) pivots to price.
@@ -86,6 +87,44 @@ fn main() {
         );
     }
 
+    // Shard scale: at n = 4096 the naive engine is far out of budget, so
+    // the trajectory is tracked monolithic-vs-sharded on the incremental
+    // engine. Rows carry the topology; the budget is tight enough to bind
+    // inside every shard (the regime sharding is for), and one worker
+    // keeps the comparison about the pipeline, not the core count.
+    {
+        let n = 4096usize;
+        let all = bids(n, 3);
+        let budget = 0.02 * all.iter().map(|b| b.cost).sum::<f64>();
+        let kind = SolverKind::Knapsack { grid: 512 };
+        let mut row = |label: &str, topology: MarketTopology| {
+            let auction = VcgAuction::new(VcgConfig {
+                value_weight: 50.0,
+                cost_weight: 5.0,
+                topology,
+                ..VcgConfig::default()
+            });
+            engines
+                .bench(&format!("{n}_{label}_incremental"), || {
+                    auction.run_with_budget_strategy_on(
+                        black_box(&all),
+                        &valuation,
+                        budget,
+                        kind,
+                        PaymentStrategy::Incremental,
+                        Pool::serial(),
+                    )
+                })
+                .median_ns
+        };
+        let mono_ns = row("monolithic", MarketTopology::Monolithic);
+        let sharded_ns = row("sharded16", MarketTopology::Sharded { count: 16 });
+        eprintln!(
+            "payment_engine/{n}: sharded{{16}} {:.2}x vs monolithic (1 worker)",
+            mono_ns / sharded_ns
+        );
+    }
+
     // Pool scaling of the incremental engine's per-winner merge fan-out
     // (the residual parallel surface once the DP tables are shared).
     let mut loo = Bencher::new("vcg_loo_pivots");
@@ -96,7 +135,7 @@ fn main() {
             value_weight: 50.0,
             cost_weight: 5.0,
             max_winners: None,
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         let budget = 0.4 * all.iter().map(|b| b.cost).sum::<f64>();
         let serial_ns = loo

@@ -76,7 +76,7 @@ fn main() {
             value_weight: mech.config().v,
             cost_weight: mech.queue_backlog().max(mech.config().min_cost_weight),
             max_winners: Some(20),
-            reserve_price: None,
+            ..VcgConfig::default()
         })
         .instance(&all_bids, &Valuation::default());
         let bound = fractional_upper_bound(&inst);
@@ -109,7 +109,7 @@ fn main() {
             value_weight: 50.0,
             cost_weight: 5.0,
             max_winners: None,
-            reserve_price: None,
+            ..VcgConfig::default()
         });
         let budget = 0.4 * all_bids.iter().map(|b| b.cost).sum::<f64>();
         let pay_reps = (2_000 / n).max(1);

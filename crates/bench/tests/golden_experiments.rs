@@ -63,3 +63,6 @@ golden!(e10_ablation, exp_e10_ablation, "e10_ablation");
 golden!(e11_energy, exp_e11_energy, "e11_energy");
 golden!(e12_multi_constraint, exp_e12_multi_constraint, "e12_multi_constraint");
 golden!(e13_adaptive_bidders, exp_e13_adaptive_bidders, "e13_adaptive_bidders");
+// e14 pins its shard counts in code, so its snapshot is shard-count
+// invariant on top of the usual thread-count invariance.
+golden!(e14_sharding, exp_e14_sharding, "e14_sharding");

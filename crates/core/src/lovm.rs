@@ -19,6 +19,7 @@ use crate::mechanism::{Mechanism, RoundInfo};
 use auction::bid::Bid;
 use auction::outcome::AuctionOutcome;
 use auction::pivots::PaymentStrategy;
+use auction::shard::MarketTopology;
 use auction::valuation::Valuation;
 use auction::vcg::{VcgAuction, VcgConfig};
 use lyapunov::dpp::{DppConfig, DriftPlusPenalty};
@@ -43,6 +44,12 @@ pub struct LovmConfig {
     /// payments; the knob exists for differential testing and comparison
     /// benchmarks.
     pub payment_strategy: PaymentStrategy,
+    /// Market layout per round. The default honors the `LOVM_SHARDS`
+    /// environment variable (`Monolithic` when unset). LOVM rounds are
+    /// top-K winner determinations, where the sharded champion
+    /// reconciliation is bit-identical to the monolithic path at any shard
+    /// count — so this knob changes memory/latency shape, never outcomes.
+    pub topology: MarketTopology,
 }
 
 impl Default for LovmConfig {
@@ -54,6 +61,7 @@ impl Default for LovmConfig {
             min_cost_weight: 1.0,
             valuation: Valuation::default(),
             payment_strategy: PaymentStrategy::Incremental,
+            topology: MarketTopology::from_env(),
         }
     }
 }
@@ -94,6 +102,12 @@ impl LovmConfig {
     /// Sets the pivot-welfare strategy for payments.
     pub fn with_payment_strategy(mut self, strategy: PaymentStrategy) -> Self {
         self.payment_strategy = strategy;
+        self
+    }
+
+    /// Sets the market topology (overriding the `LOVM_SHARDS` default).
+    pub fn with_topology(mut self, topology: MarketTopology) -> Self {
+        self.topology = topology;
         self
     }
 }
@@ -148,7 +162,8 @@ impl Mechanism for Lovm {
             value_weight: w.value_weight,
             cost_weight: w.cost_weight,
             max_winners: self.config.max_winners,
-            reserve_price: None,
+            topology: self.config.topology,
+            ..VcgConfig::default()
         });
         // Serial pool: the incremental engine's per-pivot work on the
         // top-K path is O(K), well under fan-out break-even for a round.
@@ -194,6 +209,7 @@ mod tests {
                 base_value: 0.2,
             }),
             payment_strategy: PaymentStrategy::Incremental,
+            topology: MarketTopology::from_env(),
         }
     }
 

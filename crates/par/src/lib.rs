@@ -197,6 +197,55 @@ impl Pool {
             f(&items[lo..hi])
         })
     }
+
+    /// Splits this pool's workers between an outer fan-out of `tasks` and
+    /// the nested work each task performs, returning `(outer, inner)` with
+    /// `outer.threads() · inner.threads() ≤ self.threads()`. This is what
+    /// makes two-level fan-outs (e.g. shards × per-shard pivot merges)
+    /// safe: the worker count is budgeted once at the top instead of
+    /// multiplying at every level.
+    pub fn split(&self, tasks: usize) -> (Pool, Pool) {
+        let outer = self.threads.min(tasks.max(1));
+        let inner = (self.threads / outer).max(1);
+        (Pool::with_threads(outer), Pool::with_threads(inner))
+    }
+
+    /// Maps `f(&item, inner_pool)` over `items`, fanning the items across
+    /// this pool's workers while handing each task an inner pool sized so
+    /// the two levels together never exceed this pool's worker budget.
+    /// Results come back in item order; by the determinism contract the
+    /// inner pool's size cannot change any output bits.
+    pub fn map_nested<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T, Pool) -> U + Sync,
+    {
+        let (outer, inner) = self.split(items.len());
+        outer.run(items.len(), |i| f(&items[i], inner))
+    }
+
+    /// [`Pool::chunks`] with a nested-safe inner pool passed to each chunk
+    /// closure (see [`Pool::map_nested`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn chunks_nested<T, U, F>(&self, items: &[T], chunk_size: usize, f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&[T], Pool) -> U + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let n_chunks = items.len().div_ceil(chunk_size);
+        let (outer, inner) = self.split(n_chunks);
+        outer.run(n_chunks, |c| {
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(items.len());
+            f(&items[lo..hi], inner)
+        })
+    }
 }
 
 /// [`Pool::map`] on the [`Pool::auto`] pool.
@@ -227,6 +276,18 @@ where
     F: Fn(&[T]) -> U + Sync,
 {
     Pool::auto().chunks(items, chunk_size, f)
+}
+
+/// [`Pool::chunks_nested`] on the [`Pool::auto`] pool: each chunk closure
+/// receives an inner pool sized so outer × inner stays within the
+/// configured worker budget.
+pub fn par_chunks_nested<T, U, F>(items: &[T], chunk_size: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&[T], Pool) -> U + Sync,
+{
+    Pool::auto().chunks_nested(items, chunk_size, f)
 }
 
 #[cfg(test)]
@@ -331,5 +392,48 @@ mod tests {
         let out = Pool::with_threads(8).run(10_000, |i| i);
         let expect: Vec<usize> = (0..10_000).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn split_budgets_workers_across_levels() {
+        let (outer, inner) = Pool::with_threads(8).split(4);
+        assert_eq!(outer.threads(), 4);
+        assert_eq!(inner.threads(), 2);
+        assert!(outer.threads() * inner.threads() <= 8);
+        // More tasks than workers: all workers go to the outer level.
+        let (outer, inner) = Pool::with_threads(4).split(64);
+        assert_eq!((outer.threads(), inner.threads()), (4, 1));
+        // Serial pool stays serial at both levels.
+        let (outer, inner) = Pool::serial().split(16);
+        assert_eq!((outer.threads(), inner.threads()), (1, 1));
+        // Degenerate task counts never panic or zero out.
+        let (outer, inner) = Pool::with_threads(6).split(0);
+        assert!(outer.threads() >= 1 && inner.threads() >= 1);
+    }
+
+    #[test]
+    fn map_nested_matches_flat_map() {
+        let items: Vec<u64> = (0..300).collect();
+        // Reference: x² + (0 + 1 + 2) computed serially.
+        let flat = Pool::serial().map(&items, |&x| x * x + 3);
+        for threads in [1, 2, 8] {
+            let nested = Pool::with_threads(threads).map_nested(&items, |&x, inner| {
+                // The inner pool must be usable for a second fan-out level.
+                x * x + inner.run(3, |j| j as u64).iter().sum::<u64>()
+            });
+            assert_eq!(nested, flat, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_nested_covers_everything_in_order() {
+        let items: Vec<usize> = (0..97).collect();
+        let sums = Pool::with_threads(4).chunks_nested(&items, 10, |c, inner| {
+            inner.map(c, |&x| x).iter().sum::<usize>()
+        });
+        assert_eq!(sums.len(), 10);
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        assert_eq!(sums[0], (0..10).sum::<usize>());
+        assert_eq!(sums[9], (90..97).sum::<usize>());
     }
 }

@@ -3,22 +3,34 @@
 # whole-workspace test suite, and hold the tree to zero clippy warnings.
 # The workspace has no external dependencies, so this runs fully offline.
 #
-# The test suite runs twice — serial (LOVM_THREADS=1) and on a 4-worker
-# pool — because the parallel execution layer (crates/par) guarantees
-# bit-identical output at any worker count and both modes must stay green.
-# Both passes include the golden-output suite (crates/bench
+# The test suite runs under a worker × shard matrix — LOVM_THREADS ∈ {1,4}
+# crossed with LOVM_SHARDS ∈ {1,8} — because two layers each guarantee
+# invariant output: the parallel execution layer (crates/par) is
+# bit-identical at any worker count, and the sharded market engine
+# (auction::shard) is bit-identical to the monolithic path on the top-K
+# rounds the LOVM loop runs (LOVM_SHARDS only re-routes those rounds).
+# Every cell includes the golden-output suite (crates/bench
 # tests/golden_experiments.rs: every exp_e* bin's stdout vs
 # tests/golden/*.md) and the payment-engine differential suite
 # (crates/auction tests/pivot_equivalence.rs: incremental vs naive vs
-# oracle, bit-identical), so the 4-worker pass re-proves both contracts
-# off the serial snapshots.
+# oracle, bit-identical), so all four cells re-prove both contracts off
+# the same snapshots.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-LOVM_THREADS=1 cargo test -q
-LOVM_THREADS=4 cargo test -q
+for shards in 1 8; do
+  for threads in 1 4; do
+    echo "ci: test pass LOVM_SHARDS=$shards LOVM_THREADS=$threads"
+    LOVM_SHARDS=$shards LOVM_THREADS=$threads cargo test -q
+  done
+done
 cargo clippy --all-targets -- -D warnings
+
+# Smoke the sharded-market experiment: a 10⁵-bidder (scale 0.1) budgeted
+# round through partition → per-shard solve → champion reconciliation.
+LOVM_SCALE=0.1 ./target/release/exp_e14_sharding > /dev/null
+echo "ci: exp_e14_sharding smoke ok"
 
 # Smoke the payment-path benchmark in both modes (tiny sample counts: this
 # checks the bins run and report, not the timings themselves) and gate the

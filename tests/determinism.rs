@@ -65,7 +65,7 @@ fn vcg_payments_parallel_is_bit_identical() {
                 value_weight: 50.0,
                 cost_weight: 5.0,
                 max_winners: None,
-                reserve_price: None,
+                ..VcgConfig::default()
             });
             let budget = 0.4 * bids.iter().map(|b| b.cost).sum::<f64>();
             let a = auction.run_with_budget_on(&bids, &valuation, budget, SolverKind::Exact, serial);
@@ -74,6 +74,33 @@ fn vcg_payments_parallel_is_bit_identical() {
             assert!(!a.winners.is_empty(), "degenerate instance, seed {seed} n {n}");
             assert_outcomes_bit_identical(&a, &b, &format!("vcg seed {seed} n {n}"));
         }
+    }
+}
+
+/// The sharded pipeline nests two fan-out levels (shards × pivot merges)
+/// on a split pool: budgeted sharded rounds must still be bit-identical on
+/// 1 worker and 4 workers.
+#[test]
+fn sharded_rounds_parallel_is_bit_identical() {
+    use auction::shard::MarketTopology;
+    use auction::vcg::{VcgAuction, VcgConfig};
+    use auction::wdp::SolverKind;
+    let valuation = auction::Valuation::default();
+    let (serial, parallel) = pools();
+    for &seed in &SEEDS {
+        let bids = random_bids(600, seed);
+        let auction = VcgAuction::new(VcgConfig {
+            value_weight: 50.0,
+            cost_weight: 5.0,
+            topology: MarketTopology::Sharded { count: 8 },
+            ..VcgConfig::default()
+        });
+        let budget = 0.03 * bids.iter().map(|b| b.cost).sum::<f64>();
+        let kind = SolverKind::Knapsack { grid: 512 };
+        let a = auction.run_with_budget_on(&bids, &valuation, budget, kind, serial);
+        let b = auction.run_with_budget_on(&bids, &valuation, budget, kind, parallel);
+        assert!(!a.winners.is_empty(), "degenerate sharded instance, seed {seed}");
+        assert_outcomes_bit_identical(&a, &b, &format!("sharded vcg seed {seed}"));
     }
 }
 
