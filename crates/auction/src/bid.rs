@@ -1,6 +1,5 @@
 //! Bidder types for the reverse (procurement) auction.
 
-
 /// A sealed bid submitted by one client in one round.
 ///
 /// The *cost* is the client's private type (what it reports may differ from
@@ -28,7 +27,10 @@ impl Bid {
     /// Panics if `cost` is negative or non-finite, or `quality` is outside
     /// `[0, 1]`.
     pub fn new(bidder: usize, cost: f64, data_size: usize, quality: f64) -> Self {
-        assert!(cost.is_finite() && cost >= 0.0, "cost must be finite and >= 0");
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "cost must be finite and >= 0"
+        );
         assert!(
             (0.0..=1.0).contains(&quality),
             "quality must be in [0, 1], got {quality}"
@@ -48,7 +50,10 @@ impl Bid {
     ///
     /// Panics if the new cost is negative or non-finite.
     pub fn with_cost(mut self, cost: f64) -> Self {
-        assert!(cost.is_finite() && cost >= 0.0, "cost must be finite and >= 0");
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "cost must be finite and >= 0"
+        );
         self.cost = cost;
         self
     }

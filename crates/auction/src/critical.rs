@@ -21,7 +21,13 @@ use crate::bid::Bid;
 /// # Panics
 ///
 /// Panics if `upper` is not positive/finite or `tol` is not positive.
-pub fn critical_value<F>(bids: &[Bid], bidder_index: usize, upper: f64, tol: f64, wins: F) -> Option<f64>
+pub fn critical_value<F>(
+    bids: &[Bid],
+    bidder_index: usize,
+    upper: f64,
+    tol: f64,
+    wins: F,
+) -> Option<f64>
 where
     F: Fn(&[Bid]) -> bool,
 {

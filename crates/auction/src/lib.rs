@@ -16,6 +16,8 @@
 //!   independent per-shard WDP + pivot solves, and a champion
 //!   reconciliation that is bit-identical to the monolithic top-K path
 //!   and welfare-bounded for budgeted rounds,
+//! * [`sealed`] — the sealed-round adapter: canonical ascending-bidder
+//!   snapshots the streaming ingestion layer hands to this batch path,
 //! * [`critical`] — Myerson critical-value payments for monotone
 //!   allocation rules (used by greedy baselines),
 //! * [`properties`] — executable checks for truthfulness, individual
@@ -52,6 +54,7 @@ pub mod critical;
 pub mod outcome;
 pub mod pivots;
 pub mod properties;
+pub mod sealed;
 pub mod shard;
 pub mod valuation;
 pub mod vcg;
@@ -60,6 +63,7 @@ pub mod wdp;
 pub use bid::Bid;
 pub use outcome::{AuctionOutcome, Award};
 pub use pivots::PaymentStrategy;
+pub use sealed::SealedRound;
 pub use shard::MarketTopology;
 pub use valuation::{ClientValue, Valuation};
 pub use vcg::{VcgAuction, VcgConfig};

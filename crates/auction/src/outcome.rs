@@ -1,6 +1,5 @@
 //! Auction outcomes: who won, what they are paid.
 
-
 /// One winner's award.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Award {

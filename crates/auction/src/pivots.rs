@@ -274,7 +274,8 @@ fn merge_loo(
         ps
     };
     let cells = rows * width;
-    if m.saturating_mul(cells) > (1 << 28) || snapshot_positions.len().saturating_mul(cells) > (1 << 24)
+    if m.saturating_mul(cells) > (1 << 28)
+        || snapshot_positions.len().saturating_mul(cells) > (1 << 24)
     {
         return naive_loo(view, targets, kind, pool);
     }
@@ -306,7 +307,15 @@ fn merge_loo(
             if let Some(s) = snap_index(t) {
                 fwd_snap[s] = dp.clone();
             }
-            knapsack_step(&mut dp, &mut fwd_tk, t, gc(i), view.item(i).weight, kmax, width);
+            knapsack_step(
+                &mut dp,
+                &mut fwd_tk,
+                t,
+                gc(i),
+                view.item(i).weight,
+                kmax,
+                width,
+            );
         }
     }
     let mut bwd_tk = FlagTable::new(m, cells);
@@ -319,7 +328,15 @@ fn merge_loo(
                 bwd_snap[s] = dp.clone();
             }
             let i = cand[t];
-            knapsack_step(&mut dp, &mut bwd_tk, t, gc(i), view.item(i).weight, kmax, width);
+            knapsack_step(
+                &mut dp,
+                &mut bwd_tk,
+                t,
+                gc(i),
+                view.item(i).weight,
+                kmax,
+                width,
+            );
         }
     }
 
@@ -526,13 +543,7 @@ mod tests {
         for round in 0..40 {
             let n = rng.random_range(2..30usize);
             let items: Vec<WdpItem> = (0..n)
-                .map(|i| {
-                    item(
-                        i,
-                        rng.random_range(-2.0..9.0),
-                        rng.random_range(0.01..4.0),
-                    )
-                })
+                .map(|i| item(i, rng.random_range(-2.0..9.0), rng.random_range(0.01..4.0)))
                 .collect();
             let budget = rng.random_range(0.5..8.0);
             let grid = rng.random_range(32..400usize);

@@ -450,12 +450,19 @@ mod tests {
                     )
                 }
             };
-            assert!(individually_rational(&run(PaymentStrategy::Incremental)(&bids), 1e-9));
+            assert!(individually_rational(
+                &run(PaymentStrategy::Incremental)(&bids),
+                1e-9
+            ));
             let probe_target = rng.random_range(0..n);
             let grid = default_factor_grid();
             let naive = probe_truthfulness(&bids, probe_target, &grid, run(PaymentStrategy::Naive));
-            let incremental =
-                probe_truthfulness(&bids, probe_target, &grid, run(PaymentStrategy::Incremental));
+            let incremental = probe_truthfulness(
+                &bids,
+                probe_target,
+                &grid,
+                run(PaymentStrategy::Incremental),
+            );
             assert_eq!(
                 naive.truthful_utility.to_bits(),
                 incremental.truthful_utility.to_bits(),

@@ -1,0 +1,111 @@
+//! Sealed-round adapter: the bridge between streaming ingestion and the
+//! batch auction path.
+//!
+//! The streaming layer (`crates/ingest`) collects timestamped bid arrivals
+//! and, at each round deadline, *seals* the round. A [`SealedRound`] is
+//! that frozen snapshot in the canonical form every downstream consumer —
+//! the WDP solvers, the VCG payment engines, the sharded market pipeline —
+//! already expects: one bid per bidder, **sorted by ascending bidder id**.
+//! Ascending bidder order is exactly the order the batch simulator's
+//! `round_bids` produces, which is what makes a streamed round with a
+//! deadline admitting every arrival *bit-identical* to the batch round: the
+//! float-summation order inside the solvers never changes.
+
+use crate::bid::Bid;
+
+/// An immutable, canonically ordered per-round bid vector produced by the
+/// ingestion layer at a round deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedRound {
+    round: usize,
+    bids: Vec<Bid>,
+}
+
+impl SealedRound {
+    /// Seals a round, sorting bids into canonical ascending-bidder order.
+    ///
+    /// Duplicate resolution (a deferred bid superseded by a fresh one from
+    /// the same bidder) is the collector's job *before* sealing; this
+    /// constructor requires the invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two bids share a bidder id.
+    pub fn new(round: usize, mut bids: Vec<Bid>) -> Self {
+        bids.sort_by_key(|b| b.bidder);
+        for w in bids.windows(2) {
+            assert!(
+                w[0].bidder != w[1].bidder,
+                "sealed round {round} holds two bids from bidder {}",
+                w[0].bidder
+            );
+        }
+        SealedRound { round, bids }
+    }
+
+    /// The round index this snapshot belongs to.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// The sealed bids in canonical ascending-bidder order — feed this
+    /// straight into `VcgAuction::run*` / `Mechanism::select`.
+    pub fn bids(&self) -> &[Bid] {
+        &self.bids
+    }
+
+    /// Number of sealed bids.
+    pub fn len(&self) -> usize {
+        self.bids.len()
+    }
+
+    /// True when the round sealed empty (every arrival was late, shed, or
+    /// dropped).
+    pub fn is_empty(&self) -> bool {
+        self.bids.is_empty()
+    }
+
+    /// Consumes the snapshot, returning the owned bid vector.
+    pub fn into_bids(self) -> Vec<Bid> {
+        self.bids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seals_in_ascending_bidder_order() {
+        let sealed = SealedRound::new(
+            3,
+            vec![
+                Bid::new(5, 1.0, 10, 0.5),
+                Bid::new(1, 2.0, 20, 0.6),
+                Bid::new(9, 0.5, 30, 0.7),
+            ],
+        );
+        assert_eq!(sealed.round(), 3);
+        assert_eq!(sealed.len(), 3);
+        assert!(!sealed.is_empty());
+        let ids: Vec<usize> = sealed.bids().iter().map(|b| b.bidder).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+        assert_eq!(sealed.into_bids().len(), 3);
+    }
+
+    #[test]
+    fn empty_round_is_fine() {
+        let sealed = SealedRound::new(0, Vec::new());
+        assert!(sealed.is_empty());
+        assert_eq!(sealed.bids(), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two bids from bidder 4")]
+    fn rejects_duplicate_bidders() {
+        let _ = SealedRound::new(
+            0,
+            vec![Bid::new(4, 1.0, 10, 0.5), Bid::new(4, 2.0, 20, 0.6)],
+        );
+    }
+}

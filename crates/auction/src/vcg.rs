@@ -81,7 +81,10 @@ impl VcgAuction {
             "value_weight must be finite and non-negative"
         );
         if let Some(r) = config.reserve_price {
-            assert!(r.is_finite() && r >= 0.0, "reserve_price must be finite and >= 0");
+            assert!(
+                r.is_finite() && r >= 0.0,
+                "reserve_price must be finite and >= 0"
+            );
         }
         VcgAuction { config }
     }
@@ -119,10 +122,7 @@ impl VcgAuction {
         let items = bids
             .iter()
             .map(|b| {
-                let above_reserve = self
-                    .config
-                    .reserve_price
-                    .is_some_and(|r| b.cost > r);
+                let above_reserve = self.config.reserve_price.is_some_and(|r| b.cost > r);
                 WdpItem {
                     bidder: b.bidder,
                     weight: if above_reserve {
@@ -154,7 +154,12 @@ impl VcgAuction {
     pub fn run(&self, bids: &[Bid], valuation: &Valuation) -> AuctionOutcome {
         // Serial pool: per-pivot work here is O(K) — far below the
         // threshold where fan-out pays for itself in this hot loop.
-        self.run_with_strategy_on(bids, valuation, PaymentStrategy::Incremental, par::Pool::serial())
+        self.run_with_strategy_on(
+            bids,
+            valuation,
+            PaymentStrategy::Incremental,
+            par::Pool::serial(),
+        )
     }
 
     /// [`VcgAuction::run`] with an explicit pivot-welfare strategy and
@@ -448,8 +453,9 @@ mod tests {
         let o = auction.run(&bids, &linear());
         assert!(individually_rational(&o, 1e-9));
         for i in 0..bids.len() {
-            let report =
-                probe_truthfulness(&bids, i, &default_factor_grid(), |b| auction.run(b, &linear()));
+            let report = probe_truthfulness(&bids, i, &default_factor_grid(), |b| {
+                auction.run(b, &linear())
+            });
             assert!(
                 report.is_truthful(1e-9),
                 "bidder {i} gains {}",

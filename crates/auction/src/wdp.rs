@@ -10,7 +10,6 @@
 //! greedy approximation and a fractional upper bound used by baselines and
 //! the experiment harness.
 
-
 /// One candidate in a winner-determination instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WdpItem {
@@ -702,7 +701,11 @@ mod tests {
 
     #[test]
     fn unconstrained_takes_all_positive() {
-        let inst = WdpInstance::new(vec![item(0, 1.0, 0.0), item(1, -2.0, 0.0), item(2, 0.5, 0.0)]);
+        let inst = WdpInstance::new(vec![
+            item(0, 1.0, 0.0),
+            item(1, -2.0, 0.0),
+            item(2, 0.5, 0.0),
+        ]);
         let sol = solve(&inst, SolverKind::Exact);
         assert_eq!(sol.selected, vec![0, 2]);
     }
@@ -784,7 +787,11 @@ mod tests {
 
     #[test]
     fn without_item_shifts_indices() {
-        let inst = WdpInstance::new(vec![item(0, 1.0, 1.0), item(1, 2.0, 2.0), item(2, 3.0, 3.0)]);
+        let inst = WdpInstance::new(vec![
+            item(0, 1.0, 1.0),
+            item(1, 2.0, 2.0),
+            item(2, 3.0, 3.0),
+        ]);
         let reduced = inst.without_item(1);
         assert_eq!(reduced.items.len(), 2);
         assert_eq!(reduced.items[1].bidder, 2);
@@ -852,7 +859,10 @@ mod tests {
             if rng.random() {
                 inst = inst.with_budget(rng.random_range(0.5..10.0));
             }
-            let subset: Vec<usize> = (0..n).filter(|_| rng.random_range(0..2usize) == 0).take(16).collect();
+            let subset: Vec<usize> = (0..n)
+                .filter(|_| rng.random_range(0..2usize) == 0)
+                .take(16)
+                .collect();
             let materialized = WdpInstance {
                 items: subset.iter().map(|&i| inst.items[i]).collect(),
                 max_winners: inst.max_winners,

@@ -85,10 +85,14 @@ fn assert_engines_bit_identical(
 ) -> (Vec<usize>, Vec<f64>) {
     let sol = solve(inst, kind);
     let pool = par::Pool::serial();
-    let naive =
-        leave_one_out_welfares_on(inst, &sol.selected, kind, PaymentStrategy::Naive, pool);
-    let incremental =
-        leave_one_out_welfares_on(inst, &sol.selected, kind, PaymentStrategy::Incremental, pool);
+    let naive = leave_one_out_welfares_on(inst, &sol.selected, kind, PaymentStrategy::Naive, pool);
+    let incremental = leave_one_out_welfares_on(
+        inst,
+        &sol.selected,
+        kind,
+        PaymentStrategy::Incremental,
+        pool,
+    );
     assert_eq!(naive.len(), incremental.len(), "{context}: length");
     for (w, (ni, ii)) in sol.selected.iter().zip(naive.iter().zip(&incremental)) {
         assert_eq!(
@@ -341,6 +345,9 @@ fn vcg_topk_payments_bit_identical_across_strategies() {
         }
         // The default path is the incremental one.
         let default_run = auction.run(&bids, &valuation);
-        assert_eq!(default_run, incremental, "run() default diverged, round {round}");
+        assert_eq!(
+            default_run, incremental,
+            "run() default diverged, round {round}"
+        );
     }
 }

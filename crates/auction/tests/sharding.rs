@@ -129,8 +129,8 @@ fn topk_rounds_bit_identical_at_any_shard_count() {
         for cap in [None, Some(rng.random_range(1..15usize))] {
             let mono = auction_with(MarketTopology::Monolithic, cap).run(&bids, &valuation);
             for count in [2usize, 5, 16, 64] {
-                let sharded = auction_with(MarketTopology::Sharded { count }, cap)
-                    .run(&bids, &valuation);
+                let sharded =
+                    auction_with(MarketTopology::Sharded { count }, cap).run(&bids, &valuation);
                 assert_outcomes_bit_identical(
                     &mono,
                     &sharded,
@@ -163,8 +163,8 @@ fn budgeted_sharded_welfare_within_epsilon() {
             };
             let mono = auction_with(MarketTopology::Monolithic, cap)
                 .run_with_budget(&bids, &valuation, budget, kind);
-            let sharded = auction_with(shards, cap)
-                .run_with_budget(&bids, &valuation, budget, kind);
+            let sharded =
+                auction_with(shards, cap).run_with_budget(&bids, &valuation, budget, kind);
             assert!(
                 mono.virtual_welfare > 0.0,
                 "degenerate instance: zero monolithic welfare"

@@ -151,7 +151,11 @@ fn knapsack_tracks_oracle_within_grid_tolerance() {
             // budget, and the repair pass then drops a whole (lowest-
             // density) item — so the loss scales with the optimum, not
             // with the grid cell.
-            let tol = if b.is_some() { 0.05 * expect.max(2.0) } else { 1e-9 };
+            let tol = if b.is_some() {
+                0.05 * expect.max(2.0)
+            } else {
+                1e-9
+            };
             assert!(
                 sol.objective >= expect - tol,
                 "knapsack {} vs oracle {expect} (n={n}, k={k:?}, b={b:?})",
@@ -171,7 +175,12 @@ fn oracle_agrees_on_corner_cases() {
     };
     // All-negative weights: optimum is the empty set under every combo.
     let negs = vec![item(-1.0, 1.0), item(-0.5, 0.0), item(-3.0, 2.0)];
-    for (k, b) in [(None, None), (Some(2), None), (None, Some(1.0)), (Some(1), Some(1.0))] {
+    for (k, b) in [
+        (None, None),
+        (Some(2), None),
+        (None, Some(1.0)),
+        (Some(1), Some(1.0)),
+    ] {
         let inst = build(negs.clone(), k, b);
         assert_eq!(solve(&inst, SolverKind::Exact).objective, 0.0);
         assert_eq!(oracle_best(&negs, k, b), 0.0);

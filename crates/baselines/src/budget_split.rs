@@ -66,8 +66,7 @@ impl Mechanism for BudgetSplitGreedy {
     fn select(&mut self, info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
         let allowance = (info.remaining_budget() / info.rounds_remaining().max(1) as f64).max(0.0);
         let winner_indices = self.allocate(allowance, bids);
-        let winner_set: std::collections::HashSet<usize> =
-            winner_indices.iter().copied().collect();
+        let winner_set: std::collections::HashSet<usize> = winner_indices.iter().copied().collect();
 
         let mut awards = Vec::with_capacity(winner_indices.len());
         let mut welfare = 0.0;
@@ -101,9 +100,7 @@ impl Mechanism for BudgetSplitGreedy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use auction::properties::{
-        default_factor_grid, individually_rational, probe_truthfulness,
-    };
+    use auction::properties::{default_factor_grid, individually_rational, probe_truthfulness};
     use auction::valuation::ClientValue;
 
     fn val() -> Valuation {

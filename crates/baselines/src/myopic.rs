@@ -191,8 +191,8 @@ mod tests {
                 value_weight: 1.0,
                 cost_weight: 1.0,
                 max_winners: None,
-            ..VcgConfig::default()
-        })
+                ..VcgConfig::default()
+            })
             .run_with_budget(b, &val(), 4.0, SolverKind::Exhaustive)
         };
         let truthful = utility(&clarke(&all), 2, 3.0);

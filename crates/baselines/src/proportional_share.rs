@@ -106,9 +106,7 @@ impl Mechanism for ProportionalShare {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use auction::properties::{
-        default_factor_grid, individually_rational, probe_truthfulness,
-    };
+    use auction::properties::{default_factor_grid, individually_rational, probe_truthfulness};
     use auction::valuation::ClientValue;
 
     fn val() -> Valuation {

@@ -101,7 +101,9 @@ mod tests {
     }
 
     fn bids(n: usize) -> Vec<Bid> {
-        (0..n).map(|i| Bid::new(i, 1.0 + i as f64, 5, 1.0)).collect()
+        (0..n)
+            .map(|i| Bid::new(i, 1.0 + i as f64, 5, 1.0))
+            .collect()
     }
 
     #[test]

@@ -24,7 +24,9 @@ fn main() {
 
     let logistic = LogisticRegression::new(32, 10);
     let trainer = LocalTrainer::new(0, shard.clone(), config);
-    train.bench("logistic_32f_10c", || trainer.train(black_box(&logistic), 7));
+    train.bench("logistic_32f_10c", || {
+        trainer.train(black_box(&logistic), 7)
+    });
 
     let mlp = Mlp::new(32, 64, 10, 2);
     let trainer_mlp = LocalTrainer::new(0, shard, config);
@@ -38,11 +40,8 @@ fn main() {
         let updates: Vec<_> = parts
             .iter()
             .map(|p| {
-                let trainer = LocalTrainer::new(
-                    p.client_id,
-                    p.dataset(&ds),
-                    LocalTrainerConfig::default(),
-                );
+                let trainer =
+                    LocalTrainer::new(p.client_id, p.dataset(&ds), LocalTrainerConfig::default());
                 trainer.train(&model, p.client_id as u64)
             })
             .collect();

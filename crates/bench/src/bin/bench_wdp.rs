@@ -24,12 +24,16 @@ fn main() {
     let mut topk = Bencher::new("wdp_topk_exact");
     for n in [100usize, 1000, 10000] {
         let inst = instance(n, 1).with_max_winners(20);
-        topk.bench(&n.to_string(), || solve(black_box(&inst), SolverKind::Exact));
+        topk.bench(&n.to_string(), || {
+            solve(black_box(&inst), SolverKind::Exact)
+        });
     }
 
     let mut greedy = Bencher::new("wdp_greedy_density");
     for n in [100usize, 1000, 10000] {
-        let inst = instance(n, 2).with_budget(n as f64 * 0.2).with_max_winners(20);
+        let inst = instance(n, 2)
+            .with_budget(n as f64 * 0.2)
+            .with_max_winners(20);
         greedy.bench(&n.to_string(), || {
             solve(black_box(&inst), SolverKind::GreedyDensity)
         });

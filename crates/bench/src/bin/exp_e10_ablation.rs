@@ -70,8 +70,14 @@ fn main() {
     }
 
     // Ablation 4: V extremes.
-    run("V = 1 (constraint-obsessed)", LovmConfig::for_scenario(&scenario, 1.0));
-    run("V = 1000 (welfare-obsessed)", LovmConfig::for_scenario(&scenario, 1000.0));
+    run(
+        "V = 1 (constraint-obsessed)",
+        LovmConfig::for_scenario(&scenario, 1.0),
+    );
+    run(
+        "V = 1000 (welfare-obsessed)",
+        LovmConfig::for_scenario(&scenario, 1000.0),
+    );
 
     println!("{}", table.to_markdown());
     println!(

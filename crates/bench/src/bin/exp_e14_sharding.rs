@@ -144,7 +144,13 @@ fn main() {
         MarketTopology::Sharded { count: 16 },
         MarketTopology::Sharded { count: 64 },
     ] {
-        let round = solve_sharded_on(&inst, kind, topology, PaymentStrategy::Incremental, par::Pool::auto());
+        let round = solve_sharded_on(
+            &inst,
+            kind,
+            topology,
+            PaymentStrategy::Incremental,
+            par::Pool::auto(),
+        );
         table.row(vec![
             topology_label(topology),
             round.solution.selected.len().to_string(),
@@ -168,7 +174,13 @@ fn main() {
     };
     let topology = MarketTopology::Sharded { count: 64 };
     let start = Instant::now();
-    let round = solve_sharded_on(&inst, kind, topology, PaymentStrategy::Incremental, par::Pool::auto());
+    let round = solve_sharded_on(
+        &inst,
+        kind,
+        topology,
+        PaymentStrategy::Incremental,
+        par::Pool::auto(),
+    );
     let elapsed = start.elapsed();
     let peak_shard = round.shard_stats.iter().map(|s| s.size).max().unwrap_or(0);
     let provisional: f64 = round.shard_stats.iter().map(|s| s.pivot_mass).sum();

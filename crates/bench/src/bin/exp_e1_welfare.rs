@@ -105,24 +105,34 @@ fn main() {
     ]);
     let mut rows_stats: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
     for &s in &seeds {
-        let mut lovm = lovm_core::lovm::Lovm::new(lovm_core::lovm::LovmConfig::for_scenario(
-            &scenario, 50.0,
-        ));
-        let mut greedy =
-            baselines::BudgetSplitGreedy::new(scenario.valuation, None);
+        let mut lovm =
+            lovm_core::lovm::Lovm::new(lovm_core::lovm::LovmConfig::for_scenario(&scenario, 50.0));
+        let mut greedy = baselines::BudgetSplitGreedy::new(scenario.valuation, None);
         for (name, mech) in [
-            ("LOVM(V=50)", &mut lovm as &mut dyn lovm_core::mechanism::Mechanism),
-            ("BudgetSplitGreedy", &mut greedy as &mut dyn lovm_core::mechanism::Mechanism),
+            (
+                "LOVM(V=50)",
+                &mut lovm as &mut dyn lovm_core::mechanism::Mechanism,
+            ),
+            (
+                "BudgetSplitGreedy",
+                &mut greedy as &mut dyn lovm_core::mechanism::Mechanism,
+            ),
         ] {
             let r = simulate(mech, &scenario, s);
-            let o = offline_benchmark(&r.bids_per_round, &scenario.valuation, scenario.total_budget);
+            let o = offline_benchmark(
+                &r.bids_per_round,
+                &scenario.valuation,
+                scenario.total_budget,
+            );
             let w = r.ledger.social_welfare();
             match rows_stats.iter_mut().find(|(n, _, _)| n == name) {
                 Some((_, ws, rs)) => {
                     ws.push(w);
                     rs.push(competitive_ratio(w, &o));
                 }
-                None => rows_stats.push((name.to_string(), vec![w], vec![competitive_ratio(w, &o)])),
+                None => {
+                    rows_stats.push((name.to_string(), vec![w], vec![competitive_ratio(w, &o)]))
+                }
             }
         }
     }

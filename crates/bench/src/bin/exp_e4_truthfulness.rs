@@ -100,7 +100,11 @@ fn main() {
         gain_table.row(vec![
             label.to_string(),
             format!("{max_gain:.4}"),
-            if max_gain <= 1e-3 { "yes".into() } else { "NO".into() },
+            if max_gain <= 1e-3 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
 

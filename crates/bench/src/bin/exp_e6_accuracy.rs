@@ -47,7 +47,12 @@ fn federation(seed: u64) -> (FederatedRun<LogisticRegression>, fedsim::data::Dat
     spec.noise = 1.6; // heavy class overlap: accuracy saturates below 1.0
     let ds = synthetic_digits(&spec, seed);
     let (train, test) = ds.split_at(1300);
-    let parts = partition(&train, 40, PartitionStrategy::Dirichlet { alpha: 0.3 }, seed);
+    let parts = partition(
+        &train,
+        40,
+        PartitionStrategy::Dirichlet { alpha: 0.3 },
+        seed,
+    );
     let run = FederatedRun::new(
         LogisticRegression::new(train.num_features(), train.num_classes()),
         parts,
@@ -123,7 +128,6 @@ fn main() {
     }
 
     for result in &results {
-
         if table.is_none() {
             let mut headers = vec!["accuracy @round".to_string()];
             headers.extend(result.accuracy.iter().map(|&(r, _)| r.to_string()));

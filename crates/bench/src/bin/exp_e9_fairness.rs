@@ -53,13 +53,7 @@ fn main() {
         let result = simulate(mech.as_mut(), &scenario, seed);
         let wins = result.ledger.win_counts(n);
         let earned: Vec<f64> = (0..n)
-            .map(|id| {
-                result
-                    .ledger
-                    .accounts()
-                    .get(&id)
-                    .map_or(0.0, |a| a.earned)
-            })
+            .map(|id| result.ledger.accounts().get(&id).map_or(0.0, |a| a.earned))
             .collect();
         table.row(fairness_row(&result.mechanism, &wins, &earned));
     }
@@ -70,13 +64,7 @@ fn main() {
         let result = simulate(&mut mech, &scenario, seed);
         let wins = result.ledger.win_counts(n);
         let earned: Vec<f64> = (0..n)
-            .map(|id| {
-                result
-                    .ledger
-                    .accounts()
-                    .get(&id)
-                    .map_or(0.0, |a| a.earned)
-            })
+            .map(|id| result.ledger.accounts().get(&id).map_or(0.0, |a| a.earned))
             .collect();
         table.row(fairness_row(&format!("LOVM K={k}"), &wins, &earned));
     }

@@ -126,8 +126,7 @@ pub fn normalize(raw: &str) -> String {
                 Some(m) if m.is_empty() => out.push_str(&mask_duration_tokens(line)),
                 Some(m) => {
                     if is_separator(&cells) {
-                        let seps: Vec<String> =
-                            cells.iter().map(|_| "---".to_string()).collect();
+                        let seps: Vec<String> = cells.iter().map(|_| "---".to_string()).collect();
                         out.push_str(&render_cells(&seps));
                     } else {
                         for (cell, &masked) in cells.iter_mut().zip(m.iter()) {
@@ -177,7 +176,12 @@ pub fn assert_golden(name: &str, normalized: &str) {
             .zip(normalized.lines())
             .position(|(a, b)| a != b)
             .unwrap_or_else(|| expected.lines().count().min(normalized.lines().count()));
-        let show = |s: &str| s.lines().nth(diff_line).unwrap_or("<missing line>").to_string();
+        let show = |s: &str| {
+            s.lines()
+                .nth(diff_line)
+                .unwrap_or("<missing line>")
+                .to_string()
+        };
         panic!(
             "golden mismatch for `{name}` at line {} —\n  expected: {}\n  actual:   {}\n\
              (full snapshot: {}; re-record with LOVM_BLESS=1 if the change is intended)",

@@ -206,7 +206,13 @@ mod tests {
         let mut b = Bencher::with_config("test", tiny_config());
         let r = b.bench("noop", || 1 + 1);
         let line = r.to_json().to_string();
-        for key in ["\"bench\"", "\"median_ns\"", "\"p95_ns\"", "\"min_ns\"", "\"samples\""] {
+        for key in [
+            "\"bench\"",
+            "\"median_ns\"",
+            "\"p95_ns\"",
+            "\"min_ns\"",
+            "\"samples\"",
+        ] {
             assert!(line.contains(key), "missing {key} in {line}");
         }
         assert!(line.starts_with("{\"bench\":\"test/noop\""));

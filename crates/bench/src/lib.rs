@@ -11,7 +11,9 @@ pub mod golden;
 pub mod harness;
 
 use auction::bid::Bid;
-use baselines::{AllAvailable, BudgetSplitGreedy, FixedPrice, MyopicVcg, ProportionalShare, RandomK};
+use baselines::{
+    AllAvailable, BudgetSplitGreedy, FixedPrice, MyopicVcg, ProportionalShare, RandomK,
+};
 use lovm_core::lovm::{Lovm, LovmConfig};
 use lovm_core::mechanism::Mechanism;
 use metrics::table::Table;

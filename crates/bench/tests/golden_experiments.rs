@@ -61,8 +61,20 @@ golden!(e8_budget_sweep, exp_e8_budget_sweep, "e8_budget_sweep");
 golden!(e9_fairness, exp_e9_fairness, "e9_fairness");
 golden!(e10_ablation, exp_e10_ablation, "e10_ablation");
 golden!(e11_energy, exp_e11_energy, "e11_energy");
-golden!(e12_multi_constraint, exp_e12_multi_constraint, "e12_multi_constraint");
-golden!(e13_adaptive_bidders, exp_e13_adaptive_bidders, "e13_adaptive_bidders");
+golden!(
+    e12_multi_constraint,
+    exp_e12_multi_constraint,
+    "e12_multi_constraint"
+);
+golden!(
+    e13_adaptive_bidders,
+    exp_e13_adaptive_bidders,
+    "e13_adaptive_bidders"
+);
 // e14 pins its shard counts in code, so its snapshot is shard-count
 // invariant on top of the usual thread-count invariance.
 golden!(e14_sharding, exp_e14_sharding, "e14_sharding");
+// e15 pins its ingestion knobs in code (not LOVM_DEADLINE etc.) and runs
+// on the deterministic virtual-time driver, so its snapshot is invariant
+// across worker and shard counts with no masked columns at all.
+golden!(e15_streaming, exp_e15_streaming, "e15_streaming");

@@ -123,8 +123,7 @@ impl EconomicLedger {
                 self.total_true_cost
             ));
         }
-        let identity =
-            self.social_welfare() - (self.platform_utility() + self.client_utility());
+        let identity = self.social_welfare() - (self.platform_utility() + self.client_utility());
         if identity.abs() > 1e-6 {
             return Err(format!("welfare identity violated by {identity}"));
         }

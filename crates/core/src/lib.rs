@@ -17,6 +17,10 @@
 //!   bids → mechanism → telemetry),
 //! * [`offline`] — the offline full-information oracle used as the regret
 //!   denominator,
+//! * [`streaming`] — the live-traffic entry point: timestamped bid
+//!   arrivals through the event-driven ingestion loop (`crates/ingest`)
+//!   into the same VCG path, bit-identical to the batch simulator when
+//!   the deadline admits every arrival,
 //! * [`orchestrator`] — couples the mechanism to a real `fedsim` training
 //!   run so accuracy curves reflect who was actually recruited.
 //!
@@ -47,6 +51,7 @@ pub mod multi;
 pub mod offline;
 pub mod orchestrator;
 pub mod simulation;
+pub mod streaming;
 
 pub use adaptive::{run_adaptive, AdaptiveConfig, AdaptiveResult};
 pub use ledger::EconomicLedger;
@@ -55,3 +60,4 @@ pub use mechanism::{HardBudgetCap, Mechanism, RoundInfo};
 pub use multi::{Constraint, MultiLovm, MultiLovmConfig, ResourceUsage};
 pub use offline::{offline_benchmark, OfflineBenchmark};
 pub use simulation::{simulate, simulate_seeds, simulate_seeds_on, SimulationResult};
+pub use streaming::{run_stream, MarketStream, StreamResult};

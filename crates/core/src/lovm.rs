@@ -149,14 +149,14 @@ impl Lovm {
     pub fn peak_backlog(&self) -> f64 {
         self.dpp.queue().peak()
     }
-}
 
-impl Mechanism for Lovm {
-    fn name(&self) -> String {
-        format!("LOVM(V={})", self.config.v)
-    }
-
-    fn select(&mut self, _info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+    /// Runs one LOVM round on an explicit worker pool: scores the bids
+    /// with the current drift-plus-penalty weights, solves the
+    /// (topology-aware) VCG round, and feeds the realized spend back into
+    /// the virtual queue. [`Mechanism::select`] delegates here with a
+    /// serial pool; the streaming entry points pass their own so sharded
+    /// rounds can fan out.
+    pub fn round_on(&mut self, bids: &[Bid], pool: par::Pool) -> AuctionOutcome {
         let w = self.dpp.weights();
         let auction = VcgAuction::new(VcgConfig {
             value_weight: w.value_weight,
@@ -165,16 +165,61 @@ impl Mechanism for Lovm {
             topology: self.config.topology,
             ..VcgConfig::default()
         });
-        // Serial pool: the incremental engine's per-pivot work on the
-        // top-K path is O(K), well under fan-out break-even for a round.
         let outcome = auction.run_with_strategy_on(
             bids,
             &self.config.valuation,
             self.config.payment_strategy,
-            par::Pool::serial(),
+            pool,
         );
         self.dpp.observe_spend(outcome.total_payment());
         outcome
+    }
+
+    /// Runs LOVM over a *live bid stream*: the scenario's per-round bids
+    /// are timestamped by a seeded arrival process, pass through the
+    /// event-driven ingestion loop (deadline, late-bid policy,
+    /// backpressure — see `crates/ingest`), and each sealed round flows
+    /// through the normal topology-aware VCG path. With
+    /// `cfg.deadline == 1.0` the result is bit-identical to the batch
+    /// [`crate::simulation::simulate`] run.
+    pub fn run_stream(
+        &mut self,
+        scenario: &Scenario,
+        seed: u64,
+        cfg: &ingest::IngestConfig,
+    ) -> crate::streaming::StreamResult {
+        self.run_stream_on(scenario, seed, cfg, par::Pool::auto())
+    }
+
+    /// [`Lovm::run_stream`] with an explicit worker pool for the per-round
+    /// solves. The pool cannot change any output bit (determinism
+    /// contract of `crates/par` + `auction::shard`).
+    pub fn run_stream_on(
+        &mut self,
+        scenario: &Scenario,
+        seed: u64,
+        cfg: &ingest::IngestConfig,
+        pool: par::Pool,
+    ) -> crate::streaming::StreamResult {
+        Mechanism::reset(self);
+        let name = Mechanism::name(self);
+        let market = crate::simulation::Market::new(scenario, seed);
+        crate::streaming::stream_rounds(scenario, market, seed, cfg, name, |_info, bids| {
+            let outcome = self.round_on(bids, pool);
+            (outcome, Some(self.queue_backlog()))
+        })
+    }
+}
+
+impl Mechanism for Lovm {
+    fn name(&self) -> String {
+        format!("LOVM(V={})", self.config.v)
+    }
+
+    fn select(&mut self, _info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
+        // Serial pool: the incremental engine's per-pivot work on the
+        // top-K path is O(K), well under fan-out break-even for a round.
+        self.round_on(bids, par::Pool::serial())
     }
 
     fn backlog(&self) -> Option<f64> {
@@ -193,9 +238,7 @@ impl Mechanism for Lovm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use auction::properties::{
-        default_factor_grid, individually_rational, probe_truthfulness,
-    };
+    use auction::properties::{default_factor_grid, individually_rational, probe_truthfulness};
     use auction::valuation::ClientValue;
 
     fn config() -> LovmConfig {

@@ -131,9 +131,7 @@ impl MultiLovm {
 
     /// The effective money cost weight `max(Q_money, q_min)`.
     fn money_weight(&self) -> f64 {
-        self.money_queue
-            .backlog()
-            .max(self.config.min_cost_weight)
+        self.money_queue.backlog().max(self.config.min_cost_weight)
     }
 
     /// Virtual score of one bid under current queue state.
@@ -149,7 +147,11 @@ impl MultiLovm {
 
 impl Mechanism for MultiLovm {
     fn name(&self) -> String {
-        format!("MultiLOVM(V={},{}q)", self.config.v, 1 + self.aux_queues.len())
+        format!(
+            "MultiLOVM(V={},{}q)",
+            self.config.v,
+            1 + self.aux_queues.len()
+        )
     }
 
     fn select(&mut self, _info: &RoundInfo, bids: &[Bid]) -> AuctionOutcome {
@@ -190,8 +192,7 @@ impl Mechanism for MultiLovm {
 
         // Update every queue with realized usage.
         let spend = outcome.total_payment();
-        self.money_queue
-            .update(spend, self.config.budget_per_round);
+        self.money_queue.update(spend, self.config.budget_per_round);
         for (ci, q) in self.aux_queues.iter_mut().enumerate() {
             let usage: f64 = winners
                 .iter()
@@ -217,9 +218,7 @@ impl Mechanism for MultiLovm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use auction::properties::{
-        default_factor_grid, individually_rational, probe_truthfulness,
-    };
+    use auction::properties::{default_factor_grid, individually_rational, probe_truthfulness};
     use auction::valuation::ClientValue;
 
     fn config() -> MultiLovmConfig {

@@ -93,10 +93,7 @@ mod tests {
         // Round 1: (value 10, cost 4), (value 3, cost 3);
         // Round 2: (value 8, cost 4). Budget 8 → take both value-10 and
         // value-8 items: welfare (10-4)+(8-4) = 10.
-        let rounds = vec![
-            vec![bid(0, 4.0, 10), bid(1, 3.0, 3)],
-            vec![bid(2, 4.0, 8)],
-        ];
+        let rounds = vec![vec![bid(0, 4.0, 10), bid(1, 3.0, 3)], vec![bid(2, 4.0, 8)]];
         let o = offline_benchmark(&rounds, &val(), 8.0);
         assert!((o.welfare - 10.0).abs() < 0.1, "welfare {}", o.welfare);
         assert_eq!(o.recruitments, 2);

@@ -11,6 +11,7 @@ use crate::simulation::Market;
 use fedsim::data::Dataset;
 use fedsim::model::Model;
 use fedsim::training::FederatedRun;
+use ingest::{IngestConfig, IngestStats, StreamTotals};
 use metrics::series::SeriesSet;
 use workload::population::ClientProfile;
 use workload::Scenario;
@@ -54,10 +55,7 @@ pub fn align_profiles_to_shards(
     profiles
         .iter()
         .zip(shard_sizes.iter())
-        .map(|(p, &s)| ClientProfile {
-            data_size: s,
-            ..*p
-        })
+        .map(|(p, &s)| ClientProfile { data_size: s, ..*p })
         .collect()
 }
 
@@ -156,6 +154,93 @@ pub fn run_fl_market<M: Model>(
     }
 }
 
+/// Result of a *streamed* FL-coupled run: the training outcome plus the
+/// ingestion telemetry.
+#[derive(Debug)]
+pub struct FlStreamResult {
+    /// The training-side result (accuracy curve, economics, series — the
+    /// series additionally carry the ingestion columns).
+    pub fl: FlRunResult,
+    /// Per-round ingestion stats.
+    pub ingest: Vec<IngestStats>,
+    /// Whole-stream ingestion aggregates.
+    pub totals: StreamTotals,
+}
+
+/// [`run_fl`] over a *live bid stream*: bids arrive through the
+/// event-driven ingestion loop (`crates/ingest`) instead of as complete
+/// per-round vectors.
+///
+/// The loop is pull-based, which is the backpressure story: round
+/// `t + 1`'s arrivals are only ingested after round `t`'s **training**
+/// completed, so a slow trainer paces ingestion rather than racing it,
+/// and a bounded buffer with `Backpressure::Shed` bounds ingestion memory
+/// while training lags — the overflow lands in the `shed` statistic, not
+/// in resident memory. With `cfg.deadline == 1.0` the run is
+/// bit-identical to [`run_fl`].
+///
+/// # Panics
+///
+/// Panics if the scenario population size differs from
+/// `run.num_clients()` (same contract as [`run_fl`]).
+pub fn run_fl_stream<M: Model>(
+    mechanism: &mut dyn Mechanism,
+    run: &mut FederatedRun<M>,
+    test: &Dataset,
+    scenario: &Scenario,
+    cfg: &IngestConfig,
+    eval_every: usize,
+    seed: u64,
+) -> FlStreamResult {
+    assert_eq!(
+        scenario.population.num_clients,
+        run.num_clients(),
+        "scenario population must match the federated run"
+    );
+    mechanism.reset();
+    let market = Market::new(scenario, seed);
+    let market = {
+        let aligned = align_profiles_to_shards(market.profiles(), &run.shard_sizes());
+        Market::with_profiles(scenario, aligned, seed)
+    };
+    let eval_every = eval_every.max(1);
+    let name = mechanism.name();
+    let horizon = scenario.horizon;
+    let mut accuracy = Vec::new();
+    let mut train_loss = Vec::with_capacity(horizon);
+
+    // One shared streaming loop (`streaming::stream_rounds`) drives
+    // ingestion, energy feedback, and all economic bookkeeping; this step
+    // additionally trains the winners before returning, so the *training*
+    // time is what paces the pull of the next round's arrivals.
+    let streamed =
+        crate::streaming::stream_rounds(scenario, market, seed, cfg, name, |info, bids| {
+            let outcome = mechanism.select(info, bids);
+            let report = run.round(&outcome.winner_ids());
+            train_loss.push(report.mean_train_loss);
+            if (info.round + 1) % eval_every == 0 || info.round + 1 == horizon {
+                accuracy.push((info.round + 1, run.evaluate(test)));
+            }
+            let backlog = mechanism.backlog();
+            (outcome, backlog)
+        });
+
+    let mut series = streamed.result.series;
+    for loss in train_loss {
+        series.push("train_loss", loss);
+    }
+    FlStreamResult {
+        fl: FlRunResult {
+            mechanism: streamed.result.mechanism,
+            accuracy,
+            series,
+            ledger: streamed.result.ledger,
+        },
+        ingest: streamed.ingest,
+        totals: streamed.totals,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,14 +289,12 @@ mod tests {
         let scenario = tiny_scenario(8, 80);
         let (mut run, test) = setup(8);
         let before = run.evaluate(&test);
-        let mut mech = Lovm::new(
-            LovmConfig::for_scenario(&scenario, 30.0).with_valuation(Valuation::Linear(
-                ClientValue {
-                    value_per_unit: 0.05,
-                    base_value: 1.0,
-                },
-            )),
-        );
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 30.0).with_valuation(
+            Valuation::Linear(ClientValue {
+                value_per_unit: 0.05,
+                base_value: 1.0,
+            }),
+        ));
         let result = run_fl(&mut mech, &mut run, &test, &scenario, 10, 11);
         assert_eq!(result.accuracy.len(), 8);
         let after = result.final_accuracy();
@@ -266,5 +349,54 @@ mod tests {
         let (mut run, test) = setup(4);
         let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 10.0));
         let _ = run_fl(&mut mech, &mut run, &test, &scenario, 1, 0);
+    }
+
+    #[test]
+    fn fl_stream_with_full_deadline_matches_batch_fl() {
+        let scenario = tiny_scenario(8, 40);
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 30.0));
+        let (mut run_a, test) = setup(8);
+        let batch = run_fl(&mut mech, &mut run_a, &test, &scenario, 10, 11);
+        let (mut run_b, test) = setup(8);
+        let streamed = run_fl_stream(
+            &mut mech,
+            &mut run_b,
+            &test,
+            &scenario,
+            &IngestConfig::default(),
+            10,
+            11,
+        );
+        assert_eq!(batch.ledger, streamed.fl.ledger);
+        assert_eq!(batch.accuracy, streamed.fl.accuracy);
+        assert_eq!(
+            batch.series.get("spend").unwrap(),
+            streamed.fl.series.get("spend").unwrap()
+        );
+        assert_eq!(streamed.totals.dropped + streamed.totals.shed, 0);
+    }
+
+    #[test]
+    fn fl_stream_sheds_under_a_tiny_buffer_and_still_trains() {
+        use ingest::Backpressure;
+        let scenario = tiny_scenario(8, 60);
+        let (mut run, test) = setup(8);
+        let before = run.evaluate(&test);
+        let mut mech = Lovm::new(LovmConfig::for_scenario(&scenario, 30.0));
+        let cfg = IngestConfig {
+            capacity: 4, // 8 clients bid per round: half must shed
+            backpressure: Backpressure::Shed { watermark: 1.0 },
+            ..IngestConfig::default()
+        };
+        let streamed = run_fl_stream(&mut mech, &mut run, &test, &scenario, &cfg, 10, 11);
+        assert!(streamed.totals.shed > 0, "a 4-slot buffer must shed");
+        assert!(
+            streamed.totals.buffer_peak <= 4,
+            "buffer occupancy unbounded"
+        );
+        assert!(
+            streamed.fl.final_accuracy() > before,
+            "training still makes progress on the admitted bids"
+        );
     }
 }

@@ -1,0 +1,314 @@
+//! Market-coupled streaming: live bid arrivals → sealed rounds → the
+//! mechanism.
+//!
+//! The batch simulator ([`crate::simulation::simulate`]) hands the
+//! mechanism each round's complete bid vector; this module feeds it
+//! through the event-driven ingestion loop (`crates/ingest`) instead. A
+//! [`MarketStream`] timestamps every present client's bid with a seeded
+//! arrival offset inside the round span; the [`ingest::RoundCollector`]
+//! applies the deadline, late-bid policy, and backpressure; each sealed
+//! round flows through the existing (topology-aware) VCG path; and the
+//! winners' energy draw feeds back into the next round's market.
+//!
+//! **Batch equivalence.** With a deadline of 1.0 every arrival beats its
+//! round's seal, the sealed set is exactly the batch bid vector in the
+//! same canonical ascending-bidder order, and the streamed run is
+//! *bit-identical* to [`crate::simulation::simulate`] — outcomes,
+//! payments, queue trajectory, ledger. Tighter deadlines change *which*
+//! bids each auction sees, never how the auction computes: all
+//! determinism contracts (worker count, shard count) carry over unchanged.
+//!
+//! **Backpressure.** The loop is pull-based: arrivals for round `t + 1`
+//! are only offered after round `t`'s consumer (auction, or auction +
+//! training in [`crate::orchestrator::run_fl_stream`]) finished. A bounded
+//! buffer with [`ingest::Backpressure::Shed`] therefore bounds ingestion
+//! memory regardless of how fast bids arrive; what the consumer cannot
+//! absorb shows up in the `shed` statistic instead of in resident memory.
+
+use crate::mechanism::{Mechanism, RoundInfo};
+use crate::simulation::{Market, SimulationResult};
+use auction::outcome::AuctionOutcome;
+use ingest::{IngestConfig, IngestStats, RoundCollector, StreamTotals};
+use metrics::series::SeriesSet;
+use simrng::rngs::StdRng;
+use simrng::{derive_seed, RngExt, SeedableRng};
+use workload::arrivals::TimedBid;
+use workload::Scenario;
+
+/// Salt separating the arrival-offset RNG stream from every other
+/// consumer of the run seed.
+const ARRIVAL_SALT: u64 = 0x57_12EA_4B1D_5EED;
+
+/// Wraps a [`Market`] as a source of timestamped arrivals: each round's
+/// sealed bids are stamped with seeded offsets uniform in the round span.
+///
+/// Offsets are drawn from a stream derived per `(seed, round)`, so the
+/// market's own randomness (availability, harvest) is untouched — the
+/// batch and streamed runs see identical populations.
+#[derive(Debug)]
+pub struct MarketStream {
+    market: Market,
+    round_len: f64,
+    seed: u64,
+}
+
+impl MarketStream {
+    /// Wraps a market; `round_len` must match the ingestion config.
+    pub fn new(market: Market, round_len: f64, seed: u64) -> Self {
+        MarketStream {
+            market,
+            round_len,
+            seed,
+        }
+    }
+
+    /// Advances the market one round and returns its bids stamped with
+    /// arrival offsets in `[round·len, (round+1)·len)`.
+    pub fn emit_round(&mut self, round: usize) -> Vec<TimedBid> {
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed ^ ARRIVAL_SALT, round as u64));
+        let base = round as f64 * self.round_len;
+        // `base + u·len` with u ∈ [0, 1) can round up to exactly the next
+        // boundary; clamp strictly inside the span so classification never
+        // flips on a rounding ulp.
+        let below_next = (base + self.round_len).next_down();
+        self.market
+            .round_bids()
+            .into_iter()
+            .map(|bid| TimedBid {
+                at: (base + rng.random::<f64>() * self.round_len).min(below_next),
+                bid,
+            })
+            .collect()
+    }
+
+    /// Winners consume training energy (feeds next round's availability).
+    pub fn consume_energy(&mut self, winners: &[usize]) {
+        self.market.consume_energy(winners);
+    }
+
+    /// True cost of a client (for realized-welfare accounting).
+    pub fn true_cost(&self, id: usize) -> f64 {
+        self.market.true_cost(id)
+    }
+}
+
+/// Everything a streamed run produced: the economic result plus the
+/// ingestion telemetry.
+#[derive(Debug)]
+pub struct StreamResult {
+    /// The same shape the batch simulator returns (series additionally
+    /// carry `arrivals`, `admitted`, `deferred`, `dropped`, `shed`,
+    /// `buffer_peak`).
+    pub result: SimulationResult,
+    /// Per-round ingestion stats, in round order.
+    pub ingest: Vec<IngestStats>,
+    /// Whole-stream aggregates.
+    pub totals: StreamTotals,
+}
+
+/// Runs any mechanism over a live bid stream (see module docs).
+///
+/// The mechanism is `reset` first, mirroring [`crate::simulation::simulate`].
+pub fn run_stream(
+    mechanism: &mut dyn Mechanism,
+    scenario: &Scenario,
+    seed: u64,
+    cfg: &IngestConfig,
+) -> StreamResult {
+    mechanism.reset();
+    let name = mechanism.name();
+    let market = Market::new(scenario, seed);
+    stream_rounds(scenario, market, seed, cfg, name, |info, bids| {
+        let outcome = mechanism.select(info, bids);
+        let backlog = mechanism.backlog();
+        (outcome, backlog)
+    })
+}
+
+/// The shared streaming round loop: ingestion in front, any per-round
+/// selection step behind (`Lovm::run_stream_on` passes a pool-aware step,
+/// [`run_stream`] passes `Mechanism::select`, and
+/// [`crate::orchestrator::run_fl_stream`] trains the winners inside its
+/// step before returning).
+pub(crate) fn stream_rounds(
+    scenario: &Scenario,
+    market: Market,
+    seed: u64,
+    cfg: &IngestConfig,
+    mechanism_name: String,
+    mut step: impl FnMut(&RoundInfo, &[auction::bid::Bid]) -> (AuctionOutcome, Option<f64>),
+) -> StreamResult {
+    cfg.validate();
+    let mut stream = MarketStream::new(market, cfg.round_len, seed);
+    let mut collector = RoundCollector::new(cfg);
+    let mut series = SeriesSet::new();
+    let mut ledger = crate::ledger::EconomicLedger::new();
+    let mut outcomes = Vec::with_capacity(scenario.horizon);
+    let mut bids_per_round = Vec::with_capacity(scenario.horizon);
+    let mut ingest_stats = Vec::with_capacity(scenario.horizon);
+    let mut spent = 0.0;
+    let mut spend_sum = 0.0;
+
+    for round in 0..scenario.horizon {
+        for tb in stream.emit_round(round) {
+            collector.offer(tb);
+        }
+        let collected = collector.seal_next();
+        let bids = collected.sealed.bids();
+        let info = RoundInfo {
+            round,
+            horizon: scenario.horizon,
+            total_budget: scenario.total_budget,
+            spent_so_far: spent,
+        };
+        let (outcome, backlog) = step(&info, bids);
+        let winner_ids = outcome.winner_ids();
+        stream.consume_energy(&winner_ids);
+
+        let spend = outcome.total_payment();
+        spent += spend;
+        spend_sum += spend;
+        let true_welfare: f64 = outcome
+            .winners
+            .iter()
+            .map(|w| w.value - stream.true_cost(w.bidder))
+            .sum();
+
+        series.push("spend", spend);
+        series.push("avg_spend", spend_sum / (round + 1) as f64);
+        series.push("welfare", true_welfare);
+        series.push("value", outcome.total_value());
+        series.push("winners", winner_ids.len() as f64);
+        if let Some(b) = backlog {
+            series.push("backlog", b);
+        }
+        push_ingest_series(&mut series, &collected.stats);
+
+        ledger.record(&outcome, |id| stream.true_cost(id));
+        outcomes.push(outcome);
+        bids_per_round.push(bids.to_vec());
+        ingest_stats.push(collected.stats);
+    }
+
+    ledger
+        .check_invariants()
+        .expect("ledger invariants must hold after a streamed run");
+
+    let totals = StreamTotals::from_rounds(&ingest_stats);
+    StreamResult {
+        result: SimulationResult {
+            mechanism: mechanism_name,
+            scenario: scenario.name.clone(),
+            series,
+            ledger,
+            outcomes,
+            bids_per_round,
+        },
+        ingest: ingest_stats,
+        totals,
+    }
+}
+
+/// Appends one round's ingestion stats to the per-round series.
+pub(crate) fn push_ingest_series(series: &mut SeriesSet, stats: &IngestStats) {
+    series.push("arrivals", stats.arrivals as f64);
+    series.push("admitted", (stats.admitted + stats.admitted_late) as f64);
+    series.push("deferred", stats.deferred_in as f64);
+    series.push("dropped", stats.dropped as f64);
+    series.push("shed", stats.shed as f64);
+    series.push("buffer_peak", stats.buffer_peak as f64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lovm::{Lovm, LovmConfig};
+    use crate::simulation::simulate;
+    use ingest::LateBidPolicy;
+
+    fn lovm(scenario: &Scenario) -> Lovm {
+        Lovm::new(LovmConfig::for_scenario(scenario, 20.0))
+    }
+
+    #[test]
+    fn full_deadline_stream_is_bit_identical_to_batch() {
+        let scenario = Scenario::small();
+        let seed = 11;
+        let batch = simulate(&mut lovm(&scenario), &scenario, seed);
+        let streamed = run_stream(
+            &mut lovm(&scenario),
+            &scenario,
+            seed,
+            &IngestConfig::default(),
+        );
+        assert_eq!(batch.outcomes, streamed.result.outcomes);
+        assert_eq!(batch.bids_per_round, streamed.result.bids_per_round);
+        assert_eq!(batch.ledger, streamed.result.ledger);
+        let qa = batch.series.get("backlog").unwrap();
+        let qb = streamed.result.series.get("backlog").unwrap();
+        assert_eq!(
+            qa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            qb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "queue trajectories diverged"
+        );
+        // Nothing was late, shed, or dropped.
+        assert_eq!(streamed.totals.dropped, 0);
+        assert_eq!(streamed.totals.shed, 0);
+        assert_eq!(streamed.totals.deferred, 0);
+        assert_eq!(streamed.totals.sealed, streamed.totals.arrivals);
+    }
+
+    #[test]
+    fn tight_deadline_drops_bids_but_stays_solvent() {
+        let scenario = Scenario::small();
+        let cfg = IngestConfig {
+            deadline: 0.5,
+            late_policy: LateBidPolicy::Drop,
+            ..IngestConfig::default()
+        };
+        let streamed = run_stream(&mut lovm(&scenario), &scenario, 11, &cfg);
+        assert!(streamed.totals.dropped > 0, "a 0.5 deadline must drop bids");
+        assert!(streamed.totals.sealed > 0);
+        // The virtual-queue budget logic is untouched by ingestion.
+        let avg = streamed.result.average_spend();
+        assert!(*avg.last().unwrap() <= scenario.budget_per_round() * 1.1);
+    }
+
+    #[test]
+    fn defer_policy_carries_population_across_rounds() {
+        let scenario = Scenario::small();
+        let cfg = IngestConfig {
+            deadline: 0.5,
+            late_policy: LateBidPolicy::DeferToNext,
+            ..IngestConfig::default()
+        };
+        let streamed = run_stream(&mut lovm(&scenario), &scenario, 11, &cfg);
+        assert!(streamed.totals.deferred > 0);
+        // A deferred bid colliding with the bidder's fresh next-round bid
+        // is superseded; with a full-presence scenario that is the common
+        // case.
+        assert!(streamed.totals.superseded > 0);
+        assert_eq!(streamed.totals.dropped, 0);
+    }
+
+    #[test]
+    fn ingestion_series_are_recorded() {
+        let scenario = Scenario::small();
+        let streamed = run_stream(&mut lovm(&scenario), &scenario, 3, &IngestConfig::default());
+        for name in [
+            "arrivals",
+            "admitted",
+            "deferred",
+            "dropped",
+            "shed",
+            "buffer_peak",
+        ] {
+            let s = streamed
+                .result
+                .series
+                .get(name)
+                .unwrap_or_else(|| panic!("missing ingestion series {name}"));
+            assert_eq!(s.len(), scenario.horizon);
+        }
+    }
+}

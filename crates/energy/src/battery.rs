@@ -1,6 +1,5 @@
 //! A finite-capacity energy store.
 
-
 /// A battery holding harvested energy (joules, abstract units).
 ///
 /// # Example

@@ -108,7 +108,10 @@ impl Harvester {
             } => {
                 assert!((0.0..=1.0).contains(&p_on_off), "p_on_off in [0, 1]");
                 assert!((0.0..=1.0).contains(&p_off_on), "p_off_on in [0, 1]");
-                assert!(rate_on.is_finite() && rate_on >= 0.0, "rate_on must be >= 0");
+                assert!(
+                    rate_on.is_finite() && rate_on >= 0.0,
+                    "rate_on must be >= 0"
+                );
             }
             HarvesterKind::Solar {
                 day_length,
@@ -176,8 +179,7 @@ impl Harvester {
                     // Multiplicative log-normal-ish flicker, clamped ≥ 0.
                     let u1: f64 = 1.0 - self.rng.random::<f64>();
                     let u2: f64 = self.rng.random();
-                    let gauss =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                     (base * (1.0 + noise * gauss)).max(0.0)
                 } else {
                     base
@@ -212,7 +214,10 @@ mod tests {
 
     #[test]
     fn bernoulli_mean_matches() {
-        let kind = HarvesterKind::Bernoulli { p: 0.3, amount: 2.0 };
+        let kind = HarvesterKind::Bernoulli {
+            p: 0.3,
+            amount: 2.0,
+        };
         let m = mean_of(kind, 1, 50_000);
         assert!((m - kind.mean_rate()).abs() < 0.03, "mean {m}");
     }
@@ -225,7 +230,11 @@ mod tests {
             rate_on: 1.0,
         };
         let m = mean_of(kind, 2, 100_000);
-        assert!((m - kind.mean_rate()).abs() < 0.02, "mean {m} vs {}", kind.mean_rate());
+        assert!(
+            (m - kind.mean_rate()).abs() < 0.02,
+            "mean {m} vs {}",
+            kind.mean_rate()
+        );
     }
 
     #[test]
@@ -318,7 +327,10 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let kind = HarvesterKind::Bernoulli { p: 0.5, amount: 1.0 };
+        let kind = HarvesterKind::Bernoulli {
+            p: 0.5,
+            amount: 1.0,
+        };
         let a: Vec<f64> = {
             let mut h = Harvester::new(kind, 9);
             (0..50).map(|_| h.step()).collect()
@@ -333,7 +345,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "p must be in [0, 1]")]
     fn rejects_bad_probability() {
-        let _ = Harvester::new(HarvesterKind::Bernoulli { p: 1.5, amount: 1.0 }, 0);
+        let _ = Harvester::new(
+            HarvesterKind::Bernoulli {
+                p: 1.5,
+                amount: 1.0,
+            },
+            0,
+        );
     }
 
     #[test]

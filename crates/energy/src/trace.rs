@@ -192,14 +192,20 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("line 2"));
-        assert_eq!(EnergyTrace::from_csv("# only\n").unwrap_err(), TraceError::Empty);
+        assert_eq!(
+            EnergyTrace::from_csv("# only\n").unwrap_err(),
+            TraceError::Empty
+        );
         let neg = EnergyTrace::from_csv("-1.0\n").unwrap_err();
         assert!(matches!(neg, TraceError::BadSample { .. }));
     }
 
     #[test]
     fn record_matches_direct_sampling() {
-        let kind = HarvesterKind::Bernoulli { p: 0.5, amount: 2.0 };
+        let kind = HarvesterKind::Bernoulli {
+            p: 0.5,
+            amount: 2.0,
+        };
         let t = EnergyTrace::record(kind, 9, 50);
         let mut h = Harvester::new(kind, 9);
         let direct: Vec<f64> = (0..50).map(|_| h.step()).collect();

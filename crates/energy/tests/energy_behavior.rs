@@ -37,7 +37,10 @@ fn battery_level_accounting_is_exact() {
                 }
             }
             assert!(b.level() >= 0.0 && b.level() <= b.capacity() + 1e-12);
-            assert!((b.level() - shadow).abs() < 1e-6, "level drifted from accounting");
+            assert!(
+                (b.level() - shadow).abs() < 1e-6,
+                "level drifted from accounting"
+            );
             assert!(b.can_supply(b.level()));
         }
     }
@@ -64,7 +67,10 @@ fn battery_overflow_is_lost() {
 fn trace_replay_matches_direct_sampling_for_all_kinds() {
     let kinds = [
         HarvesterKind::Constant { rate: 0.7 },
-        HarvesterKind::Bernoulli { p: 0.4, amount: 1.5 },
+        HarvesterKind::Bernoulli {
+            p: 0.4,
+            amount: 1.5,
+        },
         HarvesterKind::MarkovOnOff {
             p_on_off: 0.2,
             p_off_on: 0.4,

@@ -283,7 +283,11 @@ mod tests {
         let global = LogisticRegression::new(4, 3);
         let update = trainer.train(&global, 3);
         // One SGD step of lr 1.0 on a clipped gradient moves at most `clip`.
-        assert!(update.update_norm <= clip + 1e-9, "norm {}", update.update_norm);
+        assert!(
+            update.update_norm <= clip + 1e-9,
+            "norm {}",
+            update.update_norm
+        );
     }
 
     #[test]

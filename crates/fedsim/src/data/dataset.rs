@@ -35,7 +35,11 @@ impl Dataset {
     /// Returns [`FedSimError::ShapeMismatch`] if `labels.len()` differs from
     /// the number of feature rows, and [`FedSimError::InvalidConfig`] if a
     /// label is `>= num_classes` or `num_classes == 0`.
-    pub fn new(features: Matrix, labels: Vec<usize>, num_classes: usize) -> Result<Self, FedSimError> {
+    pub fn new(
+        features: Matrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, FedSimError> {
         if labels.len() != features.rows() {
             return Err(FedSimError::ShapeMismatch {
                 context: "Dataset::new labels",

@@ -344,7 +344,9 @@ mod tests {
             let strategy = match rng.random_range(0..4usize) {
                 0 => PartitionStrategy::Iid,
                 1 => PartitionStrategy::Dirichlet { alpha: 0.5 },
-                2 => PartitionStrategy::Shards { shards_per_client: 2 },
+                2 => PartitionStrategy::Shards {
+                    shards_per_client: 2,
+                },
                 _ => PartitionStrategy::QuantitySkew { exponent: 1.0 },
             };
             let parts = partition(&d, num_clients, strategy, seed);

@@ -147,8 +147,7 @@ pub fn two_spirals(spec: &SpiralSpec, seed: u64) -> Dataset {
     let perm = rng::permutation(&mut master, n);
     let rows: Vec<Vec<f64>> = perm.iter().map(|&i| rows[i].clone()).collect();
     let labels: Vec<usize> = perm.iter().map(|&i| labels[i]).collect();
-    Dataset::new(Matrix::from_rows(&rows), labels, 2)
-        .expect("generator produces consistent shapes")
+    Dataset::new(Matrix::from_rows(&rows), labels, 2).expect("generator produces consistent shapes")
 }
 
 /// Parameters for the synthetic-digits generator, a stand-in for MNIST-style

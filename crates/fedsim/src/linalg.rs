@@ -4,7 +4,6 @@
 //! row-major [`Matrix`] over `f64` with straightforward loops is fast enough
 //! and keeps the substrate dependency-free.
 
-
 /// A dense vector of `f64` values.
 pub type Vector = Vec<f64>;
 
@@ -424,7 +423,9 @@ mod tests {
         for _ in 0..300 {
             let rows = rng.random_range(1..6usize);
             let cols = rng.random_range(1..6usize);
-            let vals: Vec<f64> = (0..rows * cols).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let vals: Vec<f64> = (0..rows * cols)
+                .map(|_| rng.random_range(-1.0..1.0))
+                .collect();
             let m = Matrix::from_flat(rows, cols, vals);
             let x: Vec<f64> = (0..cols).map(|_| rng.random_range(-1.0..1.0)).collect();
             let y: Vec<f64> = (0..cols).map(|_| rng.random_range(-1.0..1.0)).collect();

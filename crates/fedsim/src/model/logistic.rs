@@ -48,11 +48,7 @@ impl LogisticRegression {
     pub fn new_random(num_features: usize, num_classes: usize, seed: u64) -> Self {
         let mut model = Self::new(num_features, num_classes);
         let mut rng = seeded(seed);
-        fill_normal(
-            &mut rng,
-            model.weights.as_mut_slice(),
-            0.01,
-        );
+        fill_normal(&mut rng, model.weights.as_mut_slice(), 0.01);
         model
     }
 

@@ -68,7 +68,12 @@ pub trait Model: Clone + Send + Sync {
 
 /// Numerically estimates the gradient with central differences; test helper
 /// for validating analytic gradients of [`Model`] implementations.
-pub fn numeric_gradient<M: Model>(model: &M, data: &Dataset, indices: &[usize], eps: f64) -> Vector {
+pub fn numeric_gradient<M: Model>(
+    model: &M,
+    data: &Dataset,
+    indices: &[usize],
+    eps: f64,
+) -> Vector {
     let base = model.params();
     let mut grad = vec![0.0; base.len()];
     for j in 0..base.len() {

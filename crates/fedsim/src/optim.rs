@@ -1,6 +1,5 @@
 //! First-order optimizers operating on flat parameter vectors.
 
-
 /// An optimizer consumes gradients and updates a flat parameter vector.
 pub trait Optimizer: Send {
     /// Applies one update step: mutates `params` given `grad`.
@@ -223,7 +222,11 @@ mod tests {
         let target = [3.0, -2.0, 0.5];
         let mut x = vec![0.0; 3];
         for _ in 0..steps {
-            let grad: Vec<f64> = x.iter().zip(target.iter()).map(|(xi, t)| 2.0 * (xi - t)).collect();
+            let grad: Vec<f64> = x
+                .iter()
+                .zip(target.iter())
+                .map(|(xi, t)| 2.0 * (xi - t))
+                .collect();
             opt.step(&mut x, &grad);
         }
         x.iter()

@@ -5,7 +5,6 @@
 //! `η_t = a / (b + t)`; this module provides that family plus the common
 //! practical alternatives, consumed by [`crate::client::LocalTrainer`].
 
-
 /// A learning-rate schedule: maps the global step index to a step size.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LrSchedule {
@@ -58,12 +57,18 @@ impl LrSchedule {
             }
             LrSchedule::Exponential { lr0, gamma } => {
                 assert!(lr0 > 0.0, "lr0 must be positive");
-                assert!((0.0..=1.0).contains(&gamma) && gamma > 0.0, "gamma in (0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&gamma) && gamma > 0.0,
+                    "gamma in (0, 1]"
+                );
                 lr0 * gamma.powf(t as f64)
             }
             LrSchedule::Step { lr0, factor, every } => {
                 assert!(lr0 > 0.0, "lr0 must be positive");
-                assert!((0.0..=1.0).contains(&factor) && factor > 0.0, "factor in (0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&factor) && factor > 0.0,
+                    "factor in (0, 1]"
+                );
                 assert!(every > 0, "every must be positive");
                 lr0 * factor.powf((t / every) as f64)
             }
@@ -137,8 +142,15 @@ mod tests {
             for s in [
                 LrSchedule::Constant { lr: 0.1 },
                 LrSchedule::InverseTime { a: 2.0, b: 50.0 },
-                LrSchedule::Exponential { lr0: 0.1, gamma: 0.999 },
-                LrSchedule::Step { lr0: 0.1, factor: 0.5, every: 100 },
+                LrSchedule::Exponential {
+                    lr0: 0.1,
+                    gamma: 0.999,
+                },
+                LrSchedule::Step {
+                    lr0: 0.1,
+                    factor: 0.5,
+                    every: 100,
+                },
             ] {
                 assert!(s.at(t) > 0.0);
                 assert!(s.at(t + 1) <= s.at(t) + 1e-15);

@@ -11,15 +11,13 @@ use crate::rng::derive_seed;
 use crate::server::FedAvgServer;
 
 /// Configuration of a federated training run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunConfig {
     /// Local training configuration shared by all clients.
     pub local: LocalTrainerConfig,
     /// Root seed: all round/client randomness derives from it.
     pub seed: u64,
 }
-
 
 /// Telemetry for one federated round.
 #[derive(Debug, Clone, PartialEq)]

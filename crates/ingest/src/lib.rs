@@ -1,0 +1,267 @@
+//! # ingest — event-driven streaming bid ingestion
+//!
+//! LOVM is an *online* mechanism, but the batch entry points hand it a
+//! complete bid vector at round start. This crate is the missing layer for
+//! live traffic: it turns a stream of timestamped bid arrivals into the
+//! sealed per-round bid vectors the existing (topology-aware) VCG path
+//! consumes, deterministically.
+//!
+//! * [`clock`] — the virtual clock and the round/deadline/grace schedule,
+//! * [`events`] — a binary-heap event queue with total `(time, seq)`
+//!   order, the root of the determinism guarantee,
+//! * [`buffer`] — the bounded arrival buffer with
+//!   [`buffer::Backpressure::Block`] / [`buffer::Backpressure::Shed`]
+//!   admission control,
+//! * [`collector`] — the round collector: per-round deadlines,
+//!   [`collector::LateBidPolicy`], sealing into canonical
+//!   [`auction::sealed::SealedRound`]s with per-round [`stats::IngestStats`],
+//! * [`driver`] — how arrivals reach the collector: the deterministic
+//!   [`driver::VirtualTimeDriver`] (the tested default) and the
+//!   [`driver::ThreadedDriver`] (real `std::sync::mpsc` producers sized by
+//!   a [`par::Pool`], bit-identical to virtual in lossless mode),
+//! * [`stats`] — per-round and whole-stream ingestion telemetry.
+//!
+//! Arrival streams come from [`workload::arrivals`] (Poisson / bursty /
+//! diurnal) or from the market-coupled streaming loop in `lovm-core`
+//! (`Lovm::run_stream`), which timestamps a persistent population's
+//! per-round bids.
+//!
+//! # Example: seal a Poisson stream into rounds
+//!
+//! ```
+//! use ingest::driver::{StreamDriver, VirtualTimeDriver};
+//! use ingest::{IngestConfig, LateBidPolicy};
+//! use workload::arrivals::{ArrivalKind, ArrivalProcess, TimedBid};
+//!
+//! let arrivals: Vec<TimedBid> =
+//!     ArrivalProcess::new(ArrivalKind::Poisson { rate: 30.0 }, 42)
+//!         .take(300)
+//!         .collect();
+//! let cfg = IngestConfig {
+//!     deadline: 0.8,
+//!     late_policy: LateBidPolicy::DeferToNext,
+//!     ..IngestConfig::default()
+//! };
+//! let run = VirtualTimeDriver.drive(&arrivals, 8, &cfg);
+//! assert_eq!(run.rounds.len(), 8);
+//! // Sealed rounds arrive in canonical ascending-bidder order.
+//! for round in &run.rounds {
+//!     let bids = round.sealed.bids();
+//!     assert!(bids.windows(2).all(|w| w[0].bidder < w[1].bidder));
+//! }
+//! ```
+
+pub mod buffer;
+pub mod clock;
+pub mod collector;
+pub mod driver;
+pub mod events;
+pub mod stats;
+
+pub use buffer::{Admission, ArrivalBuffer, Backpressure};
+pub use clock::{RoundSchedule, VirtualClock};
+pub use collector::{CollectedRound, LateBidPolicy, RoundCollector};
+pub use driver::{StreamDriver, StreamRun, ThreadedDriver, VirtualTimeDriver};
+pub use stats::{IngestStats, StreamTotals};
+
+/// Name of the environment variable setting the per-round deadline
+/// fraction (`LOVM_DEADLINE=0.8`).
+pub const DEADLINE_ENV: &str = "LOVM_DEADLINE";
+
+/// Name of the environment variable selecting the late-bid policy
+/// (`LOVM_LATE_POLICY=drop|defer|grace:<frac>`).
+pub const LATE_POLICY_ENV: &str = "LOVM_LATE_POLICY";
+
+/// Name of the environment variable sizing the arrival buffer
+/// (`LOVM_BUFFER=<capacity>`, `block:<capacity>`, or
+/// `shed:<capacity>:<watermark>`).
+pub const BUFFER_ENV: &str = "LOVM_BUFFER";
+
+/// Complete configuration of the ingestion loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestConfig {
+    /// Virtual-time length of one round (> 0). The market-coupled
+    /// streaming loop and the arrival generators both measure time in
+    /// rounds, so 1.0 is the natural unit.
+    pub round_len: f64,
+    /// Deadline as a fraction of the round, in `(0, 1]`. Bids arriving at
+    /// offset ≤ deadline are admitted; 1.0 admits the whole span (the
+    /// batch-equivalent configuration).
+    pub deadline: f64,
+    /// What happens to bids that miss the deadline.
+    pub late_policy: LateBidPolicy,
+    /// Overflow behaviour of the bounded arrival buffer.
+    pub backpressure: Backpressure,
+    /// Hard capacity of the arrival buffer (the threaded driver sizes its
+    /// channel with it).
+    pub capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            round_len: 1.0,
+            deadline: 1.0,
+            late_policy: LateBidPolicy::Drop,
+            backpressure: Backpressure::Block,
+            capacity: 65_536,
+        }
+    }
+}
+
+impl IngestConfig {
+    /// Configuration from the environment: `LOVM_DEADLINE`,
+    /// `LOVM_LATE_POLICY`, `LOVM_BUFFER` override the defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when a variable is set to an
+    /// unparseable or out-of-domain value — a silently ignored override is
+    /// worse than a crash at startup.
+    pub fn from_env() -> Self {
+        let mut cfg = IngestConfig::default();
+        if let Ok(raw) = std::env::var(DEADLINE_ENV) {
+            let d = raw
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|d| *d > 0.0 && *d <= 1.0);
+            cfg.deadline = d.unwrap_or_else(|| {
+                panic!("{DEADLINE_ENV} must be a fraction in (0, 1], got `{raw}`")
+            });
+        }
+        if let Ok(raw) = std::env::var(LATE_POLICY_ENV) {
+            cfg.late_policy = Self::parse_late_policy(&raw).unwrap_or_else(|| {
+                panic!("{LATE_POLICY_ENV} must be `drop`, `defer`, or `grace:<frac>`, got `{raw}`")
+            });
+        }
+        if let Ok(raw) = std::env::var(BUFFER_ENV) {
+            let parsed = Self::parse_buffer(&raw).unwrap_or_else(|| {
+                panic!(
+                    "{BUFFER_ENV} must be `<capacity>`, `block:<capacity>`, or \
+                     `shed:<capacity>:<watermark>`, got `{raw}`"
+                )
+            });
+            (cfg.capacity, cfg.backpressure) = parsed;
+        }
+        cfg.validate();
+        cfg
+    }
+
+    fn parse_late_policy(raw: &str) -> Option<LateBidPolicy> {
+        let raw = raw.trim();
+        match raw {
+            "drop" => Some(LateBidPolicy::Drop),
+            "defer" => Some(LateBidPolicy::DeferToNext),
+            _ => {
+                let grace = raw.strip_prefix("grace:")?.parse::<f64>().ok()?;
+                (grace > 0.0 && grace < 1.0).then_some(LateBidPolicy::GraceWindow { grace })
+            }
+        }
+    }
+
+    fn parse_buffer(raw: &str) -> Option<(usize, Backpressure)> {
+        let raw = raw.trim();
+        if let Ok(capacity) = raw.parse::<usize>() {
+            return (capacity > 0).then_some((capacity, Backpressure::Block));
+        }
+        if let Some(rest) = raw.strip_prefix("block:") {
+            let capacity = rest.parse::<usize>().ok()?;
+            return (capacity > 0).then_some((capacity, Backpressure::Block));
+        }
+        let rest = raw.strip_prefix("shed:")?;
+        let (cap, mark) = rest.split_once(':')?;
+        let capacity = cap.parse::<usize>().ok()?;
+        let watermark = mark.parse::<f64>().ok()?;
+        (capacity > 0 && watermark > 0.0 && watermark <= 1.0)
+            .then_some((capacity, Backpressure::Shed { watermark }))
+    }
+
+    /// Checks the cross-field invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `deadline + grace > 1` (a round must seal before the
+    /// next one would) or any field is out of domain; the constructors of
+    /// the underlying components re-check their own pieces.
+    pub fn validate(&self) {
+        assert!(
+            self.round_len.is_finite() && self.round_len > 0.0,
+            "round_len must be positive"
+        );
+        assert!(
+            self.deadline > 0.0 && self.deadline <= 1.0,
+            "deadline must be in (0, 1], got {}",
+            self.deadline
+        );
+        assert!(self.capacity > 0, "buffer capacity must be positive");
+        assert!(
+            self.deadline + self.late_policy.grace() <= 1.0,
+            "deadline {} + grace {} must not exceed the round",
+            self.deadline,
+            self.late_policy.grace()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_batch_equivalent() {
+        let cfg = IngestConfig::default();
+        cfg.validate();
+        assert_eq!(cfg.deadline, 1.0);
+        assert_eq!(cfg.late_policy, LateBidPolicy::Drop);
+        assert_eq!(cfg.backpressure, Backpressure::Block);
+    }
+
+    #[test]
+    fn late_policy_parsing() {
+        assert_eq!(
+            IngestConfig::parse_late_policy("drop"),
+            Some(LateBidPolicy::Drop)
+        );
+        assert_eq!(
+            IngestConfig::parse_late_policy(" defer "),
+            Some(LateBidPolicy::DeferToNext)
+        );
+        assert_eq!(
+            IngestConfig::parse_late_policy("grace:0.25"),
+            Some(LateBidPolicy::GraceWindow { grace: 0.25 })
+        );
+        assert_eq!(IngestConfig::parse_late_policy("grace:1.5"), None);
+        assert_eq!(IngestConfig::parse_late_policy("nonsense"), None);
+    }
+
+    #[test]
+    fn buffer_parsing() {
+        assert_eq!(
+            IngestConfig::parse_buffer("1024"),
+            Some((1024, Backpressure::Block))
+        );
+        assert_eq!(
+            IngestConfig::parse_buffer("block:64"),
+            Some((64, Backpressure::Block))
+        );
+        assert_eq!(
+            IngestConfig::parse_buffer("shed:256:0.9"),
+            Some((256, Backpressure::Shed { watermark: 0.9 }))
+        );
+        assert_eq!(IngestConfig::parse_buffer("shed:0:0.9"), None);
+        assert_eq!(IngestConfig::parse_buffer("shed:256:2.0"), None);
+        assert_eq!(IngestConfig::parse_buffer("whatever"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed the round")]
+    fn validate_rejects_deadline_plus_grace_overflow() {
+        IngestConfig {
+            deadline: 0.9,
+            late_policy: LateBidPolicy::GraceWindow { grace: 0.3 },
+            ..IngestConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,176 @@
+//! Per-round and whole-stream ingestion telemetry.
+
+use metrics::json::{JsonValue, ToJson};
+
+/// What one round's ingestion looked like, emitted at its seal.
+///
+/// Counters are attributed to the **seal that processed the event**: a late
+/// bid from round `r`'s span is only classified when round `r + 1` seals
+/// (its timestamp lies past round `r`'s seal instant), so it shows up in
+/// round `r + 1`'s `deferred_in` / `dropped`. Totals over a run conserve:
+/// every offered arrival ends in exactly one of `admitted`,
+/// `admitted_late`, `deferred_in`, `dropped`, `superseded`, `shed`, or is
+/// still outstanding when the stream stops.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IngestStats {
+    /// The sealed round index.
+    pub round: usize,
+    /// Events processed at this seal (drained from the queue) plus
+    /// arrivals shed at admission since the previous seal.
+    pub arrivals: usize,
+    /// Bids sealed into this round that beat the deadline.
+    pub admitted: usize,
+    /// Bids sealed into this round inside the grace window.
+    pub admitted_late: usize,
+    /// Bids sealed into this round after being deferred from the previous
+    /// round's span (`LateBidPolicy::DeferToNext`).
+    pub deferred_in: usize,
+    /// Late bids discarded at this seal.
+    pub dropped: usize,
+    /// Stale bids discarded at sealing because the same bidder had a
+    /// fresher bid in the round (a deferred bid superseded by a new one).
+    pub superseded: usize,
+    /// Arrivals shed by the backpressure watermark since the last seal.
+    pub shed: usize,
+    /// Arrivals that hit a full buffer under `Backpressure::Block` since
+    /// the last seal (they were parked and re-offered at this seal).
+    pub blocked: usize,
+    /// Highest buffer occupancy observed since the last seal.
+    pub buffer_peak: usize,
+    /// Bids in the sealed round handed to the auction.
+    pub sealed: usize,
+}
+
+impl ToJson for IngestStats {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("round", self.round)
+            .field("arrivals", self.arrivals)
+            .field("admitted", self.admitted)
+            .field("admitted_late", self.admitted_late)
+            .field("deferred_in", self.deferred_in)
+            .field("dropped", self.dropped)
+            .field("superseded", self.superseded)
+            .field("shed", self.shed)
+            .field("blocked", self.blocked)
+            .field("buffer_peak", self.buffer_peak)
+            .field("sealed", self.sealed)
+    }
+}
+
+/// Whole-stream aggregates over the per-round stats.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StreamTotals {
+    /// Rounds sealed.
+    pub rounds: usize,
+    /// Sum of per-round `arrivals`.
+    pub arrivals: usize,
+    /// Sum of `admitted + admitted_late + deferred_in` (bids that reached
+    /// an auction).
+    pub sealed: usize,
+    /// Sum of per-round `admitted_late`.
+    pub admitted_late: usize,
+    /// Sum of per-round `deferred_in`.
+    pub deferred: usize,
+    /// Sum of per-round `dropped`.
+    pub dropped: usize,
+    /// Sum of per-round `superseded`.
+    pub superseded: usize,
+    /// Sum of per-round `shed`.
+    pub shed: usize,
+    /// Sum of per-round `blocked`.
+    pub blocked: usize,
+    /// Maximum per-round `buffer_peak`.
+    pub buffer_peak: usize,
+}
+
+impl StreamTotals {
+    /// Aggregates a run's per-round stats.
+    pub fn from_rounds(rounds: &[IngestStats]) -> Self {
+        let mut t = StreamTotals {
+            rounds: rounds.len(),
+            ..StreamTotals::default()
+        };
+        for s in rounds {
+            t.arrivals += s.arrivals;
+            t.sealed += s.admitted + s.admitted_late + s.deferred_in;
+            t.admitted_late += s.admitted_late;
+            t.deferred += s.deferred_in;
+            t.dropped += s.dropped;
+            t.superseded += s.superseded;
+            t.shed += s.shed;
+            t.blocked += s.blocked;
+            t.buffer_peak = t.buffer_peak.max(s.buffer_peak);
+        }
+        t
+    }
+}
+
+impl ToJson for StreamTotals {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .field("rounds", self.rounds)
+            .field("arrivals", self.arrivals)
+            .field("sealed", self.sealed)
+            .field("admitted_late", self.admitted_late)
+            .field("deferred", self.deferred)
+            .field("dropped", self.dropped)
+            .field("superseded", self.superseded)
+            .field("shed", self.shed)
+            .field("blocked", self.blocked)
+            .field("buffer_peak", self.buffer_peak)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate() {
+        let rounds = vec![
+            IngestStats {
+                round: 0,
+                arrivals: 10,
+                admitted: 8,
+                dropped: 2,
+                buffer_peak: 10,
+                sealed: 8,
+                ..IngestStats::default()
+            },
+            IngestStats {
+                round: 1,
+                arrivals: 12,
+                admitted: 9,
+                admitted_late: 1,
+                deferred_in: 2,
+                buffer_peak: 12,
+                sealed: 12,
+                ..IngestStats::default()
+            },
+        ];
+        let t = StreamTotals::from_rounds(&rounds);
+        assert_eq!(t.rounds, 2);
+        assert_eq!(t.arrivals, 22);
+        assert_eq!(t.sealed, 20);
+        assert_eq!(t.deferred, 2);
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.buffer_peak, 12);
+    }
+
+    #[test]
+    fn json_has_the_contract_fields() {
+        let line = IngestStats::default().to_json().to_string();
+        for key in [
+            "\"round\"",
+            "\"admitted\"",
+            "\"dropped\"",
+            "\"shed\"",
+            "\"buffer_peak\"",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        let totals = StreamTotals::default().to_json().to_string();
+        assert!(totals.contains("\"rounds\""));
+    }
+}

@@ -1,6 +1,5 @@
 //! Time-average tracking and theoretical bound calculators.
 
-
 /// Online tracker of a running time average with full history retained for
 /// plotting (history is cheap: one f64 per round).
 #[derive(Debug, Clone, PartialEq, Default)]

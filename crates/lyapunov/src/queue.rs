@@ -1,6 +1,5 @@
 //! Virtual queues for long-term constraints.
 
-
 /// A virtual queue tracking accumulated violation of a long-term constraint.
 ///
 /// The update is `Q ← max(Q + arrival − service, 0)`. If the time-average of

@@ -147,7 +147,19 @@ fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
             '\n' => f.write_str("\\n")?,
             '\r' => f.write_str("\\r")?,
             '\t' => f.write_str("\\t")?,
-            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            '\u{8}' => f.write_str("\\b")?,
+            '\u{c}' => f.write_str("\\f")?,
+            // Remaining C0 controls (mandatory), DEL and the C1 block
+            // (legal raw, but control characters have no business
+            // unescaped in a log line), and the U+2028/U+2029 line
+            // separators (valid JSON that breaks JavaScript consumers).
+            c if (c as u32) < 0x20
+                || (0x7f..=0x9f).contains(&(c as u32))
+                || c == '\u{2028}'
+                || c == '\u{2029}' =>
+            {
+                write!(f, "\\u{:04x}", c as u32)?
+            }
             c => write!(f, "{c}")?,
         }
     }
@@ -244,6 +256,54 @@ mod tests {
     fn strings_escape() {
         let s = JsonValue::from("a\"b\\c\nd\te\u{1}");
         assert_eq!(s.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn control_characters_all_escape() {
+        // Backspace and form feed get their shorthands; every other C0
+        // control, DEL, and the C1 block become \uXXXX — no raw control
+        // byte can reach a log line.
+        assert_eq!(
+            JsonValue::from("a\u{8}b\u{c}c").to_string(),
+            "\"a\\bb\\fc\""
+        );
+        for code in (0u32..0x20).chain(0x7f..=0x9f) {
+            let c = char::from_u32(code).unwrap();
+            let rendered = JsonValue::from(c.to_string()).to_string();
+            assert!(
+                rendered.chars().all(|ch| ch as u32 >= 0x20),
+                "control {code:#x} leaked into {rendered:?}"
+            );
+        }
+        // A round-trippable spot check for a C1 control and DEL.
+        assert_eq!(JsonValue::from("\u{7f}").to_string(), "\"\\u007f\"");
+        assert_eq!(JsonValue::from("\u{85}").to_string(), "\"\\u0085\"");
+    }
+
+    #[test]
+    fn js_line_separators_escape() {
+        assert_eq!(
+            JsonValue::from("a\u{2028}b\u{2029}c").to_string(),
+            "\"a\\u2028b\\u2029c\""
+        );
+        // Ordinary non-ASCII text passes through untouched.
+        assert_eq!(JsonValue::from("µs — ok").to_string(), "\"µs — ok\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_null_everywhere() {
+        assert_eq!(JsonValue::from(f64::INFINITY).to_string(), "null");
+        assert_eq!(JsonValue::from(f64::NEG_INFINITY).to_string(), "null");
+        assert_eq!(JsonValue::from(f32::NAN).to_string(), "null");
+        // Inside containers too — the guard lives at render time, so no
+        // construction path can smuggle an `inf` token into the output.
+        let o = JsonValue::object()
+            .field("bad", f64::NAN)
+            .field("v", vec![1.0, f64::INFINITY]);
+        assert_eq!(o.to_string(), r#"{"bad":null,"v":[1,null]}"#);
+        // Values near the integer-rendering cutoff stay finite and exact.
+        assert_eq!(JsonValue::from(9.0e15).to_string(), "9000000000000000");
+        assert_eq!(JsonValue::from(9.1e15).to_string(), "9100000000000000");
     }
 
     #[test]

@@ -20,10 +20,7 @@ pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> St
     const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
 
     // Downsample all series to `width` columns.
-    let cols: Vec<Vec<Option<f64>>> = series
-        .iter()
-        .map(|(_, s)| downsample(s, width))
-        .collect();
+    let cols: Vec<Vec<Option<f64>>> = series.iter().map(|(_, s)| downsample(s, width)).collect();
 
     // Global bounds over present values.
     let mut lo = f64::INFINITY;
@@ -117,7 +114,7 @@ mod tests {
         let chart = ascii_chart(&[("up", &s1)], 40, 10);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 12); // height + axis + legend
-        // Top label is the max of the block-averaged series (≈ 98).
+                                     // Top label is the max of the block-averaged series (≈ 98).
         assert!(
             lines[0].contains("98.00") || lines[0].contains("99.00"),
             "top label missing: {:?}",

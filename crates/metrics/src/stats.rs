@@ -1,6 +1,5 @@
 //! Summary statistics.
 
-
 /// Five-number-plus summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {

@@ -1,6 +1,5 @@
 //! Markdown table rendering for harness output.
 
-
 /// A simple column-aligned markdown table builder.
 ///
 /// # Example

@@ -426,6 +426,57 @@ mod tests {
     }
 
     #[test]
+    fn split_on_a_one_worker_pool_stays_serial() {
+        // Every split of a serial pool must be (1, 1): nesting can never
+        // manufacture parallelism the budget does not hold.
+        for tasks in [0usize, 1, 3, 100] {
+            let (outer, inner) = Pool::with_threads(1).split(tasks);
+            assert_eq!((outer.threads(), inner.threads()), (1, 1), "tasks={tasks}");
+        }
+    }
+
+    #[test]
+    fn split_with_more_tasks_than_budget_caps_outer() {
+        // Requesting a wider outer fan-out than there are workers pins the
+        // outer level at the full budget and the inner level at 1 — the
+        // product never exceeds the budget.
+        for (threads, tasks) in [(2usize, 1000usize), (5, 7), (8, 9)] {
+            let (outer, inner) = Pool::with_threads(threads).split(tasks);
+            assert_eq!(outer.threads(), threads.min(tasks));
+            assert!(
+                outer.threads() * inner.threads() <= threads,
+                "threads={threads} tasks={tasks}: {} x {}",
+                outer.threads(),
+                inner.threads()
+            );
+        }
+    }
+
+    #[test]
+    fn map_nested_on_empty_input_returns_empty() {
+        let empty: Vec<u32> = Vec::new();
+        for threads in [1usize, 4] {
+            let out = Pool::with_threads(threads)
+                .map_nested(&empty, |&x, inner| x + inner.threads() as u32);
+            assert!(out.is_empty(), "threads={threads}");
+        }
+        // chunks_nested on empty input likewise produces no chunks.
+        let sums = Pool::with_threads(4).chunks_nested(&empty, 10, |c, _| c.len());
+        assert!(sums.is_empty());
+    }
+
+    #[test]
+    fn map_nested_single_worker_single_item() {
+        // Degenerate corner: 1 worker, 1 item — inner pool must still be
+        // usable and the result identical to a plain call.
+        let out = Pool::with_threads(1).map_nested(&[21u64], |&x, inner| {
+            assert_eq!(inner.threads(), 1);
+            x * 2 + inner.run(0, |_| 0u64).len() as u64
+        });
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
     fn chunks_nested_covers_everything_in_order() {
         let items: Vec<usize> = (0..97).collect();
         let sums = Pool::with_threads(4).chunks_nested(&items, 10, |c, inner| {

@@ -139,10 +139,7 @@ impl SeedableRng for Xoshiro256pp {
 impl Rng for Xoshiro256pp {
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -512,8 +509,7 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.03, "variance {var} too far from 1");
-        let shifted: f64 =
-            (0..n).map(|_| rng.gaussian_with(5.0, 0.5)).sum::<f64>() / n as f64;
+        let shifted: f64 = (0..n).map(|_| rng.gaussian_with(5.0, 0.5)).sum::<f64>() / n as f64;
         assert!((shifted - 5.0).abs() < 0.02);
     }
 

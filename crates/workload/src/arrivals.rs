@@ -1,0 +1,369 @@
+//! Seeded, timestamped bid-arrival processes for the streaming ingestion
+//! layer.
+//!
+//! The batch simulator hands the mechanism a complete bid vector at round
+//! start; a live marketplace delivers bids one at a time, stamped with an
+//! arrival instant on a continuous virtual clock (1.0 = one round). This
+//! module generates that stream: an infinite, deterministic sequence of
+//! [`TimedBid`]s whose epochs follow one of three arrival families —
+//! memoryless ([`ArrivalKind::Poisson`]), clustered ([`ArrivalKind::Bursty`]),
+//! or sinusoidally rate-modulated ([`ArrivalKind::Diurnal`]). All randomness
+//! flows from `simrng` per the workspace contract, so a stream is a pure
+//! function of its seed.
+//!
+//! Emitted timestamps are **non-decreasing** (bursts that would overlap the
+//! next burst epoch are clamped forward), which is the ordering contract the
+//! ingestion drivers in `crates/ingest` rely on.
+
+use auction::bid::Bid;
+use simrng::rngs::StdRng;
+use simrng::{derive_seed, RngExt, SeedableRng};
+use std::collections::VecDeque;
+
+/// A bid stamped with its arrival instant on the virtual clock.
+///
+/// Time is measured in *rounds*: `at = 2.35` means 35% of the way through
+/// round 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedBid {
+    /// Arrival instant (non-negative, finite).
+    pub at: f64,
+    /// The sealed bid that arrived.
+    pub bid: Bid,
+}
+
+/// Families of bid-arrival processes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals: exponential inter-arrival gaps with mean
+    /// `1/rate` (rate = expected bids per round).
+    Poisson {
+        /// Expected arrivals per round, > 0.
+        rate: f64,
+    },
+    /// Clustered arrivals: burst epochs follow a Poisson process of rate
+    /// `rate / burst_size`, and each epoch releases `burst_size` bids
+    /// spread uniformly over the next `spread` rounds — device cohorts
+    /// waking together (push notifications, synchronized charging).
+    Bursty {
+        /// Expected arrivals per round (averaged over bursts), > 0.
+        rate: f64,
+        /// Bids per burst, ≥ 1.
+        burst_size: usize,
+        /// Width of one burst in rounds, ≥ 0 and finite.
+        spread: f64,
+    },
+    /// Sinusoidally rate-modulated arrivals via Lewis–Shedler thinning:
+    /// instantaneous rate `rate·(1 + depth·sin(2πt/period))` — diurnal
+    /// user activity with crests and troughs.
+    Diurnal {
+        /// Mean arrivals per round, > 0.
+        rate: f64,
+        /// Cycle length in rounds, > 0.
+        period: f64,
+        /// Modulation depth in `[0, 1]` (0 = plain Poisson).
+        depth: f64,
+    },
+}
+
+/// An infinite, deterministic stream of timestamped bids.
+///
+/// Implements `Iterator`; callers take as many arrivals as they need
+/// (`by_ref().take_while(..)`, `take(n)`, …). Bid fields are drawn from the
+/// same ranges as the benchmark population (`bench::random_bids`): costs in
+/// `0.2..3.0`, data sizes in `50..500`, qualities in `0.5..1.0`. Bidder ids
+/// are sequential, so every arrival is a distinct bidder — the regime of
+/// the throughput experiments; the market-coupled streaming loop in
+/// `lovm-core` timestamps a persistent population instead.
+#[derive(Debug)]
+pub struct ArrivalProcess {
+    kind: ArrivalKind,
+    epoch_rng: StdRng,
+    bid_rng: StdRng,
+    now: f64,
+    last_emitted: f64,
+    next_id: usize,
+    /// Arrivals already scheduled (bursts release several at once).
+    pending: VecDeque<f64>,
+}
+
+impl ArrivalProcess {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are out of domain (non-positive `rate` or
+    /// `period`, zero `burst_size`, negative or non-finite `spread`,
+    /// `depth ∉ [0, 1]`).
+    pub fn new(kind: ArrivalKind, seed: u64) -> Self {
+        match kind {
+            ArrivalKind::Poisson { rate } => {
+                assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+            }
+            ArrivalKind::Bursty {
+                rate,
+                burst_size,
+                spread,
+            } => {
+                assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+                assert!(burst_size >= 1, "burst_size must be at least 1");
+                assert!(spread >= 0.0 && spread.is_finite(), "spread must be >= 0");
+            }
+            ArrivalKind::Diurnal {
+                rate,
+                period,
+                depth,
+            } => {
+                assert!(rate > 0.0 && rate.is_finite(), "rate must be positive");
+                assert!(
+                    period > 0.0 && period.is_finite(),
+                    "period must be positive"
+                );
+                assert!((0.0..=1.0).contains(&depth), "depth must be in [0, 1]");
+            }
+        }
+        ArrivalProcess {
+            kind,
+            epoch_rng: StdRng::seed_from_u64(derive_seed(seed, 0)),
+            bid_rng: StdRng::seed_from_u64(derive_seed(seed, 1)),
+            now: 0.0,
+            last_emitted: 0.0,
+            next_id: 0,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// The configured arrival family.
+    pub fn kind(&self) -> ArrivalKind {
+        self.kind
+    }
+
+    /// Exponential gap with mean `1/rate` (inverse-CDF over a `[0,1)`
+    /// uniform; `1 − u` keeps the argument strictly positive).
+    fn exp_gap(&mut self, rate: f64) -> f64 {
+        let u: f64 = self.epoch_rng.random();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Schedules the next epoch(s) into `pending`.
+    fn refill(&mut self) {
+        match self.kind {
+            ArrivalKind::Poisson { rate } => {
+                self.now += self.exp_gap(rate);
+                self.pending.push_back(self.now);
+            }
+            ArrivalKind::Bursty {
+                rate,
+                burst_size,
+                spread,
+            } => {
+                let epoch_rate = rate / burst_size as f64;
+                self.now += self.exp_gap(epoch_rate);
+                let epoch = self.now;
+                let mut offsets: Vec<f64> = (0..burst_size)
+                    .map(|_| {
+                        let u: f64 = self.epoch_rng.random();
+                        epoch + u * spread
+                    })
+                    .collect();
+                offsets.sort_by(|a, b| a.total_cmp(b));
+                self.pending.extend(offsets);
+            }
+            ArrivalKind::Diurnal {
+                rate,
+                period,
+                depth,
+            } => {
+                // Thinning against the crest rate λ_max = rate·(1 + depth).
+                let lambda_max = rate * (1.0 + depth);
+                loop {
+                    self.now += self.exp_gap(lambda_max);
+                    let phase = 2.0 * std::f64::consts::PI * self.now / period;
+                    let lambda = rate * (1.0 + depth * phase.sin());
+                    let u: f64 = self.epoch_rng.random();
+                    if u * lambda_max < lambda {
+                        self.pending.push_back(self.now);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn synthesize(&mut self, at: f64) -> TimedBid {
+        let bid = Bid::new(
+            self.next_id,
+            self.bid_rng.random_range(0.2..3.0),
+            self.bid_rng.random_range(50..500),
+            self.bid_rng.random_range(0.5..1.0),
+        );
+        self.next_id += 1;
+        TimedBid { at, bid }
+    }
+}
+
+impl Iterator for ArrivalProcess {
+    type Item = TimedBid;
+
+    fn next(&mut self) -> Option<TimedBid> {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        let raw = self.pending.pop_front().expect("refill always schedules");
+        // A burst whose spread overlaps the next burst epoch would emit out
+        // of order across refills; clamp forward so the stream is globally
+        // non-decreasing (the drivers' ordering contract).
+        let at = raw.max(self.last_emitted);
+        self.last_emitted = at;
+        Some(self.synthesize(at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn take_times(kind: ArrivalKind, seed: u64, n: usize) -> Vec<f64> {
+        ArrivalProcess::new(kind, seed)
+            .take(n)
+            .map(|tb| tb.at)
+            .collect()
+    }
+
+    #[test]
+    fn poisson_rate_matches() {
+        let times = take_times(ArrivalKind::Poisson { rate: 40.0 }, 7, 4000);
+        let horizon = *times.last().unwrap();
+        let measured = times.len() as f64 / horizon;
+        assert!(
+            (measured - 40.0).abs() / 40.0 < 0.1,
+            "measured rate {measured}"
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        for kind in [
+            ArrivalKind::Poisson { rate: 20.0 },
+            ArrivalKind::Bursty {
+                rate: 20.0,
+                burst_size: 5,
+                spread: 0.2,
+            },
+            ArrivalKind::Diurnal {
+                rate: 20.0,
+                period: 24.0,
+                depth: 0.8,
+            },
+        ] {
+            let a: Vec<TimedBid> = ArrivalProcess::new(kind, 3).take(200).collect();
+            let b: Vec<TimedBid> = ArrivalProcess::new(kind, 3).take(200).collect();
+            let c: Vec<TimedBid> = ArrivalProcess::new(kind, 4).take(200).collect();
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            assert_ne!(a, c, "{kind:?} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_non_decreasing() {
+        for kind in [
+            ArrivalKind::Poisson { rate: 50.0 },
+            ArrivalKind::Bursty {
+                rate: 50.0,
+                burst_size: 8,
+                spread: 0.5,
+            },
+            ArrivalKind::Diurnal {
+                rate: 50.0,
+                period: 10.0,
+                depth: 1.0,
+            },
+        ] {
+            let times = take_times(kind, 11, 2000);
+            assert!(
+                times.windows(2).all(|w| w[0] <= w[1]),
+                "{kind:?} emitted out of order"
+            );
+            assert!(times.iter().all(|t| t.is_finite() && *t >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bidder_ids_are_sequential_and_bids_valid() {
+        let bids: Vec<TimedBid> = ArrivalProcess::new(ArrivalKind::Poisson { rate: 10.0 }, 0)
+            .take(50)
+            .collect();
+        for (i, tb) in bids.iter().enumerate() {
+            assert_eq!(tb.bid.bidder, i);
+            assert!((0.2..3.0).contains(&tb.bid.cost));
+            assert!((50..500).contains(&tb.bid.data_size));
+        }
+    }
+
+    #[test]
+    fn bursty_clusters_arrivals() {
+        // With tight bursts, the gap distribution is bimodal: most gaps are
+        // tiny (within a burst), a few are large (between epochs).
+        let times = take_times(
+            ArrivalKind::Bursty {
+                rate: 20.0,
+                burst_size: 10,
+                spread: 0.01,
+            },
+            5,
+            1000,
+        );
+        let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let tiny = gaps.iter().filter(|&&g| g < 0.011).count();
+        assert!(
+            tiny as f64 / gaps.len() as f64 > 0.8,
+            "bursty stream did not cluster: {} tiny of {}",
+            tiny,
+            gaps.len()
+        );
+    }
+
+    #[test]
+    fn diurnal_modulates_rate() {
+        let period = 8.0;
+        let times = take_times(
+            ArrivalKind::Diurnal {
+                rate: 200.0,
+                period,
+                depth: 1.0,
+            },
+            9,
+            20_000,
+        );
+        // Crest quarter (phase ∈ [0, π/2)) vs trough quarter (phase ∈
+        // [π, 3π/2)): counts must differ strongly at depth 1.
+        let phase_bin = |t: f64| ((t % period) / period * 4.0) as usize;
+        let mut bins = [0usize; 4];
+        for &t in &times {
+            bins[phase_bin(t).min(3)] += 1;
+        }
+        assert!(
+            bins[0] > 3 * bins[2],
+            "diurnal modulation too weak: {bins:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_non_positive_rate() {
+        let _ = ArrivalProcess::new(ArrivalKind::Poisson { rate: 0.0 }, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be in [0, 1]")]
+    fn rejects_bad_depth() {
+        let _ = ArrivalProcess::new(
+            ArrivalKind::Diurnal {
+                rate: 1.0,
+                period: 1.0,
+                depth: 1.5,
+            },
+            0,
+        );
+    }
+}

@@ -6,16 +6,20 @@
 //!   sizes, qualities, energy-harvesting assignments),
 //! * [`availability`] — online arrival processes deciding which clients
 //!   are present to bid each round,
+//! * [`arrivals`] — timestamped bid-arrival streams (Poisson / bursty /
+//!   diurnal) feeding the streaming ingestion layer (`crates/ingest`),
 //! * [`scenario`] — named parameter presets used by the experiment
 //!   harness so every figure is reproducible from a scenario name + seed.
 //!
 //! Real user bids and device traces from the paper's deployment are
 //! substituted by these parametric generators (see DESIGN.md).
 
+pub mod arrivals;
 pub mod availability;
 pub mod population;
 pub mod scenario;
 
+pub use arrivals::{ArrivalKind, ArrivalProcess, TimedBid};
 pub use availability::{AvailabilityKind, AvailabilityProcess};
 pub use population::{ClientProfile, CostDistribution, EnergyGroup, PopulationConfig};
 pub use scenario::Scenario;

@@ -151,9 +151,7 @@ pub fn generate(config: &PopulationConfig, seed: u64) -> Vec<ClientProfile> {
         "data_size range inverted"
     );
     assert!(
-        config.quality.0 <= config.quality.1
-            && config.quality.0 >= 0.0
-            && config.quality.1 <= 1.0,
+        config.quality.0 <= config.quality.1 && config.quality.0 >= 0.0 && config.quality.1 <= 1.0,
         "quality range must be within [0, 1]"
     );
     let mut rng = StdRng::seed_from_u64(seed);

@@ -198,10 +198,7 @@ mod tests {
         let s = Scenario::energy_heterogeneous();
         let groups = &s.population.energy_groups;
         assert_eq!(groups.len(), 4);
-        let rates: Vec<f64> = groups
-            .iter()
-            .map(|g| g.harvester.mean_rate())
-            .collect();
+        let rates: Vec<f64> = groups.iter().map(|g| g.harvester.mean_rate()).collect();
         // Cycle = cost / rate = 2.0 / rate.
         let cycles: Vec<f64> = rates.iter().map(|r| 2.0 / r).collect();
         assert!((cycles[0] - 1.0).abs() < 1e-9);

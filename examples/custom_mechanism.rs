@@ -61,13 +61,17 @@ fn main() {
     let custom_result = simulate(&mut custom, &scenario, 5);
     let lovm_result = simulate(&mut lovm, &scenario, 5);
 
-    println!("welfare:  custom {:.1}  vs  LOVM {:.1}",
+    println!(
+        "welfare:  custom {:.1}  vs  LOVM {:.1}",
         custom_result.ledger.social_welfare(),
-        lovm_result.ledger.social_welfare());
-    println!("spend:    custom {:.1}  vs  LOVM {:.1}  (budget {:.1})",
+        lovm_result.ledger.social_welfare()
+    );
+    println!(
+        "spend:    custom {:.1}  vs  LOVM {:.1}  (budget {:.1})",
         custom_result.ledger.total_payment(),
         lovm_result.ledger.total_payment(),
-        scenario.total_budget);
+        scenario.total_budget
+    );
 
     // 2. Probe truthfulness the same way the E4 experiment does. Probe the
     // client with the best value/cost ratio (a sure winner — the one with

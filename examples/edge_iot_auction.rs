@@ -58,7 +58,10 @@ fn main() {
         result.ledger.social_welfare(),
         spend,
         scenario.total_budget,
-        result.series.get("backlog").map_or(0.0, |b| *b.last().unwrap())
+        result
+            .series
+            .get("backlog")
+            .map_or(0.0, |b| *b.last().unwrap())
     );
     println!(
         "Jain fairness over wins: {:.3}",

@@ -48,9 +48,7 @@ fn main() {
         value_per_unit: 0.35,
         base_value: 0.5,
     });
-    let mut lovm = Lovm::new(
-        LovmConfig::for_scenario(&scenario, 40.0).with_valuation(valuation),
-    );
+    let mut lovm = Lovm::new(LovmConfig::for_scenario(&scenario, 40.0).with_valuation(valuation));
     let result = run_fl(&mut lovm, &mut run, &test, &scenario, 24, 13);
 
     println!("round | test accuracy | winners (avg/day)");

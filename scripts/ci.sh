@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verify as one command: build everything in release mode, run the
-# whole-workspace test suite, and hold the tree to zero clippy warnings.
-# The workspace has no external dependencies, so this runs fully offline.
+# Tier-1 verify as one command: check formatting, build everything in
+# release mode, run the whole-workspace test suite, and hold the tree to
+# zero clippy warnings. The workspace has no external dependencies, so
+# this runs fully offline.
 #
 # The test suite runs under a worker × shard matrix — LOVM_THREADS ∈ {1,4}
 # crossed with LOVM_SHARDS ∈ {1,8} — because two layers each guarantee
@@ -18,6 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 for shards in 1 8; do
   for threads in 1 4; do
@@ -31,6 +33,21 @@ cargo clippy --all-targets -- -D warnings
 # round through partition → per-shard solve → champion reconciliation.
 LOVM_SCALE=0.1 ./target/release/exp_e14_sharding > /dev/null
 echo "ci: exp_e14_sharding smoke ok"
+
+# Smoke the streaming-ingestion experiment at both worker counts: the
+# virtual-time driver is deterministic, so both passes must produce the
+# byte-identical table set (the golden suite already pins its content).
+e15_ref=""
+for t in 1 4; do
+  out=$(LOVM_SCALE=0.1 LOVM_THREADS=$t ./target/release/exp_e15_streaming)
+  if [ "$t" = 1 ]; then
+    e15_ref="$out"
+  elif [ "$out" != "$e15_ref" ]; then
+    echo "ci: FAIL — exp_e15_streaming output differs between LOVM_THREADS=1 and =4"
+    exit 1
+  fi
+done
+echo "ci: exp_e15_streaming smoke ok (thread-invariant)"
 
 # Smoke the payment-path benchmark in both modes (tiny sample counts: this
 # checks the bins run and report, not the timings themselves) and gate the

@@ -3,9 +3,14 @@
 //! ```text
 //! lovm list
 //! lovm simulate --scenario standard --mechanism lovm --v 50 --seed 42
+//! lovm stream   --scenario standard --mechanism lovm --v 50 --seed 42
 //! lovm compare  --scenario small --seed 7
 //! lovm csv      --scenario standard --mechanism lovm --v 20 > run.csv
 //! ```
+//!
+//! `stream` runs the same marketplace through the event-driven ingestion
+//! loop; `LOVM_DEADLINE`, `LOVM_LATE_POLICY`, and `LOVM_BUFFER` configure
+//! it (the defaults reproduce `simulate` bit-exactly).
 
 use std::process::ExitCode;
 use sustainable_fl::core::offline::{competitive_ratio, offline_benchmark};
@@ -49,7 +54,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: lovm <list|simulate|compare|csv> [--scenario NAME] [--mechanism NAME] \
+    "usage: lovm <list|simulate|stream|compare|csv> [--scenario NAME] [--mechanism NAME] \
      [--v V] [--seed SEED] [--price P] [--k K]\n\
      scenarios: small, standard, energy-heterogeneous, solar-fleet, large-<N>\n\
      mechanisms: lovm, myopic, greedy, proportional, fixed, random, all"
@@ -109,10 +114,7 @@ fn summarize(result: &sustainable_fl::core::SimulationResult, scenario: &Scenari
         scenario.total_budget
     );
     println!("client utility   : {:.1}", result.ledger.client_utility());
-    println!(
-        "platform utility : {:.1}",
-        result.ledger.platform_utility()
-    );
+    println!("platform utility : {:.1}", result.ledger.platform_utility());
 }
 
 fn run() -> Result<(), String> {
@@ -137,9 +139,43 @@ fn run() -> Result<(), String> {
             print!("{}", result.series.to_csv());
             Ok(())
         }
+        "stream" => {
+            let scenario = scenario_by_name(&args.scenario)?;
+            let mut mech = mechanism_by_name(&args, &scenario)?;
+            let cfg = sustainable_fl::ingest::IngestConfig::from_env();
+            let run = sustainable_fl::core::streaming::run_stream(
+                mech.as_mut(),
+                &scenario,
+                args.seed,
+                &cfg,
+            );
+            summarize(&run.result, &scenario);
+            println!(
+                "ingestion        : deadline {:.2}, policy {:?}, buffer {:?}x{}",
+                cfg.deadline, cfg.late_policy, cfg.backpressure, cfg.capacity
+            );
+            println!(
+                "arrivals {} / sealed {} (late {}) / deferred {} / dropped {} / shed {} / peak buffer {}",
+                run.totals.arrivals,
+                run.totals.sealed,
+                run.totals.admitted_late,
+                run.totals.deferred,
+                run.totals.dropped,
+                run.totals.shed,
+                run.totals.buffer_peak
+            );
+            Ok(())
+        }
         "compare" => {
             let scenario = scenario_by_name(&args.scenario)?;
-            let names = ["lovm", "myopic", "greedy", "proportional", "fixed", "random"];
+            let names = [
+                "lovm",
+                "myopic",
+                "greedy",
+                "proportional",
+                "fixed",
+                "random",
+            ];
             let mut table = metrics::Table::new(vec![
                 "mechanism".into(),
                 "welfare".into(),

@@ -9,7 +9,8 @@
 //! | [`lyapunov`](mod@lyapunov) | `lyapunov` | virtual queues, drift-plus-penalty, bound calculators |
 //! | [`fedsim`](mod@fedsim) | `fedsim` | datasets, models, optimizers, FedAvg |
 //! | [`energy`](mod@energy) | `energy` | batteries, harvesting processes, cost models |
-//! | [`workload`](mod@workload) | `workload` | client populations, availability, scenarios |
+//! | [`workload`](mod@workload) | `workload` | client populations, availability, arrival streams, scenarios |
+//! | [`ingest`](mod@ingest) | `ingest` | event-driven streaming bid ingestion: deadlines, late-bid policy, backpressure |
 //! | [`baselines`](mod@baselines) | `baselines` | every comparator mechanism |
 //! | [`metrics`](mod@metrics) | `metrics` | statistics, series, tables |
 //!
@@ -20,6 +21,7 @@ pub use auction;
 pub use baselines;
 pub use energy;
 pub use fedsim;
+pub use ingest;
 pub use lovm_core as core;
 pub use lyapunov;
 pub use metrics;
@@ -28,7 +30,9 @@ pub use workload;
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use auction::{Bid, ClientValue, Valuation};
-    pub use baselines::{AllAvailable, BudgetSplitGreedy, FixedPrice, MyopicVcg, ProportionalShare, RandomK};
+    pub use baselines::{
+        AllAvailable, BudgetSplitGreedy, FixedPrice, MyopicVcg, ProportionalShare, RandomK,
+    };
     pub use lovm_core::{
         offline_benchmark, simulate, EconomicLedger, Lovm, LovmConfig, Mechanism, RoundInfo,
         SimulationResult,

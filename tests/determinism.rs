@@ -68,10 +68,14 @@ fn vcg_payments_parallel_is_bit_identical() {
                 ..VcgConfig::default()
             });
             let budget = 0.4 * bids.iter().map(|b| b.cost).sum::<f64>();
-            let a = auction.run_with_budget_on(&bids, &valuation, budget, SolverKind::Exact, serial);
+            let a =
+                auction.run_with_budget_on(&bids, &valuation, budget, SolverKind::Exact, serial);
             let b =
                 auction.run_with_budget_on(&bids, &valuation, budget, SolverKind::Exact, parallel);
-            assert!(!a.winners.is_empty(), "degenerate instance, seed {seed} n {n}");
+            assert!(
+                !a.winners.is_empty(),
+                "degenerate instance, seed {seed} n {n}"
+            );
             assert_outcomes_bit_identical(&a, &b, &format!("vcg seed {seed} n {n}"));
         }
     }
@@ -99,7 +103,10 @@ fn sharded_rounds_parallel_is_bit_identical() {
         let kind = SolverKind::Knapsack { grid: 512 };
         let a = auction.run_with_budget_on(&bids, &valuation, budget, kind, serial);
         let b = auction.run_with_budget_on(&bids, &valuation, budget, kind, parallel);
-        assert!(!a.winners.is_empty(), "degenerate sharded instance, seed {seed}");
+        assert!(
+            !a.winners.is_empty(),
+            "degenerate sharded instance, seed {seed}"
+        );
         assert_outcomes_bit_identical(&a, &b, &format!("sharded vcg seed {seed}"));
     }
 }
@@ -140,12 +147,140 @@ fn fl_round_parallel_is_bit_identical() {
         }
         let pa = a.model().params();
         let pb = b.model().params();
-        assert!(pa.iter().any(|&w| w != 0.0), "model never trained, seed {seed}");
+        assert!(
+            pa.iter().any(|&w| w != 0.0),
+            "model never trained, seed {seed}"
+        );
         assert_eq!(
             pa.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
             pb.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
             "global model diverged, seed {seed}"
         );
+    }
+}
+
+/// Helper comparing two streamed runs bit for bit: outcomes (winners,
+/// payments, welfares), queue trajectory, and ingestion stats.
+fn assert_streams_bit_identical(
+    a: &lovm_core::streaming::StreamResult,
+    b: &lovm_core::streaming::StreamResult,
+    context: &str,
+) {
+    assert_eq!(
+        a.result.outcomes.len(),
+        b.result.outcomes.len(),
+        "{context}: round count"
+    );
+    for (round, (oa, ob)) in a.result.outcomes.iter().zip(&b.result.outcomes).enumerate() {
+        assert_outcomes_bit_identical(oa, ob, &format!("{context} round {round}"));
+    }
+    let qa = a.result.series.get("backlog").expect("backlog recorded");
+    let qb = b.result.series.get("backlog").expect("backlog recorded");
+    assert_eq!(
+        qa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        qb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "{context}: queue trajectory"
+    );
+    assert_eq!(a.ingest, b.ingest, "{context}: ingestion stats");
+    assert_eq!(a.totals, b.totals, "{context}: ingestion totals");
+    assert_eq!(a.result.ledger, b.result.ledger, "{context}: ledger");
+}
+
+/// The streaming entry point on the virtual-time driver: a seeded arrival
+/// stream through `run_stream_on` is bit-identical on a serial pool and a
+/// 4-worker pool — payments, welfares, queue trajectory, and the
+/// per-round ingestion stats.
+#[test]
+fn streamed_rounds_parallel_is_bit_identical() {
+    use ingest::{IngestConfig, LateBidPolicy};
+    use lovm_core::lovm::{Lovm, LovmConfig};
+    use workload::Scenario;
+    let scenario = Scenario::small();
+    let cfg = IngestConfig {
+        deadline: 0.7,
+        late_policy: LateBidPolicy::DeferToNext,
+        ..IngestConfig::default()
+    };
+    let (serial, parallel) = pools();
+    for &seed in &SEEDS {
+        let mut ma = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let mut mb = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let a = ma.run_stream_on(&scenario, seed, &cfg, serial);
+        let b = mb.run_stream_on(&scenario, seed, &cfg, parallel);
+        assert!(
+            a.result.ledger.total_payment() > 0.0,
+            "degenerate stream, seed {seed}"
+        );
+        assert_streams_bit_identical(&a, &b, &format!("stream seed {seed}"));
+    }
+}
+
+/// Sharding the streamed round loop cannot change an output bit either:
+/// LOVM rounds are top-K winner determinations, where the champion
+/// reconciliation is exact at any shard count.
+#[test]
+fn streamed_rounds_sharded_is_bit_identical() {
+    use auction::shard::MarketTopology;
+    use ingest::{IngestConfig, LateBidPolicy};
+    use lovm_core::lovm::{Lovm, LovmConfig};
+    use workload::Scenario;
+    let scenario = Scenario::small();
+    let cfg = IngestConfig {
+        deadline: 0.6,
+        late_policy: LateBidPolicy::GraceWindow { grace: 0.2 },
+        ..IngestConfig::default()
+    };
+    let (serial, parallel) = pools();
+    for &seed in &SEEDS {
+        let base = LovmConfig::for_scenario(&scenario, 20.0);
+        let mut mono = Lovm::new(base.with_topology(MarketTopology::Sharded { count: 1 }));
+        let mut sharded = Lovm::new(base.with_topology(MarketTopology::Sharded { count: 8 }));
+        let a = mono.run_stream_on(&scenario, seed, &cfg, serial);
+        let b = sharded.run_stream_on(&scenario, seed, &cfg, parallel);
+        assert_streams_bit_identical(&a, &b, &format!("sharded stream seed {seed}"));
+    }
+}
+
+/// With a deadline admitting every arrival, the streamed loop reproduces
+/// the batch `Lovm` round loop bit-exactly: same sealed bid vectors, same
+/// outcomes, same queue trajectory, same ledger.
+#[test]
+fn streamed_full_deadline_reproduces_batch_rounds() {
+    use ingest::IngestConfig;
+    use lovm_core::lovm::{Lovm, LovmConfig};
+    use lovm_core::simulate;
+    use workload::Scenario;
+    let scenario = Scenario::small();
+    let (serial, _) = pools();
+    for &seed in &SEEDS {
+        let mut batch_mech = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let batch = simulate(&mut batch_mech, &scenario, seed);
+        let mut stream_mech = Lovm::new(LovmConfig::for_scenario(&scenario, 20.0));
+        let streamed = stream_mech.run_stream_on(&scenario, seed, &IngestConfig::default(), serial);
+        assert_eq!(
+            batch.bids_per_round, streamed.result.bids_per_round,
+            "sealed rounds diverged from batch bid vectors, seed {seed}"
+        );
+        for (round, (oa, ob)) in batch
+            .outcomes
+            .iter()
+            .zip(&streamed.result.outcomes)
+            .enumerate()
+        {
+            assert_outcomes_bit_identical(
+                oa,
+                ob,
+                &format!("batch-vs-stream seed {seed} round {round}"),
+            );
+        }
+        let qa = batch.series.get("backlog").unwrap();
+        let qb = streamed.result.series.get("backlog").unwrap();
+        assert_eq!(
+            qa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            qb.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "queue trajectory diverged from batch, seed {seed}"
+        );
+        assert_eq!(batch.ledger, streamed.result.ledger, "seed {seed}");
     }
 }
 
@@ -160,7 +295,10 @@ fn simulation_sweep_parallel_is_bit_identical() {
     let scenario = Scenario::small();
     let (serial, parallel) = pools();
     let factory = || -> Box<dyn lovm_core::Mechanism> {
-        Box::new(Lovm::new(LovmConfig::for_scenario(&Scenario::small(), 20.0)))
+        Box::new(Lovm::new(LovmConfig::for_scenario(
+            &Scenario::small(),
+            20.0,
+        )))
     };
     let a = simulate_seeds_on(factory, &scenario, &SEEDS, serial);
     let b = simulate_seeds_on(factory, &scenario, &SEEDS, parallel);
@@ -179,7 +317,10 @@ fn simulation_sweep_parallel_is_bit_identical() {
             wb.iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
             "welfare trajectory diverged, seed {seed}"
         );
-        assert!(ra.ledger.total_payment() > 0.0, "degenerate run, seed {seed}");
+        assert!(
+            ra.ledger.total_payment() > 0.0,
+            "degenerate run, seed {seed}"
+        );
     }
     // Sweep results must also arrive in seed order, not completion order:
     // distinct seeds produce distinct bid streams.

@@ -83,7 +83,11 @@ fn check_invariants(result: &SimulationResult, scenario: &Scenario) {
         let ids = outcome.winner_ids();
         let mut dedup = ids.clone();
         dedup.dedup();
-        assert_eq!(ids, dedup, "{} round {round}: duplicate winners", result.mechanism);
+        assert_eq!(
+            ids, dedup,
+            "{} round {round}: duplicate winners",
+            result.mechanism
+        );
     }
 }
 
