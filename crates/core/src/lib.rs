@@ -21,6 +21,9 @@
 //!   arrivals through the event-driven ingestion loop (`crates/ingest`)
 //!   into the same VCG path, bit-identical to the batch simulator when
 //!   the deadline admits every arrival,
+//! * [`serve`] — the event-sourced market server: journaled sessions
+//!   with snapshot + replay crash recovery (`crates/journal`) behind a
+//!   `std::net` TCP accept loop (`lovm serve`),
 //! * [`orchestrator`] — couples the mechanism to a real `fedsim` training
 //!   run so accuracy curves reflect who was actually recruited.
 //!
@@ -50,6 +53,7 @@ pub mod mechanism;
 pub mod multi;
 pub mod offline;
 pub mod orchestrator;
+pub mod serve;
 pub mod simulation;
 pub mod streaming;
 
@@ -59,5 +63,6 @@ pub use lovm::{Lovm, LovmConfig};
 pub use mechanism::{HardBudgetCap, Mechanism, RoundInfo};
 pub use multi::{Constraint, MultiLovm, MultiLovmConfig, ResourceUsage};
 pub use offline::{offline_benchmark, OfflineBenchmark};
+pub use serve::{MarketServer, MarketSession, SealedOutcome, ServeConfig, SessionConfig};
 pub use simulation::{simulate, simulate_seeds, simulate_seeds_on, SimulationResult};
 pub use streaming::{run_stream, MarketStream, StreamResult};

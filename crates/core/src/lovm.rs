@@ -150,6 +150,18 @@ impl Lovm {
         self.dpp.queue().peak()
     }
 
+    /// Restores the virtual-queue backlog from a recovered snapshot or
+    /// journal replay (see `crates/journal` and [`crate::serve`]). The
+    /// control state is exact to the bit; per-process telemetry (peak,
+    /// round count) restarts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backlog` is negative or non-finite.
+    pub fn restore_backlog(&mut self, backlog: f64) {
+        self.dpp.restore_backlog(backlog);
+    }
+
     /// Runs one LOVM round on an explicit worker pool: scores the bids
     /// with the current drift-plus-penalty weights, solves the
     /// (topology-aware) VCG round, and feeds the realized spend back into

@@ -163,7 +163,10 @@ impl Mechanism for MultiLovm {
             .map(|(i, b)| (i, self.score(b)))
             .filter(|&(_, w)| w > 0.0)
             .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+        // Total order even on degenerate scores (a NaN weight ratio must
+        // not panic the round loop), with the index as an explicit
+        // tiebreak so equal scores keep arrival order deterministically.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         let winners: Vec<(usize, f64)> = scored.iter().copied().take(k).collect();
         let displaced = if winners.len() >= k {
             scored.get(k).map_or(0.0, |&(_, w)| w)
@@ -273,6 +276,37 @@ mod tests {
             1.5
         );
         assert_eq!(ResourceUsage::WinnerSlot.of(&b), 1.0);
+    }
+
+    #[test]
+    fn nan_scores_are_ranked_out_not_panicked_on() {
+        // A degenerate per-data coefficient makes the constraint term the
+        // 0 · ∞ = NaN weight ratio (empty queue times infinite usage):
+        // selection must rank such a bid out via the total order, never
+        // panic mid-round.
+        let mut cfg = config();
+        cfg.constraints[0].usage = ResourceUsage::EnergyAffine {
+            base: 0.0,
+            per_data: f64::INFINITY,
+        };
+        let mut m = MultiLovm::new(cfg);
+        let degenerate = Bid::new(7, 0.5, 100, 1.0);
+        assert!(m.score(&degenerate).is_nan());
+        let o = m.select(&info(0), &[degenerate]);
+        assert!(o.winners.is_empty(), "NaN-scored bid must not win");
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_index() {
+        // Four bit-identical offers compete for three slots: the explicit
+        // index tiebreak must cut deterministically at arrival order, so
+        // the first three bids in the slice win.
+        let mut m = MultiLovm::new(config());
+        let twin = |bidder| Bid::new(bidder, 1.0, 300, 0.9);
+        let o = m.select(&info(0), &[twin(5), twin(2), twin(9), twin(7)]);
+        let mut won: Vec<usize> = o.winners.iter().map(|a| a.bidder).collect();
+        won.sort_unstable();
+        assert_eq!(won, vec![2, 5, 9]);
     }
 
     #[test]

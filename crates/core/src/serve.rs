@@ -1,0 +1,1020 @@
+//! The event-sourced market server behind `lovm serve`.
+//!
+//! A [`MarketSession`] is one long-lived auction market: bids arrive over
+//! time, rounds seal on demand, and *every* state transition — arrival,
+//! seal, outcome — is journaled as one JSON line (`crates/journal`)
+//! before it is applied. The outcome line is fsynced, making it the
+//! commit record: a `SIGKILL` at any instant loses at most the un-sealed
+//! round in flight, and [`MarketSession::open`] recovers by truncating
+//! the torn tail, optionally fast-forwarding from the latest snapshot,
+//! and replaying the remaining events through the *same* code path the
+//! live server runs — verifying the recomputed digest against every
+//! journaled outcome, so a recovered session is bit-identical to one
+//! that never crashed.
+//!
+//! [`MarketServer`] wraps sessions in a zero-dependency
+//! `std::net::TcpListener` accept loop: one thread per connection, each
+//! connection a reader-producer feeding a bounded `mpsc` channel into
+//! the market loop (the same producer/consumer discipline as
+//! `ingest::ThreadedDriver` — a disconnected peer is a graceful stop,
+//! never a panic). Many sessions run concurrently, each with its own
+//! journal file keyed by the client-chosen session name.
+//!
+//! Environment: `LOVM_JOURNAL` points the CLI at the journal directory
+//! and `LOVM_SNAPSHOT_EVERY` sets the snapshot cadence in sealed rounds
+//! (0 disables snapshots; malformed values panic at startup, a silently
+//! ignored override being worse than a crash).
+
+use crate::lovm::{Lovm, LovmConfig};
+use auction::bid::Bid;
+use auction::outcome::AuctionOutcome;
+use ingest::stats::IngestStats;
+use ingest::{Admission, CollectedRound, IngestConfig, RoundCollector};
+use journal::{Digest, JournalEvent, JournalWriter, Snapshot};
+use metrics::json::JsonValue;
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc, Mutex};
+use workload::arrivals::TimedBid;
+
+/// Environment variable naming the server's journal directory.
+pub const JOURNAL_ENV: &str = "LOVM_JOURNAL";
+
+/// Environment variable setting the snapshot cadence in sealed rounds
+/// (`LOVM_SNAPSHOT_EVERY=8`; 0 disables snapshots).
+pub const SNAPSHOT_EVERY_ENV: &str = "LOVM_SNAPSHOT_EVERY";
+
+/// Snapshot cadence from the environment (default 8).
+///
+/// # Panics
+///
+/// Panics with a descriptive message when `LOVM_SNAPSHOT_EVERY` is set
+/// to anything but an unsigned round count.
+pub fn snapshot_every_from_env() -> usize {
+    parse_snapshot_every(std::env::var(SNAPSHOT_EVERY_ENV).ok().as_deref())
+}
+
+fn parse_snapshot_every(raw: Option<&str>) -> usize {
+    match raw {
+        None => 8,
+        Some(raw) => raw.trim().parse::<usize>().unwrap_or_else(|_| {
+            panic!(
+                "{SNAPSHOT_EVERY_ENV} must be a sealed-round count \
+                 (0 disables snapshots), got `{raw}`"
+            )
+        }),
+    }
+}
+
+/// Journal directory from the environment (default `lovm-journal`).
+pub fn journal_dir_from_env() -> PathBuf {
+    std::env::var_os(JOURNAL_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("lovm-journal"))
+}
+
+/// Configuration of one journaled market session.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The append-only journal file.
+    pub journal: PathBuf,
+    /// Snapshot file (`None` disables snapshots entirely).
+    pub snapshot: Option<PathBuf>,
+    /// Snapshot every this many sealed rounds (0 disables).
+    pub snapshot_every: usize,
+    /// Mechanism configuration — must match across restarts for the
+    /// replay-equality guarantee to hold (the digest check catches a
+    /// mismatch at recovery).
+    pub lovm: LovmConfig,
+    /// Ingestion configuration — same caveat as `lovm`.
+    pub ingest: IngestConfig,
+}
+
+impl SessionConfig {
+    /// A session journaling to `journal`, with the snapshot beside it
+    /// (`<journal>.snapshot`) at the default cadence.
+    pub fn new(journal: impl Into<PathBuf>) -> Self {
+        let journal = journal.into();
+        let mut snapshot = journal.clone().into_os_string();
+        snapshot.push(".snapshot");
+        SessionConfig {
+            journal,
+            snapshot: Some(PathBuf::from(snapshot)),
+            snapshot_every: 8,
+            lovm: LovmConfig::default(),
+            ingest: IngestConfig::default(),
+        }
+    }
+}
+
+/// What [`MarketSession::seal`] hands back (and journals).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SealedOutcome {
+    /// Round index just sealed.
+    pub round: usize,
+    /// Ingestion telemetry of the round.
+    pub stats: IngestStats,
+    /// The auction outcome.
+    pub outcome: AuctionOutcome,
+    /// Virtual-queue backlog after the round.
+    pub backlog: f64,
+    /// Running state digest after the round.
+    pub digest: u64,
+}
+
+/// One event-sourced market: collector + mechanism + journal (see the
+/// module docs for the durability contract).
+#[derive(Debug)]
+pub struct MarketSession {
+    cfg: SessionConfig,
+    writer: JournalWriter,
+    collector: RoundCollector,
+    lovm: Lovm,
+    pool: par::Pool,
+    digest: Digest,
+    welfare: f64,
+    spend: f64,
+    next_seq: u64,
+    rounds_since_snapshot: usize,
+    recovered_rounds: usize,
+}
+
+fn corrupt(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// A snapshot is usable only when the journal's committed prefix still
+/// covers it *and* the event right at its boundary is the outcome whose
+/// digest the snapshot recorded. A snapshot ahead of a truncated journal
+/// (or from a diverged history) fails this and recovery falls back to a
+/// full replay — the snapshot is an accelerator, never the truth.
+fn snapshot_covers(snap: &Snapshot, events: &[JournalEvent]) -> bool {
+    let n = snap.events as usize;
+    if n == 0 || n > events.len() {
+        return false;
+    }
+    matches!(&events[n - 1], JournalEvent::Outcome { digest, .. } if *digest == snap.digest)
+}
+
+impl MarketSession {
+    /// Opens (or resumes) the session: recovers the journal — truncating
+    /// any torn or uncommitted tail — then rebuilds the market state by
+    /// snapshot fast-forward plus replay, verifying the recomputed
+    /// digest against every replayed outcome line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, plus `InvalidData` when replay diverges from the
+    /// journal (a committed-region corruption or a config mismatch).
+    pub fn open(cfg: SessionConfig) -> std::io::Result<MarketSession> {
+        cfg.ingest.validate();
+        let recovered = journal::recover(&cfg.journal)?;
+        let committed = recovered.events.len() as u64;
+        let snapshot = match &cfg.snapshot {
+            Some(path) => {
+                journal::read_snapshot(path)?.filter(|s| snapshot_covers(s, &recovered.events))
+            }
+            None => None,
+        };
+        let writer = if cfg.journal.exists() {
+            JournalWriter::open_append(&cfg.journal, committed)?
+        } else {
+            JournalWriter::create(&cfg.journal)?
+        };
+        let mut lovm = Lovm::new(cfg.lovm);
+        let (collector, digest, welfare, spend, next_seq, replay_from) = match &snapshot {
+            Some(snap) => {
+                lovm.restore_backlog(snap.backlog);
+                (
+                    RoundCollector::restore(&cfg.ingest, cfg.ingest.capacity, &snap.collector),
+                    Digest::resume(snap.digest),
+                    snap.welfare,
+                    snap.spend,
+                    snap.collector.next_seq,
+                    snap.events as usize,
+                )
+            }
+            None => (
+                RoundCollector::new(&cfg.ingest),
+                Digest::new(),
+                0.0,
+                0.0,
+                0,
+                0,
+            ),
+        };
+        let mut session = MarketSession {
+            cfg,
+            writer,
+            collector,
+            lovm,
+            pool: par::Pool::auto(),
+            digest,
+            welfare,
+            spend,
+            next_seq,
+            rounds_since_snapshot: 0,
+            recovered_rounds: 0,
+        };
+        for ev in &recovered.events[replay_from..] {
+            session.replay_event(ev)?;
+        }
+        session.recovered_rounds = session.collector.next_round();
+        Ok(session)
+    }
+
+    /// Re-applies one committed journal event through the live code
+    /// path, verifying outcomes bitwise via the running digest.
+    fn replay_event(&mut self, ev: &JournalEvent) -> std::io::Result<()> {
+        match ev {
+            JournalEvent::Arrival { seq, at, bid } => {
+                self.next_seq = self.next_seq.max(seq + 1);
+                self.collector
+                    .offer_at(*seq, TimedBid { at: *at, bid: *bid });
+            }
+            JournalEvent::Seal { round, sealed } => {
+                let (collected, _) = self.run_round();
+                if collected.sealed.round() != *round
+                    || collected.sealed.bids() != sealed.as_slice()
+                {
+                    return Err(corrupt(format!(
+                        "replay diverged at the seal of round {round}: the journal's \
+                         sealed set does not match the recomputed one"
+                    )));
+                }
+            }
+            JournalEvent::Outcome {
+                round,
+                backlog,
+                digest,
+                ..
+            } => {
+                if self.collector.next_round() != round + 1
+                    || self.digest.value() != *digest
+                    || self.lovm.queue_backlog().to_bits() != backlog.to_bits()
+                {
+                    return Err(corrupt(format!(
+                        "replay diverged at the outcome of round {round}: recomputed \
+                         digest {:016x} vs journaled {digest:016x}",
+                        self.digest.value()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Seals the next round and folds everything economic — sealed bids,
+    /// awards, welfare, spend, backlog — into the running digest. Shared
+    /// verbatim by the live path and replay: that sharing *is* the
+    /// recovery guarantee.
+    fn run_round(&mut self) -> (CollectedRound, AuctionOutcome) {
+        let collected = self.collector.seal_next();
+        let outcome = self.lovm.round_on(collected.sealed.bids(), self.pool);
+        let backlog = self.lovm.queue_backlog();
+        self.digest.fold_usize(collected.sealed.round());
+        for b in collected.sealed.bids() {
+            self.digest.fold_usize(b.bidder);
+            self.digest.fold_f64(b.cost);
+            self.digest.fold_usize(b.data_size);
+            self.digest.fold_f64(b.quality);
+        }
+        for a in &outcome.winners {
+            self.digest.fold_usize(a.bidder);
+            self.digest.fold_f64(a.cost);
+            self.digest.fold_f64(a.value);
+            self.digest.fold_f64(a.payment);
+        }
+        self.digest.fold_f64(outcome.virtual_welfare);
+        self.digest.fold_f64(outcome.total_payment());
+        self.digest.fold_f64(backlog);
+        self.welfare += outcome.virtual_welfare;
+        self.spend += outcome.total_payment();
+        (collected, outcome)
+    }
+
+    /// Accepts one bid arrival: journals it (write-ahead, flushed but
+    /// not yet durable — the next seal's fsync commits it), then offers
+    /// it to the collector under a session-owned sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not finite.
+    pub fn offer(&mut self, at: f64, bid: Bid) -> std::io::Result<(u64, Admission)> {
+        assert!(at.is_finite(), "arrival time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.writer
+            .append(&JournalEvent::Arrival { seq, at, bid })?;
+        let admission = self.collector.offer_at(seq, TimedBid { at, bid });
+        Ok((seq, admission))
+    }
+
+    /// Seals the next round: runs the topology-aware VCG path, journals
+    /// the seal and outcome lines, fsyncs (the commit point), and writes
+    /// a snapshot if the cadence says so.
+    pub fn seal(&mut self) -> std::io::Result<SealedOutcome> {
+        let (collected, outcome) = self.run_round();
+        let round = collected.sealed.round();
+        let backlog = self.lovm.queue_backlog();
+        self.writer.append(&JournalEvent::Seal {
+            round,
+            sealed: collected.sealed.bids().to_vec(),
+        })?;
+        self.writer.append(&JournalEvent::Outcome {
+            round,
+            awards: outcome.winners.clone(),
+            virtual_welfare: outcome.virtual_welfare,
+            spend: outcome.total_payment(),
+            backlog,
+            digest: self.digest.value(),
+        })?;
+        self.writer.sync()?;
+        self.maybe_snapshot()?;
+        Ok(SealedOutcome {
+            round,
+            stats: collected.stats,
+            outcome,
+            backlog,
+            digest: self.digest.value(),
+        })
+    }
+
+    fn maybe_snapshot(&mut self) -> std::io::Result<()> {
+        let Some(path) = &self.cfg.snapshot else {
+            return Ok(());
+        };
+        if self.cfg.snapshot_every == 0 {
+            return Ok(());
+        }
+        self.rounds_since_snapshot += 1;
+        if self.rounds_since_snapshot < self.cfg.snapshot_every {
+            return Ok(());
+        }
+        self.rounds_since_snapshot = 0;
+        let snap = Snapshot {
+            events: self.writer.events(),
+            collector: self.collector.export_state(),
+            backlog: self.lovm.queue_backlog(),
+            welfare: self.welfare,
+            spend: self.spend,
+            digest: self.digest.value(),
+        };
+        journal::write_snapshot(path, &snap)
+    }
+
+    /// Rounds sealed so far (including recovered ones).
+    pub fn rounds_sealed(&self) -> usize {
+        self.collector.next_round()
+    }
+
+    /// Rounds the session resumed with at [`MarketSession::open`].
+    pub fn recovered_rounds(&self) -> usize {
+        self.recovered_rounds
+    }
+
+    /// Running state digest (see `journal::Digest`).
+    pub fn digest(&self) -> u64 {
+        self.digest.value()
+    }
+
+    /// Current virtual-queue backlog.
+    pub fn backlog(&self) -> f64 {
+        self.lovm.queue_backlog()
+    }
+
+    /// Cumulative virtual welfare over all sealed rounds.
+    pub fn welfare(&self) -> f64 {
+        self.welfare
+    }
+
+    /// Cumulative payments over all sealed rounds.
+    pub fn total_spend(&self) -> f64 {
+        self.spend
+    }
+
+    /// Committed + appended journal events.
+    pub fn journal_events(&self) -> u64 {
+        self.writer.events()
+    }
+}
+
+// ---------------------------------------------------------------------
+// The wire protocol: one JSON object per line, both directions.
+// ---------------------------------------------------------------------
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+enum Request {
+    Hello { session: String },
+    Bid { at: f64, bid: Bid },
+    Seal,
+    State,
+    Quit,
+}
+
+fn valid_session_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+/// Parses one request line. Total: hostile input yields `Err`, never a
+/// panic — the bid domain is re-validated before `Bid::new`.
+fn parse_request(line: &str) -> Result<Request, String> {
+    let v = JsonValue::parse(line).map_err(|e| format!("bad json: {}", e.message))?;
+    let cmd = v
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing `cmd`")?;
+    match cmd {
+        "hello" => {
+            let session = v
+                .get("session")
+                .and_then(JsonValue::as_str)
+                .ok_or("hello needs a `session` name")?;
+            if !valid_session_name(session) {
+                return Err(format!(
+                    "session name must be 1-64 chars of [A-Za-z0-9_-], got `{session}`"
+                ));
+            }
+            Ok(Request::Hello {
+                session: session.to_string(),
+            })
+        }
+        "bid" => {
+            let at = v
+                .get("at")
+                .and_then(JsonValue::as_f64)
+                .filter(|t| t.is_finite())
+                .ok_or("bid needs a finite `at`")?;
+            let bidder = v
+                .get("bidder")
+                .and_then(JsonValue::as_usize)
+                .ok_or("bid needs a `bidder` id")?;
+            let cost = v
+                .get("cost")
+                .and_then(JsonValue::as_f64)
+                .filter(|c| c.is_finite() && *c >= 0.0)
+                .ok_or("bid needs a non-negative finite `cost`")?;
+            let data = v
+                .get("data")
+                .and_then(JsonValue::as_usize)
+                .ok_or("bid needs a `data` size")?;
+            let quality = v
+                .get("quality")
+                .and_then(JsonValue::as_f64)
+                .filter(|q| (0.0..=1.0).contains(q))
+                .ok_or("bid needs a `quality` in [0, 1]")?;
+            Ok(Request::Bid {
+                at,
+                bid: Bid::new(bidder, cost, data, quality),
+            })
+        }
+        "seal" => Ok(Request::Seal),
+        "state" => Ok(Request::State),
+        "quit" => Ok(Request::Quit),
+        other => Err(format!("unknown cmd `{other}`")),
+    }
+}
+
+fn admission_name(a: Admission) -> &'static str {
+    match a {
+        Admission::Stored => "stored",
+        Admission::Shed => "shed",
+        Admission::Blocked => "blocked",
+    }
+}
+
+fn error_response(message: &str) -> JsonValue {
+    JsonValue::object()
+        .field("event", "error")
+        .field("message", message)
+}
+
+fn sealed_response(s: &SealedOutcome) -> JsonValue {
+    let mut winners = JsonValue::array();
+    for a in &s.outcome.winners {
+        winners = winners.item(
+            JsonValue::object()
+                .field("bidder", a.bidder)
+                .field("payment", a.payment),
+        );
+    }
+    JsonValue::object()
+        .field("event", "sealed")
+        .field("round", s.round)
+        .field("sealed", s.stats.sealed)
+        .field("winners", winners)
+        .field("welfare", s.outcome.virtual_welfare)
+        .field("spend", s.outcome.total_payment())
+        .field("backlog", s.backlog)
+        .field("digest", journal::u64_hex(s.digest))
+}
+
+fn state_response(session: &MarketSession) -> JsonValue {
+    JsonValue::object()
+        .field("event", "state")
+        .field("rounds", session.rounds_sealed())
+        .field("welfare", session.welfare())
+        .field("spend", session.total_spend())
+        .field("backlog", session.backlog())
+        .field("digest", journal::u64_hex(session.digest()))
+}
+
+fn respond(out: &mut TcpStream, v: JsonValue) -> std::io::Result<()> {
+    let mut line = v.to_string();
+    line.push('\n');
+    out.write_all(line.as_bytes())
+}
+
+// ---------------------------------------------------------------------
+// The accept loop.
+// ---------------------------------------------------------------------
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port — read it
+    /// back from [`MarketServer::local_addr`]).
+    pub addr: String,
+    /// Directory holding one journal (+ snapshot) per session name.
+    pub journal_dir: PathBuf,
+    /// Snapshot cadence in sealed rounds (0 disables).
+    pub snapshot_every: usize,
+    /// Mechanism configuration shared by every session.
+    pub lovm: LovmConfig,
+    /// Ingestion configuration shared by every session.
+    pub ingest: IngestConfig,
+}
+
+impl ServeConfig {
+    /// A server on `addr` journaling under `journal_dir`, defaults
+    /// elsewhere.
+    pub fn new(addr: impl Into<String>, journal_dir: impl Into<PathBuf>) -> Self {
+        ServeConfig {
+            addr: addr.into(),
+            journal_dir: journal_dir.into(),
+            snapshot_every: 8,
+            lovm: LovmConfig::default(),
+            ingest: IngestConfig::default(),
+        }
+    }
+}
+
+/// The TCP market server (see module docs).
+#[derive(Debug)]
+pub struct MarketServer {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    active: Arc<Mutex<HashSet<String>>>,
+}
+
+/// Releases a claimed session name when the connection ends, however it
+/// ends.
+struct SessionClaim {
+    name: String,
+    active: Arc<Mutex<HashSet<String>>>,
+}
+
+impl Drop for SessionClaim {
+    fn drop(&mut self) {
+        self.active.lock().unwrap().remove(&self.name);
+    }
+}
+
+impl MarketServer {
+    /// Creates the journal directory and binds the listener.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<MarketServer> {
+        std::fs::create_dir_all(&cfg.journal_dir)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(MarketServer {
+            listener,
+            cfg,
+            active: Arc::new(Mutex::new(HashSet::new())),
+        })
+    }
+
+    /// The actually-bound address (resolves an ephemeral `:0` port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one handler thread per connection.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let Ok(stream) = stream else { continue };
+            let cfg = self.cfg.clone();
+            let active = Arc::clone(&self.active);
+            std::thread::spawn(move || {
+                // A dropped peer is a normal way for a connection to end.
+                let _ = handle_connection(stream, &cfg, active);
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    cfg: &ServeConfig,
+    active: Arc<Mutex<HashSet<String>>>,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    // The reader half is its own producer thread feeding a bounded
+    // channel, mirroring `ingest::ThreadedDriver`: when the market loop
+    // goes away the send fails and the producer stops — gracefully.
+    let (tx, rx) = mpsc::sync_channel::<Result<Request, String>>(cfg.ingest.capacity.min(4096));
+    std::thread::spawn(move || {
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx.send(parse_request(&line)).is_err() {
+                return;
+            }
+        }
+        // EOF (or a read error) quits the session like a polite client.
+        let _ = tx.send(Ok(Request::Quit));
+    });
+
+    // The conversation starts with `hello`, which names the session.
+    let name = loop {
+        match rx.recv() {
+            Ok(Ok(Request::Hello { session })) => break session,
+            Ok(Ok(Request::Quit)) | Err(_) => {
+                let _ = respond(&mut out, JsonValue::object().field("event", "bye"));
+                return Ok(());
+            }
+            Ok(Ok(_)) => respond(&mut out, error_response("say hello first"))?,
+            Ok(Err(msg)) => respond(&mut out, error_response(&msg))?,
+        }
+    };
+    if !active.lock().unwrap().insert(name.clone()) {
+        respond(
+            &mut out,
+            error_response(&format!("session `{name}` is already being served")),
+        )?;
+        return Ok(());
+    }
+    let _claim = SessionClaim {
+        name: name.clone(),
+        active,
+    };
+
+    let mut session_cfg = SessionConfig::new(cfg.journal_dir.join(format!("{name}.jsonl")));
+    session_cfg.snapshot = Some(cfg.journal_dir.join(format!("{name}.snapshot.json")));
+    session_cfg.snapshot_every = cfg.snapshot_every;
+    session_cfg.lovm = cfg.lovm;
+    session_cfg.ingest = cfg.ingest;
+    let mut session = match MarketSession::open(session_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            respond(
+                &mut out,
+                error_response(&format!("cannot open session `{name}`: {e}")),
+            )?;
+            return Ok(());
+        }
+    };
+    respond(
+        &mut out,
+        JsonValue::object()
+            .field("event", "welcome")
+            .field("session", name.as_str())
+            .field("rounds", session.rounds_sealed())
+            .field("backlog", session.backlog())
+            .field("digest", journal::u64_hex(session.digest())),
+    )?;
+
+    loop {
+        match rx.recv() {
+            Ok(Ok(Request::Bid { at, bid })) => {
+                let (seq, admission) = session.offer(at, bid)?;
+                respond(
+                    &mut out,
+                    JsonValue::object()
+                        .field("event", "bid")
+                        .field("seq", seq)
+                        .field("admission", admission_name(admission)),
+                )?;
+            }
+            Ok(Ok(Request::Seal)) => {
+                let sealed = session.seal()?;
+                respond(&mut out, sealed_response(&sealed))?;
+            }
+            Ok(Ok(Request::State)) => respond(&mut out, state_response(&session))?,
+            Ok(Ok(Request::Hello { .. })) => {
+                respond(&mut out, error_response("already in a session"))?;
+            }
+            Ok(Ok(Request::Quit)) | Err(_) => {
+                let _ = respond(&mut out, JsonValue::object().field("event", "bye"));
+                return Ok(());
+            }
+            Ok(Err(msg)) => respond(&mut out, error_response(&msg))?,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("lovm-serve-test-{}-{tag}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn session_cfg(dir: &Path, snapshot_every: usize) -> SessionConfig {
+        let mut cfg = SessionConfig::new(dir.join("market.jsonl"));
+        cfg.snapshot = Some(dir.join("market.snapshot.json"));
+        cfg.snapshot_every = snapshot_every;
+        cfg.lovm = LovmConfig {
+            v: 20.0,
+            budget_per_round: 2.0,
+            max_winners: Some(3),
+            ..LovmConfig::default()
+        };
+        cfg
+    }
+
+    /// Deterministic offers for round `r`: a handful of bidders whose
+    /// costs/sizes vary by round, timestamped inside the round span.
+    fn offers_for_round(r: usize) -> Vec<(f64, Bid)> {
+        (0..5)
+            .map(|i| {
+                let at = r as f64 + (i as f64 + 0.5) / 6.0;
+                let cost = 0.6 + ((r * 7 + i * 3) % 11) as f64 * 0.21;
+                let data = 80 + ((r * 13 + i * 29) % 300);
+                let quality = 0.55 + ((r + i) % 5) as f64 * 0.09;
+                (at, Bid::new(i, cost, data, quality))
+            })
+            .collect()
+    }
+
+    fn drive_rounds(
+        session: &mut MarketSession,
+        rounds: std::ops::Range<usize>,
+    ) -> Vec<SealedOutcome> {
+        rounds
+            .map(|r| {
+                for (at, bid) in offers_for_round(r) {
+                    session.offer(at, bid).unwrap();
+                }
+                session.seal().unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshot_every_parses_or_panics() {
+        assert_eq!(parse_snapshot_every(None), 8);
+        assert_eq!(parse_snapshot_every(Some("0")), 0);
+        assert_eq!(parse_snapshot_every(Some(" 12 ")), 12);
+        for bad in ["abc", "", "-1", "2.5", "8 rounds"] {
+            let result = std::panic::catch_unwind(|| parse_snapshot_every(Some(bad)));
+            assert!(result.is_err(), "`{bad}` must panic");
+        }
+    }
+
+    /// The tentpole contract: kill a session mid-round, reopen it, and
+    /// the recovered server continues bit-identically with a reference
+    /// that never crashed — with and without snapshots in play.
+    #[test]
+    fn crash_recovery_is_bit_identical() {
+        for snapshot_every in [0usize, 2] {
+            let ref_dir = temp_dir("ref");
+            let crash_dir = temp_dir("crash");
+            let mut reference = MarketSession::open(session_cfg(&ref_dir, snapshot_every)).unwrap();
+            let ref_outcomes = drive_rounds(&mut reference, 0..7);
+
+            let mut victim = MarketSession::open(session_cfg(&crash_dir, snapshot_every)).unwrap();
+            let pre_crash = drive_rounds(&mut victim, 0..4);
+            assert_eq!(pre_crash, ref_outcomes[..4].to_vec());
+            // Round 4 in flight: arrivals journaled but never sealed —
+            // then the crash (drop without sealing).
+            for (at, bid) in offers_for_round(4) {
+                victim.offer(at, bid).unwrap();
+            }
+            drop(victim);
+
+            let mut recovered =
+                MarketSession::open(session_cfg(&crash_dir, snapshot_every)).unwrap();
+            assert_eq!(recovered.recovered_rounds(), 4);
+            assert_eq!(recovered.digest(), ref_outcomes[3].digest);
+            assert_eq!(
+                recovered.backlog().to_bits(),
+                ref_outcomes[3].backlog.to_bits()
+            );
+            // The unsealed arrivals were truncated; the client re-sends
+            // them and the continuation matches the reference bitwise.
+            let continued = drive_rounds(&mut recovered, 4..7);
+            assert_eq!(continued, ref_outcomes[4..].to_vec());
+            assert_eq!(recovered.digest(), reference.digest());
+            assert_eq!(recovered.welfare().to_bits(), reference.welfare().to_bits());
+            assert_eq!(
+                recovered.total_spend().to_bits(),
+                reference.total_spend().to_bits()
+            );
+            std::fs::remove_dir_all(&ref_dir).ok();
+            std::fs::remove_dir_all(&crash_dir).ok();
+        }
+    }
+
+    /// A recovery-of-a-recovery is still exact (the journal keeps
+    /// growing across generations of the process).
+    #[test]
+    fn repeated_recoveries_keep_continuing() {
+        let dir = temp_dir("regen");
+        let mut all = Vec::new();
+        for generation in 0..4usize {
+            let mut session = MarketSession::open(session_cfg(&dir, 2)).unwrap();
+            assert_eq!(session.rounds_sealed(), generation * 2);
+            all.extend(drive_rounds(
+                &mut session,
+                generation * 2..generation * 2 + 2,
+            ));
+        }
+        let ref_dir = temp_dir("regen-ref");
+        let mut reference = MarketSession::open(session_cfg(&ref_dir, 2)).unwrap();
+        let expect = drive_rounds(&mut reference, 0..8);
+        assert_eq!(all, expect);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
+    }
+
+    /// A snapshot pointing past the journal's committed prefix (its
+    /// fsynced rename survived a crash that tore the journal tail) is
+    /// ignored and recovery falls back to full replay.
+    #[test]
+    fn snapshot_ahead_of_journal_falls_back_to_replay() {
+        let dir = temp_dir("ahead");
+        let mut session = MarketSession::open(session_cfg(&dir, 2)).unwrap();
+        drive_rounds(&mut session, 0..4);
+        let digest_r2 = {
+            // Reference digest at round 2: replay a fresh twin.
+            let tw = temp_dir("ahead-twin");
+            let mut twin = MarketSession::open(session_cfg(&tw, 0)).unwrap();
+            let outs = drive_rounds(&mut twin, 0..2);
+            std::fs::remove_dir_all(&tw).ok();
+            outs[1].digest
+        };
+        drop(session);
+        // Truncate the journal back to round 1's outcome while keeping
+        // the (now too-new) snapshot from round 3 in place.
+        let journal_path = dir.join("market.jsonl");
+        let lines = journal::committed_lines(&journal_path).unwrap();
+        let keep: Vec<&String> = {
+            let mut outcomes = 0;
+            lines
+                .iter()
+                .take_while(|l| {
+                    let done = outcomes >= 2;
+                    if l.contains("\"event\":\"outcome\"") {
+                        outcomes += 1;
+                    }
+                    !done
+                })
+                .collect()
+        };
+        let mut text = keep
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        text.push('\n');
+        std::fs::write(&journal_path, text).unwrap();
+        let recovered = MarketSession::open(session_cfg(&dir, 2)).unwrap();
+        assert_eq!(recovered.recovered_rounds(), 2);
+        assert_eq!(recovered.digest(), digest_r2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_parsing_is_total() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"hello","session":"m-1"}"#),
+            Ok(Request::Hello {
+                session: "m-1".into()
+            })
+        );
+        assert_eq!(
+            parse_request(
+                r#"{"cmd":"bid","at":0.5,"bidder":3,"cost":1.25,"data":100,"quality":0.9}"#
+            ),
+            Ok(Request::Bid {
+                at: 0.5,
+                bid: Bid::new(3, 1.25, 100, 0.9)
+            })
+        );
+        assert_eq!(parse_request(r#"{"cmd":"seal"}"#), Ok(Request::Seal));
+        assert_eq!(parse_request(r#"{"cmd":"state"}"#), Ok(Request::State));
+        assert_eq!(parse_request(r#"{"cmd":"quit"}"#), Ok(Request::Quit));
+        // Hostile input errors instead of panicking (out-of-domain bids
+        // would assert inside Bid::new).
+        for bad in [
+            "not json",
+            r#"{"cmd":"warp"}"#,
+            r#"{"cmd":"hello","session":"../escape"}"#,
+            r#"{"cmd":"hello","session":""}"#,
+            r#"{"cmd":"bid","at":0.5,"bidder":0,"cost":-1,"data":1,"quality":0.5}"#,
+            r#"{"cmd":"bid","at":0.5,"bidder":0,"cost":1,"data":1,"quality":1.5}"#,
+            r#"{"cmd":"bid","at":1e999,"bidder":0,"cost":1,"data":1,"quality":0.5}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad}");
+        }
+    }
+
+    fn send(out: &mut TcpStream, line: &str) {
+        out.write_all(line.as_bytes()).unwrap();
+        out.write_all(b"\n").unwrap();
+    }
+
+    fn read_event(reader: &mut BufReader<TcpStream>) -> JsonValue {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        JsonValue::parse(line.trim()).unwrap()
+    }
+
+    /// End-to-end over real sockets: a session drives rounds, quits,
+    /// reconnects, and resumes with the same digest; a concurrent claim
+    /// of a busy session name is refused.
+    #[test]
+    fn tcp_sessions_survive_reconnection() {
+        let dir = temp_dir("tcp");
+        let server = MarketServer::bind(ServeConfig::new("127.0.0.1:0", &dir)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+
+        let connect = || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            (stream, reader)
+        };
+        let (mut out, mut reader) = connect();
+        send(&mut out, r#"{"cmd":"hello","session":"alpha"}"#);
+        let welcome = read_event(&mut reader);
+        assert_eq!(welcome.get("event").unwrap().as_str(), Some("welcome"));
+        assert_eq!(welcome.get("rounds").unwrap().as_usize(), Some(0));
+
+        // A second connection cannot claim the same live session.
+        let (mut out2, mut reader2) = connect();
+        send(&mut out2, r#"{"cmd":"hello","session":"alpha"}"#);
+        let refused = read_event(&mut reader2);
+        assert_eq!(refused.get("event").unwrap().as_str(), Some("error"));
+        drop((out2, reader2));
+
+        for (at, bid) in offers_for_round(0) {
+            send(
+                &mut out,
+                &format!(
+                    r#"{{"cmd":"bid","at":{at},"bidder":{},"cost":{},"data":{},"quality":{}}}"#,
+                    bid.bidder, bid.cost, bid.data_size, bid.quality
+                ),
+            );
+            let ack = read_event(&mut reader);
+            assert_eq!(ack.get("event").unwrap().as_str(), Some("bid"));
+            assert_eq!(ack.get("admission").unwrap().as_str(), Some("stored"));
+        }
+        send(&mut out, r#"{"cmd":"seal"}"#);
+        let sealed = read_event(&mut reader);
+        assert_eq!(sealed.get("event").unwrap().as_str(), Some("sealed"));
+        assert_eq!(sealed.get("round").unwrap().as_usize(), Some(0));
+        let digest = sealed.get("digest").unwrap().as_str().unwrap().to_string();
+        send(&mut out, r#"{"cmd":"quit"}"#);
+        let bye = read_event(&mut reader);
+        assert_eq!(bye.get("event").unwrap().as_str(), Some("bye"));
+        drop((out, reader));
+
+        // Reconnect: the journal brings the session back, same digest.
+        let (mut out, mut reader) = connect();
+        send(&mut out, r#"{"cmd":"hello","session":"alpha"}"#);
+        let welcome = read_event(&mut reader);
+        assert_eq!(welcome.get("rounds").unwrap().as_usize(), Some(1));
+        assert_eq!(
+            welcome.get("digest").unwrap().as_str(),
+            Some(digest.as_str())
+        );
+        // Garbage on the wire is answered, not fatal.
+        send(&mut out, "not json at all");
+        let err = read_event(&mut reader);
+        assert_eq!(err.get("event").unwrap().as_str(), Some("error"));
+        send(&mut out, r#"{"cmd":"state"}"#);
+        let state = read_event(&mut reader);
+        assert_eq!(state.get("event").unwrap().as_str(), Some("state"));
+        assert_eq!(state.get("rounds").unwrap().as_usize(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -135,6 +135,24 @@ impl ArrivalBuffer {
         self.peak = self.peak.max(self.occupancy);
     }
 
+    /// Marks `n` items as already stored — the snapshot-restore path,
+    /// where a rebuilt collector re-enters its queued events without
+    /// re-running admission. Peak restarts at the restored occupancy,
+    /// exactly where [`ArrivalBuffer::take_peak`] left it at the seal the
+    /// snapshot was taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer has been offered anything already.
+    pub fn preload(&mut self, n: usize) {
+        assert!(
+            self.occupancy == 0 && self.peak == 0,
+            "preload only on a fresh buffer"
+        );
+        self.occupancy = n;
+        self.peak = n;
+    }
+
     /// Records `n` items leaving the buffer (a seal drained them).
     ///
     /// # Panics

@@ -43,12 +43,49 @@ pub struct StreamRun {
     pub leftover: usize,
 }
 
+/// Observes an ingestion stream as a driver moves it: every arrival the
+/// collector accepted (with its stream sequence number) and every sealed
+/// round, in collector order. This is the journaling hook for the
+/// event-sourced server — an observer that appends each callback to an
+/// append-only log captures exactly the information needed to replay the
+/// run bit-identically.
+///
+/// Callbacks always come from the consumer side (single-threaded even
+/// under the threaded driver), so an observer needs no synchronization.
+pub trait IngestObserver {
+    /// An arrival was offered to the collector under sequence number
+    /// `seq`.
+    fn on_arrival(&mut self, seq: u64, tb: &TimedBid) {
+        let _ = (seq, tb);
+    }
+
+    /// A round was sealed.
+    fn on_seal(&mut self, round: &CollectedRound) {
+        let _ = round;
+    }
+}
+
+/// The no-op observer behind [`StreamDriver::drive`].
+impl IngestObserver for () {}
+
 /// Drives a finite arrival stream through `rounds` sealed rounds.
 pub trait StreamDriver {
+    /// [`StreamDriver::drive`] with an [`IngestObserver`] watching every
+    /// offer and seal — the journaling entry point.
+    fn drive_observed(
+        &self,
+        arrivals: &[TimedBid],
+        rounds: usize,
+        cfg: &IngestConfig,
+        observer: &mut dyn IngestObserver,
+    ) -> StreamRun;
+
     /// Runs the stream to completion. `arrivals` must be sorted by
     /// non-decreasing timestamp (the [`workload::arrivals`] generators
     /// guarantee this).
-    fn drive(&self, arrivals: &[TimedBid], rounds: usize, cfg: &IngestConfig) -> StreamRun;
+    fn drive(&self, arrivals: &[TimedBid], rounds: usize, cfg: &IngestConfig) -> StreamRun {
+        self.drive_observed(arrivals, rounds, cfg, &mut ())
+    }
 }
 
 /// The deterministic single-threaded virtual-time driver (see module
@@ -57,17 +94,26 @@ pub trait StreamDriver {
 pub struct VirtualTimeDriver;
 
 impl StreamDriver for VirtualTimeDriver {
-    fn drive(&self, arrivals: &[TimedBid], rounds: usize, cfg: &IngestConfig) -> StreamRun {
+    fn drive_observed(
+        &self,
+        arrivals: &[TimedBid],
+        rounds: usize,
+        cfg: &IngestConfig,
+        observer: &mut dyn IngestObserver,
+    ) -> StreamRun {
         let mut collector = RoundCollector::new(cfg);
         let mut collected = Vec::with_capacity(rounds);
         let mut i = 0usize;
         for round in 0..rounds {
             let seal = collector.schedule().seal_time(round);
             while i < arrivals.len() && arrivals[i].at <= seal {
+                observer.on_arrival(i as u64, &arrivals[i]);
                 collector.offer(arrivals[i]);
                 i += 1;
             }
-            collected.push(collector.seal_next());
+            let round = collector.seal_next();
+            observer.on_seal(&round);
+            collected.push(round);
         }
         let totals =
             StreamTotals::from_rounds(&collected.iter().map(|c| c.stats).collect::<Vec<_>>());
@@ -89,6 +135,43 @@ enum Msg {
     Done {
         producer: usize,
     },
+}
+
+/// Producer loop body: feeds `arrivals[p], arrivals[p + producers], …`
+/// into the channel in slice order, then announces completion. A send on
+/// a disconnected channel — the consumer dropped its receiver, e.g. a
+/// serve session that failed mid-stream — is a *stop signal*, not a
+/// panic: the producer returns quietly so one dead session can't cascade
+/// into a panic storm across its producer threads.
+fn produce(
+    p: usize,
+    producers: usize,
+    arrivals: &[TimedBid],
+    tx: &mpsc::SyncSender<Msg>,
+    lossless: bool,
+    channel_shed: &AtomicU64,
+) {
+    for i in (p..arrivals.len()).step_by(producers) {
+        let msg = Msg::Arrival {
+            producer: p,
+            seq: i as u64,
+            tb: arrivals[i],
+        };
+        if lossless {
+            if tx.send(msg).is_err() {
+                return;
+            }
+        } else {
+            match tx.try_send(msg) {
+                Ok(()) => {}
+                Err(mpsc::TrySendError::Full(_)) => {
+                    channel_shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => return,
+            }
+        }
+    }
+    let _ = tx.send(Msg::Done { producer: p });
 }
 
 /// The real-thread driver (see module docs).
@@ -113,7 +196,13 @@ impl ThreadedDriver {
 }
 
 impl StreamDriver for ThreadedDriver {
-    fn drive(&self, arrivals: &[TimedBid], rounds: usize, cfg: &IngestConfig) -> StreamRun {
+    fn drive_observed(
+        &self,
+        arrivals: &[TimedBid],
+        rounds: usize,
+        cfg: &IngestConfig,
+        observer: &mut dyn IngestObserver,
+    ) -> StreamRun {
         use crate::buffer::Backpressure;
 
         let producers = self.producers.min(arrivals.len()).max(1);
@@ -132,24 +221,9 @@ impl StreamDriver for ThreadedDriver {
             for p in 0..producers {
                 let tx = tx.clone();
                 let channel_shed = &channel_shed;
-                scope.spawn(move || {
-                    // Round-robin slice: index i goes to producer i mod P,
-                    // preserving each producer's time order.
-                    for i in (p..arrivals.len()).step_by(producers) {
-                        let msg = Msg::Arrival {
-                            producer: p,
-                            seq: i as u64,
-                            tb: arrivals[i],
-                        };
-                        if lossless {
-                            tx.send(msg).expect("consumer outlives producers");
-                        } else if tx.try_send(msg).is_err() {
-                            channel_shed.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    tx.send(Msg::Done { producer: p })
-                        .expect("consumer outlives producers");
-                });
+                // Round-robin slice: index i goes to producer i mod P,
+                // preserving each producer's time order.
+                scope.spawn(move || produce(p, producers, arrivals, &tx, lossless, channel_shed));
             }
             drop(tx);
 
@@ -164,6 +238,7 @@ impl StreamDriver for ThreadedDriver {
                     match rx.recv().expect("live producers hold senders") {
                         Msg::Arrival { producer, seq, tb } => {
                             frontier[producer] = tb.at;
+                            observer.on_arrival(seq, &tb);
                             collector.offer_at(seq, tb);
                             offered += 1;
                         }
@@ -173,7 +248,9 @@ impl StreamDriver for ThreadedDriver {
                         }
                     }
                 }
-                collected.push(collector.seal_next());
+                let round = collector.seal_next();
+                observer.on_seal(&round);
+                collected.push(round);
             }
             // Horizon reached: let the remaining producers finish.
             for msg in rx.iter() {
@@ -278,6 +355,95 @@ mod tests {
         assert_eq!(run.leftover, 0);
         let sealed: usize = run.rounds.iter().map(|r| r.stats.sealed).sum();
         assert!(sealed <= 20);
+    }
+
+    /// Records every observer callback for comparison across drivers.
+    #[derive(Default, PartialEq, Debug)]
+    struct Recorder {
+        arrivals: Vec<(u64, TimedBid)>,
+        seals: Vec<CollectedRound>,
+    }
+
+    impl IngestObserver for Recorder {
+        fn on_arrival(&mut self, seq: u64, tb: &TimedBid) {
+            self.arrivals.push((seq, *tb));
+        }
+        fn on_seal(&mut self, round: &CollectedRound) {
+            self.seals.push(round.clone());
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_offer_and_seal() {
+        let arrivals = stream(400, 20.0, 7);
+        let rounds = 15;
+        let mut rec = Recorder::default();
+        let run = VirtualTimeDriver.drive_observed(&arrivals, rounds, &cfg(), &mut rec);
+        assert_eq!(rec.seals, run.rounds);
+        assert_eq!(rec.arrivals.len() + run.leftover, arrivals.len());
+        // The virtual driver offers in stream order under stream seqs.
+        for (i, (seq, tb)) in rec.arrivals.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*tb, arrivals[i]);
+        }
+        // Replaying the journaled arrivals through a fresh collector
+        // reproduces the sealed rounds bit-for-bit — the event-sourcing
+        // contract the serve journal depends on.
+        let mut replay = RoundCollector::with_capacity(&cfg(), usize::MAX);
+        let mut i = 0usize;
+        for (round, original) in rec.seals.iter().enumerate() {
+            let seal = replay.schedule().seal_time(round);
+            while i < rec.arrivals.len() && rec.arrivals[i].1.at <= seal {
+                let (seq, tb) = rec.arrivals[i];
+                replay.offer_at(seq, tb);
+                i += 1;
+            }
+            let replayed = replay.seal_next();
+            assert_eq!(replayed.sealed, original.sealed, "round {round}");
+        }
+    }
+
+    #[test]
+    fn threaded_observer_matches_virtual_sealed_output() {
+        let arrivals = stream(600, 25.0, 13);
+        let rounds = 18;
+        let mut virt = Recorder::default();
+        VirtualTimeDriver.drive_observed(&arrivals, rounds, &cfg(), &mut virt);
+        let pool = par::Pool::with_threads(4);
+        let mut thr = Recorder::default();
+        ThreadedDriver::new(&pool).drive_observed(&arrivals, rounds, &cfg(), &mut thr);
+        // Arrival callback *order* is scheduling-dependent under real
+        // threads; the sealed output is not.
+        let sealed_v: Vec<_> = virt.seals.iter().map(|r| r.sealed.clone()).collect();
+        let sealed_t: Vec<_> = thr.seals.iter().map(|r| r.sealed.clone()).collect();
+        assert_eq!(sealed_v, sealed_t);
+    }
+
+    #[test]
+    fn producers_stop_gracefully_when_consumer_drops() {
+        // The consumer dies mid-run (receiver dropped with producers
+        // still blocked on a tiny channel): every producer must treat the
+        // failed send as a stop signal and return — a panic would abort
+        // the whole scope.
+        let arrivals = stream(5000, 40.0, 11);
+        for lossless in [true, false] {
+            let (tx, rx) = mpsc::sync_channel::<Msg>(8);
+            let shed = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for p in 0..3usize {
+                    let tx = tx.clone();
+                    let (shed, arrivals) = (&shed, &arrivals);
+                    scope.spawn(move || produce(p, 3, arrivals, &tx, lossless, shed));
+                }
+                drop(tx);
+                // Take a few messages, then walk away. Scope exit joins
+                // the producers; any panic would propagate here.
+                for _ in 0..10 {
+                    let _ = rx.recv();
+                }
+                drop(rx);
+            });
+        }
     }
 
     #[test]

@@ -100,6 +100,14 @@ impl EventQueue {
         out
     }
 
+    /// Every queued event in `(time, seq)` order, without draining — the
+    /// deterministic serialization order for snapshots.
+    pub fn to_sorted_vec(&self) -> Vec<Event> {
+        let mut events: Vec<Event> = self.heap.iter().map(|e| e.0).collect();
+        events.sort_by(|a, b| a.time.total_cmp(&b.time).then(a.seq.cmp(&b.seq)));
+        events
+    }
+
     /// Number of queued events.
     pub fn len(&self) -> usize {
         self.heap.len()

@@ -60,8 +60,8 @@ pub mod stats;
 
 pub use buffer::{Admission, ArrivalBuffer, Backpressure};
 pub use clock::{RoundSchedule, VirtualClock};
-pub use collector::{CollectedRound, LateBidPolicy, RoundCollector};
-pub use driver::{StreamDriver, StreamRun, ThreadedDriver, VirtualTimeDriver};
+pub use collector::{AdmitClass, CollectedRound, CollectorState, LateBidPolicy, RoundCollector};
+pub use driver::{IngestObserver, StreamDriver, StreamRun, ThreadedDriver, VirtualTimeDriver};
 pub use stats::{IngestStats, StreamTotals};
 
 /// Name of the environment variable setting the per-round deadline

@@ -1,0 +1,329 @@
+//! The append-only journal file: durable writes and torn-tail recovery.
+//!
+//! **Durability contract.** Arrival lines are written and flushed (so the
+//! OS holds them), but only a seal commits: [`JournalWriter::sync`] runs
+//! `fdatasync` after the round's seal + outcome lines, making the
+//! *outcome line* the commit record. Recovery scans the file front to
+//! back and keeps exactly the prefix ending at the last complete outcome
+//! line; everything after it — torn half-lines from a crashed write,
+//! arrivals that were never sealed, a seal line whose outcome never made
+//! it out — is truncated and never replayed. Clients re-send bids the
+//! server never acknowledged a seal for; the collector's freshest-bid
+//! dedupe makes those re-sends idempotent.
+
+use crate::event::JournalEvent;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Appends [`JournalEvent`]s to a journal file, one JSON line each.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    events: u64,
+}
+
+impl JournalWriter {
+    /// Creates (or truncates) a journal at `path`.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(JournalWriter {
+            file: BufWriter::new(file),
+            path,
+            events: 0,
+        })
+    }
+
+    /// Opens an existing journal for appending after recovery;
+    /// `recovered_events` is the committed event count the recovery scan
+    /// returned (event numbering continues from there).
+    pub fn open_append(path: impl Into<PathBuf>, recovered_events: u64) -> std::io::Result<Self> {
+        let path = path.into();
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok(JournalWriter {
+            file: BufWriter::new(file),
+            path,
+            events: recovered_events,
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events appended (or recovered) so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Appends one event line and flushes it to the OS. Not yet durable —
+    /// call [`JournalWriter::sync`] at the seal to commit.
+    pub fn append(&mut self, event: &JournalEvent) -> std::io::Result<()> {
+        let mut line = event.to_line();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage (`fdatasync`).
+    /// Called once per sealed round, after the outcome line: the fsync
+    /// boundary *is* the durability boundary.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()
+    }
+}
+
+/// What a recovery scan found in a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredJournal {
+    /// The committed prefix: every event up to and including the last
+    /// complete outcome line, in file order.
+    pub events: Vec<JournalEvent>,
+    /// Byte length of the committed prefix.
+    pub committed_bytes: u64,
+    /// Bytes past the commit point (torn lines, unsealed arrivals, a
+    /// dangling seal) that recovery discards.
+    pub discarded_bytes: u64,
+    /// Round index of the last committed outcome, if any round committed.
+    pub last_sealed_round: Option<usize>,
+}
+
+/// Scans a journal without modifying it (see [`recover`] for the
+/// truncating variant). A missing file reads as an empty journal.
+pub fn scan(path: impl AsRef<Path>) -> std::io::Result<RecoveredJournal> {
+    let bytes = match std::fs::read(path.as_ref()) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut events = Vec::new();
+    let mut committed_bytes = 0u64;
+    let mut committed_events = 0usize;
+    let mut last_sealed_round = None;
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let line_end = match bytes[offset..].iter().position(|&b| b == b'\n') {
+            Some(i) => offset + i,
+            None => break, // no terminator: torn tail
+        };
+        let Ok(line) = std::str::from_utf8(&bytes[offset..line_end]) else {
+            break;
+        };
+        let Some(event) = JournalEvent::parse_line(line) else {
+            break;
+        };
+        let is_commit = matches!(event, JournalEvent::Outcome { .. });
+        let round = match event {
+            JournalEvent::Outcome { round, .. } => Some(round),
+            _ => None,
+        };
+        events.push(event);
+        offset = line_end + 1;
+        if is_commit {
+            committed_bytes = offset as u64;
+            committed_events = events.len();
+            last_sealed_round = round;
+        }
+    }
+    events.truncate(committed_events);
+    Ok(RecoveredJournal {
+        events,
+        committed_bytes,
+        discarded_bytes: bytes.len() as u64 - committed_bytes,
+        last_sealed_round,
+    })
+}
+
+/// Recovers a journal in place: scans for the committed prefix and
+/// truncates the file to it, so torn or uncommitted trailing lines can
+/// never be replayed. Returns the committed events.
+pub fn recover(path: impl AsRef<Path>) -> std::io::Result<RecoveredJournal> {
+    let recovered = scan(path.as_ref())?;
+    if recovered.discarded_bytes > 0 {
+        let file = OpenOptions::new().write(true).open(path.as_ref())?;
+        file.set_len(recovered.committed_bytes)?;
+        file.sync_data()?;
+    }
+    Ok(recovered)
+}
+
+/// Reads a journal's full committed contents as raw lines (diagnostics /
+/// tooling; replay uses [`scan`]).
+pub fn committed_lines(path: impl AsRef<Path>) -> std::io::Result<Vec<String>> {
+    let recovered = scan(path.as_ref())?;
+    let mut file = File::open(path.as_ref())?;
+    let mut buf = vec![0u8; recovered.committed_bytes as usize];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut buf)?;
+    let text = String::from_utf8(buf).expect("committed prefix is valid UTF-8");
+    Ok(text.lines().map(str::to_string).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::bid::Bid;
+    use auction::outcome::Award;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Unique temp path per test (no external tempfile crate).
+    pub(crate) fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "lovm-journal-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn arrival(seq: u64, at: f64, bidder: usize) -> JournalEvent {
+        JournalEvent::Arrival {
+            seq,
+            at,
+            bid: Bid::new(bidder, 1.0 + bidder as f64 * 0.25, 100, 0.9),
+        }
+    }
+
+    fn round_events(round: usize) -> Vec<JournalEvent> {
+        let b0 = Bid::new(0, 1.0, 100, 0.9);
+        let b1 = Bid::new(1, 1.25, 100, 0.9);
+        vec![
+            arrival(round as u64 * 2, round as f64 + 0.2, 0),
+            arrival(round as u64 * 2 + 1, round as f64 + 0.4, 1),
+            JournalEvent::Seal {
+                round,
+                sealed: vec![b0, b1],
+            },
+            JournalEvent::Outcome {
+                round,
+                awards: vec![Award {
+                    bidder: 0,
+                    cost: 1.0,
+                    value: 2.1,
+                    payment: 1.3,
+                }],
+                virtual_welfare: 4.2,
+                spend: 1.3,
+                backlog: 0.5 + round as f64,
+                digest: 0x1234_5678_9abc_def0 ^ round as u64,
+            },
+        ]
+    }
+
+    #[test]
+    fn write_scan_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut w = JournalWriter::create(&path).unwrap();
+        let mut all = Vec::new();
+        for r in 0..3 {
+            for ev in round_events(r) {
+                w.append(&ev).unwrap();
+                all.push(ev);
+            }
+            w.sync().unwrap();
+        }
+        assert_eq!(w.events(), all.len() as u64);
+        let rec = scan(&path).unwrap();
+        assert_eq!(rec.events, all);
+        assert_eq!(rec.discarded_bytes, 0);
+        assert_eq!(rec.last_sealed_round, Some(2));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_journal_reads_empty() {
+        let rec = scan(temp_path("missing")).unwrap();
+        assert!(rec.events.is_empty());
+        assert_eq!(rec.committed_bytes, 0);
+        assert_eq!(rec.last_sealed_round, None);
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded_and_truncated() {
+        let path = temp_path("tail");
+        let mut w = JournalWriter::create(&path).unwrap();
+        let committed: Vec<JournalEvent> = round_events(0);
+        for ev in &committed {
+            w.append(ev).unwrap();
+        }
+        w.sync().unwrap();
+        // A round in flight: two arrivals and a seal, but no outcome —
+        // then the crash. Recovery must land on round 0.
+        w.append(&arrival(2, 1.2, 0)).unwrap();
+        w.append(&JournalEvent::Seal {
+            round: 1,
+            sealed: vec![Bid::new(0, 1.0, 100, 0.9)],
+        })
+        .unwrap();
+        drop(w);
+        // Plus a torn half-line, as a crashed buffered write leaves.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(br#"{"event":"outcome","round":1,"awa"#)
+                .unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let rec = recover(&path).unwrap();
+        assert_eq!(rec.events, committed);
+        assert_eq!(rec.last_sealed_round, Some(0));
+        assert!(rec.discarded_bytes > 0);
+        // The file itself was truncated to the commit point.
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(after, rec.committed_bytes);
+        assert!(after < before);
+        // A second recovery is a no-op fixpoint: same committed prefix,
+        // nothing left to discard.
+        let again = recover(&path).unwrap();
+        assert_eq!(again.events, rec.events);
+        assert_eq!(again.committed_bytes, rec.committed_bytes);
+        assert_eq!(again.discarded_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_recovery_continues_the_log() {
+        let path = temp_path("resume");
+        let mut w = JournalWriter::create(&path).unwrap();
+        for ev in round_events(0) {
+            w.append(&ev).unwrap();
+        }
+        w.sync().unwrap();
+        w.append(&arrival(7, 1.1, 3)).unwrap(); // uncommitted
+        drop(w);
+        let rec = recover(&path).unwrap();
+        let mut w = JournalWriter::open_append(&path, rec.events.len() as u64).unwrap();
+        assert_eq!(w.events(), 4);
+        for ev in round_events(1) {
+            w.append(&ev).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let full = scan(&path).unwrap();
+        assert_eq!(full.events.len(), 8);
+        assert_eq!(full.last_sealed_round, Some(1));
+        assert_eq!(full.discarded_bytes, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn committed_lines_match_event_rendering() {
+        let path = temp_path("lines");
+        let mut w = JournalWriter::create(&path).unwrap();
+        let events = round_events(0);
+        for ev in &events {
+            w.append(ev).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let lines = committed_lines(&path).unwrap();
+        let expect: Vec<String> = events.iter().map(JournalEvent::to_line).collect();
+        assert_eq!(lines, expect);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -109,6 +109,19 @@ impl DriftPlusPenalty {
     pub fn rounds(&self) -> u64 {
         self.queue.updates()
     }
+
+    /// Replaces the virtual queue with one resumed at `backlog` — the
+    /// event-sourced server's recovery hook. The control state `Q(t)` is
+    /// restored exactly (to the bit); telemetry (update count, peak,
+    /// rate averages) restarts, which is deliberate: those are
+    /// per-process observations, not part of the mechanism's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backlog` is negative or non-finite.
+    pub fn restore_backlog(&mut self, backlog: f64) {
+        self.queue = VirtualQueue::with_backlog(backlog);
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +230,21 @@ mod tests {
             peak_large > peak_small,
             "larger V should have larger backlog: {peak_small} vs {peak_large}"
         );
+    }
+
+    #[test]
+    fn restore_backlog_resumes_the_queue_bitwise() {
+        let mut a = DriftPlusPenalty::new(DppConfig::default());
+        a.observe_spend(5.0);
+        a.observe_spend(1.0 / 3.0);
+        let mut b = DriftPlusPenalty::new(DppConfig::default());
+        b.restore_backlog(a.queue_backlog());
+        assert_eq!(a.queue_backlog().to_bits(), b.queue_backlog().to_bits());
+        assert_eq!(a.weights(), b.weights());
+        // The restored controller evolves identically from here.
+        a.observe_spend(2.0);
+        b.observe_spend(2.0);
+        assert_eq!(a.queue_backlog().to_bits(), b.queue_backlog().to_bits());
     }
 
     #[test]

@@ -1,9 +1,19 @@
-//! Minimal JSON output layer.
+//! Minimal JSON layer: write-side rendering and read-side line framing.
 //!
 //! The workspace builds offline with zero external dependencies, so the
 //! experiment and benchmark binaries emit machine-readable output through
-//! this module instead of `serde`/`serde_json`. It is write-only by design:
-//! nothing in the repo parses JSON back, it only logs result lines.
+//! this module instead of `serde`/`serde_json`. Since the event-sourced
+//! market server journals its state transitions as one JSON line per event,
+//! the module also carries the matching read side: [`JsonValue::parse`]
+//! turns one line back into a tree, and the accessors
+//! ([`JsonValue::get`], [`JsonValue::as_f64`], …) pick it apart.
+//!
+//! **Round-trip exactness.** A finite `f64` rendered by this module parses
+//! back *bit-identically*: rendering uses Rust's shortest-roundtrip float
+//! formatting (with integral values printed as integers, and `-0.0` kept
+//! signed), and parsing uses Rust's correctly rounded `str::parse::<f64>`.
+//! That guarantee is what lets the crash-recovery journal replay payments,
+//! welfare, and queue backlogs without drifting by an ulp.
 //!
 //! # Example
 //!
@@ -16,6 +26,8 @@
 //!     .field("ok", true)
 //!     .to_string();
 //! assert_eq!(line, r#"{"bench":"vcg_round/100","median_ns":1250,"ok":true}"#);
+//! let back = JsonValue::parse(&line).unwrap();
+//! assert_eq!(back.get("median_ns").and_then(|v| v.as_f64()), Some(1250.0));
 //! ```
 
 use std::fmt;
@@ -74,6 +86,299 @@ impl JsonValue {
             _ => panic!("JsonValue::item on a non-array"),
         }
         self
+    }
+
+    /// Parses one complete JSON value from `input` (surrounding whitespace
+    /// allowed, nothing else). This is the read side of the journal's
+    /// line framing: a torn or malformed line fails with the byte offset
+    /// where parsing gave up, so the caller can truncate and move on.
+    pub fn parse(input: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing bytes after the JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Field lookup on an object (`None` on non-objects or missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number as a `u64`, if it is one and representable exactly
+    /// (non-negative, integral, below 2⁵³ — the range where the `f64`
+    /// carrier is lossless).
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        (v >= 0.0 && v == v.trunc() && v < 9.0e15).then_some(v as u64)
+    }
+
+    /// [`JsonValue::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: where in the input, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset at which the parser gave up.
+    pub offset: usize,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent parser over the raw bytes (ASCII structure; string
+/// contents are decoded as UTF-8 with JSON escapes).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected byte")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+        let v: f64 = token
+            .parse()
+            .map_err(|_| self.err(&format!("malformed number `{token}`")))?;
+        if !v.is_finite() {
+            // The writer renders non-finite values as `null`, so a number
+            // token overflowing f64 can only be garbage.
+            return Err(self.err(&format!("number `{token}` overflows f64")));
+        }
+        Ok(JsonValue::Number(v))
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("raw control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let token = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(token, 16).map_err(|_| self.err("malformed \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..=0xDBFF).contains(&hi) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..=0xDFFF).contains(&lo) {
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(code).ok_or_else(|| self.err("bad surrogate pair"));
+                }
+            }
+            Err(self.err("unpaired surrogate"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| self.err("bad \\u code point"))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
     }
 }
 
@@ -171,9 +476,10 @@ fn write_number(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
         // JSON has no NaN/Inf; `serde_json` emits null here too.
         return f.write_str("null");
     }
-    if v == v.trunc() && v.abs() < 9.0e15 {
+    if v == v.trunc() && v.abs() < 9.0e15 && !(v == 0.0 && v.is_sign_negative()) {
         // Render integral values without a fraction part so ids and
-        // counters round-trip as integers.
+        // counters round-trip as integers. `-0.0` is excluded: `0` would
+        // parse back as `+0.0` and break the bitwise round-trip.
         write!(f, "{}", v as i64)
     } else {
         write!(f, "{v}")
@@ -337,5 +643,163 @@ mod tests {
         s.push("welfare", 1.0);
         s.push("welfare", 2.5);
         assert_eq!(s.to_json().to_string(), r#"{"welfare":[1,2.5]}"#);
+    }
+
+    // ---- read side ------------------------------------------------------
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse("false").unwrap(), JsonValue::Bool(false));
+        assert_eq!(JsonValue::parse("-7").unwrap(), JsonValue::Number(-7.0));
+        assert_eq!(
+            JsonValue::parse("2.5e3").unwrap(),
+            JsonValue::Number(2500.0)
+        );
+        assert_eq!(
+            JsonValue::parse("\"hi\"").unwrap(),
+            JsonValue::String("hi".into())
+        );
+    }
+
+    #[test]
+    fn parse_containers_and_accessors() {
+        let v = JsonValue::parse(r#"{"a":[1,{"b":null}],"c":"x","d":true}"#).unwrap();
+        assert_eq!(v.get("c").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("d").and_then(JsonValue::as_bool), Some(true));
+        let a = v.get("a").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].as_u64(), Some(1));
+        assert_eq!(a[1].get("b"), Some(&JsonValue::Null));
+        // Misses return None rather than panicking.
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("c").and_then(JsonValue::as_f64), None);
+        assert_eq!(JsonValue::Null.get("a"), None);
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let v = JsonValue::parse(r#""a\"b\\c\nd\te\u0001f\u00b5\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\te\u{1}fµ😀"));
+    }
+
+    #[test]
+    fn as_u64_bounds() {
+        assert_eq!(JsonValue::Number(0.0).as_u64(), Some(0));
+        assert_eq!(JsonValue::Number(-1.0).as_u64(), None);
+        assert_eq!(JsonValue::Number(1.5).as_u64(), None);
+        assert_eq!(JsonValue::Number(4.0).as_usize(), Some(4));
+        // Just under the lossless cutoff round-trips; at/above is refused.
+        assert_eq!(
+            JsonValue::Number(8.999999999999998e15).as_u64(),
+            Some(8999999999999998)
+        );
+        assert_eq!(JsonValue::Number(9.0e15).as_u64(), None);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_torn_lines() {
+        for bad in [
+            "",
+            "   ",
+            "nul",
+            "tru",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "1 2",
+            "{}x",
+            "+5",
+            "1e400",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"a\u{1}b\"",
+            "[1,]",
+        ] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Every proper prefix of a realistic journal line must be rejected —
+        // this is what lets recovery detect a torn trailing write.
+        let line = r#"{"event":"seal","round":3,"sealed":[{"bidder":0,"cost":1.25}]}"#;
+        for cut in 1..line.len() {
+            assert!(
+                JsonValue::parse(&line[..cut]).is_err(),
+                "accepted torn prefix {:?}",
+                &line[..cut]
+            );
+        }
+        assert!(JsonValue::parse(line).is_ok());
+        let err = JsonValue::parse("{\"a\":nope}").unwrap_err();
+        assert_eq!(err.offset, 5);
+        assert!(err.to_string().contains("byte 5"), "{err}");
+    }
+
+    #[test]
+    fn floats_round_trip_bitwise() {
+        // The journal's replay-equality contract rests on this: any finite
+        // f64 the writer renders must parse back to the same bits.
+        let mut samples = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            2.0 / 3.0,
+            1e-300,
+            -1e300,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+            9.007199254740991e15, // 2^53 - 1
+            9.0e15,
+            -8.999999999999998e15,
+            std::f64::consts::PI,
+        ];
+        // A deterministic spread of awkward mantissas (xorshift — no
+        // external RNG in this workspace).
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = f64::from_bits(x);
+            if v.is_finite() {
+                samples.push(v);
+            }
+        }
+        for v in samples {
+            let line = JsonValue::from(v).to_string();
+            let back = JsonValue::parse(&line)
+                .unwrap_or_else(|e| panic!("{v:?} rendered {line:?}: {e}"))
+                .as_f64()
+                .unwrap();
+            assert_eq!(
+                back.to_bits(),
+                v.to_bits(),
+                "{v:?} rendered {line:?} parsed back as {back:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_zero_stays_signed() {
+        assert_eq!(JsonValue::from(-0.0f64).to_string(), "-0");
+        let back = JsonValue::parse("-0").unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
+        // Positive zero still renders as the plain integer.
+        assert_eq!(JsonValue::from(0.0f64).to_string(), "0");
+    }
+
+    #[test]
+    fn structured_round_trip() {
+        let original = JsonValue::object()
+            .field("run", "exp_e9")
+            .field("n", 3usize)
+            .field("ratio", 0.8317281)
+            .field("tags", JsonValue::array().item("a\nb").item(false))
+            .field("nested", JsonValue::object().field("k", JsonValue::Null));
+        let line = original.to_string();
+        assert_eq!(JsonValue::parse(&line).unwrap(), original);
     }
 }

@@ -82,4 +82,73 @@ awk -v n="$naive_ns" -v i="$incremental_ns" 'BEGIN {
   }
 }'
 
+# Kill-and-recover smoke for the event-sourced market server: run an
+# uninterrupted reference session, then the same session interrupted by
+# SIGKILL with a round's arrivals journaled but unsealed, restart the
+# server from its journal, and require the client's concatenated sealed
+# lines and final state line to be byte-identical to the reference. The
+# drive client regenerates bids deterministically from the seed, so the
+# re-drive after the crash re-sends exactly what the torn tail lost.
+smoke_dir=$(mktemp -d)
+serve_pid=""
+cleanup_serve() {
+  [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+  rm -rf "$smoke_dir"
+}
+trap cleanup_serve EXIT
+
+start_server() { # $1 = journal dir, $2 = log file; sets serve_addr/serve_pid
+  LOVM_JOURNAL="$1" LOVM_SNAPSHOT_EVERY=2 ./target/release/lovm serve \
+    --addr 127.0.0.1:0 --v 20 --budget 2 >"$2" 2>&1 &
+  serve_pid=$!
+  serve_addr=""
+  for _ in $(seq 1 100); do
+    serve_addr=$(sed -n 's/^listening on //p' "$2")
+    [ -n "$serve_addr" ] && break
+    sleep 0.1
+  done
+  if [ -z "$serve_addr" ]; then
+    echo "ci: FAIL — lovm serve did not come up"
+    exit 1
+  fi
+}
+stop_server() { # $1 = signal
+  kill "-$1" "$serve_pid" 2>/dev/null || true
+  wait "$serve_pid" 2>/dev/null || true
+  serve_pid=""
+}
+drive() {
+  ./target/release/lovm drive --addr "$serve_addr" --session smoke \
+    --seed 7 --bidders 6 "$@" 2>/dev/null
+}
+
+start_server "$smoke_dir/ref" "$smoke_dir/ref.log"
+drive --from 0 --to 8 >"$smoke_dir/ref.out"
+stop_server TERM
+
+start_server "$smoke_dir/crash" "$smoke_dir/c1.log"
+drive --from 0 --to 4 >"$smoke_dir/c1.out"
+# Journal round 4's arrivals but never seal them, then SIGKILL mid-round.
+drive --from 4 --to 5 --partial >/dev/null
+stop_server KILL
+
+start_server "$smoke_dir/crash" "$smoke_dir/c2.log"
+drive --from 0 --to 8 >"$smoke_dir/c2.out"
+stop_server TERM
+
+cat "$smoke_dir/c1.out" "$smoke_dir/c2.out" \
+  | { grep '"event":"sealed"' || true; } >"$smoke_dir/crash.sealed"
+{ grep '"event":"sealed"' "$smoke_dir/ref.out" || true; } >"$smoke_dir/ref.sealed"
+if ! diff -q "$smoke_dir/crash.sealed" "$smoke_dir/ref.sealed" >/dev/null; then
+  echo "ci: FAIL — recovered server's sealed rounds differ from the uninterrupted run"
+  diff "$smoke_dir/crash.sealed" "$smoke_dir/ref.sealed" || true
+  exit 1
+fi
+if ! diff -q <(grep '"event":"state"' "$smoke_dir/c2.out") \
+            <(grep '"event":"state"' "$smoke_dir/ref.out") >/dev/null; then
+  echo "ci: FAIL — recovered server's final state differs from the uninterrupted run"
+  exit 1
+fi
+echo "ci: serve kill-and-recover smoke ok (byte-identical after SIGKILL)"
+
 echo "ci: all green"

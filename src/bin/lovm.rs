@@ -6,16 +6,37 @@
 //! lovm stream   --scenario standard --mechanism lovm --v 50 --seed 42
 //! lovm compare  --scenario small --seed 7
 //! lovm csv      --scenario standard --mechanism lovm --v 20 > run.csv
+//! lovm serve    --addr 127.0.0.1:0 --v 20 --budget 2
+//! lovm drive    --addr 127.0.0.1:7878 --session m1 --from 0 --to 8
 //! ```
 //!
 //! `stream` runs the same marketplace through the event-driven ingestion
 //! loop; `LOVM_DEADLINE`, `LOVM_LATE_POLICY`, and `LOVM_BUFFER` configure
 //! it (the defaults reproduce `simulate` bit-exactly).
+//!
+//! `serve` starts the event-sourced TCP market server: every session is
+//! journaled under `LOVM_JOURNAL` (default `lovm-journal/`), snapshotted
+//! every `LOVM_SNAPSHOT_EVERY` sealed rounds, and survives `kill -9` by
+//! replaying the journal bit-identically. `drive` is the matching
+//! deterministic client: bids for round `r` are regenerated statelessly
+//! from `(--seed, r)`, so a re-run after a server crash re-sends exactly
+//! the bids the lost round had and the recovered market cannot diverge.
+//! It prints the server's `sealed`/`state` lines verbatim on stdout
+//! (handshake chatter goes to stderr), making crash-recovery runs
+//! byte-diffable against uninterrupted ones.
 
+use metrics::json::JsonValue;
+use simrng::{derive_seed, rngs::StdRng, RngExt, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
 use sustainable_fl::core::offline::{competitive_ratio, offline_benchmark};
+use sustainable_fl::core::serve::{
+    journal_dir_from_env, snapshot_every_from_env, MarketServer, ServeConfig,
+};
 use sustainable_fl::prelude::*;
 
+#[derive(Clone)]
 struct Args {
     command: String,
     scenario: String,
@@ -24,6 +45,13 @@ struct Args {
     seed: u64,
     price: f64,
     k: usize,
+    budget: f64,
+    addr: String,
+    session: String,
+    from: usize,
+    to: usize,
+    bidders: usize,
+    partial: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,10 +63,21 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         price: 1.2,
         k: 4,
+        budget: 2.0,
+        addr: "127.0.0.1:7878".into(),
+        session: "market".into(),
+        from: 0,
+        to: 8,
+        bidders: 6,
+        partial: false,
     };
     let mut it = std::env::args().skip(1);
     args.command = it.next().ok_or_else(usage)?;
     while let Some(flag) = it.next() {
+        if flag == "--partial" {
+            args.partial = true;
+            continue;
+        }
         let mut value = || it.next().ok_or(format!("flag {flag} needs a value"));
         match flag.as_str() {
             "--scenario" => args.scenario = value()?,
@@ -47,6 +86,14 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--price" => args.price = value()?.parse().map_err(|e| format!("--price: {e}"))?,
             "--k" => args.k = value()?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--budget" => args.budget = value()?.parse().map_err(|e| format!("--budget: {e}"))?,
+            "--addr" => args.addr = value()?,
+            "--session" => args.session = value()?,
+            "--from" => args.from = value()?.parse().map_err(|e| format!("--from: {e}"))?,
+            "--to" => args.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
+            "--bidders" => {
+                args.bidders = value()?.parse().map_err(|e| format!("--bidders: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -54,8 +101,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: lovm <list|simulate|stream|compare|csv> [--scenario NAME] [--mechanism NAME] \
-     [--v V] [--seed SEED] [--price P] [--k K]\n\
+    "usage: lovm <list|simulate|stream|compare|csv|serve|drive> [--scenario NAME] \
+     [--mechanism NAME] [--v V] [--seed SEED] [--price P] [--k K] [--budget RHO] \
+     [--addr HOST:PORT] [--session NAME] [--from R] [--to R] [--bidders N] [--partial]\n\
      scenarios: small, standard, energy-heterogeneous, solar-fleet, large-<N>\n\
      mechanisms: lovm, myopic, greedy, proportional, fixed, random, all"
         .into()
@@ -186,15 +234,7 @@ fn run() -> Result<(), String> {
             for name in names {
                 let a = Args {
                     mechanism: name.into(),
-                    ..Args {
-                        command: args.command.clone(),
-                        scenario: args.scenario.clone(),
-                        mechanism: String::new(),
-                        v: args.v,
-                        seed: args.seed,
-                        price: args.price,
-                        k: args.k,
-                    }
+                    ..args.clone()
                 };
                 let mut mech = mechanism_by_name(&a, &scenario)?;
                 let result = simulate(mech.as_mut(), &scenario, args.seed);
@@ -220,8 +260,123 @@ fn run() -> Result<(), String> {
             println!("{}", table.to_markdown());
             Ok(())
         }
+        "serve" => serve(&args),
+        "drive" => drive(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let cfg = ServeConfig {
+        addr: args.addr.clone(),
+        journal_dir: journal_dir_from_env(),
+        snapshot_every: snapshot_every_from_env(),
+        lovm: LovmConfig {
+            v: args.v,
+            budget_per_round: args.budget,
+            max_winners: Some(args.k),
+            ..LovmConfig::default()
+        },
+        ingest: sustainable_fl::ingest::IngestConfig::from_env(),
+    };
+    let journal_dir = cfg.journal_dir.clone();
+    let server = MarketServer::bind(cfg).map_err(|e| format!("bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // Scripts poll for this line to learn an ephemeral port.
+    println!("listening on {addr}");
+    println!("journaling to {}", journal_dir.display());
+    server.run().map_err(|e| e.to_string())
+}
+
+fn send_line(out: &mut TcpStream, v: JsonValue) -> Result<(), String> {
+    let mut line = v.to_string();
+    line.push('\n');
+    out.write_all(line.as_bytes()).map_err(|e| e.to_string())
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => Err("server closed the connection".into()),
+        Ok(_) => Ok(line.trim_end().to_string()),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Reads one response line, failing fast on a server-reported error.
+fn read_event(reader: &mut BufReader<TcpStream>) -> Result<(String, JsonValue), String> {
+    let raw = read_line(reader)?;
+    let v =
+        JsonValue::parse(&raw).map_err(|e| format!("malformed response `{raw}`: {}", e.message))?;
+    if v.get("event").and_then(JsonValue::as_str) == Some("error") {
+        let msg = v
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("unknown error");
+        return Err(format!("server error: {msg}"));
+    }
+    Ok((raw, v))
+}
+
+fn drive(args: &Args) -> Result<(), String> {
+    // Decorrelates drive bids from every other consumer of the seed.
+    const DRIVE_SALT: u64 = 0x6D61_726B_6574_6462;
+    let stream =
+        TcpStream::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut out = stream;
+    send_line(
+        &mut out,
+        JsonValue::object()
+            .field("cmd", "hello")
+            .field("session", args.session.as_str()),
+    )?;
+    let (welcome_raw, welcome) = read_event(&mut reader)?;
+    let resumed = welcome
+        .get("rounds")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| format!("malformed welcome `{welcome_raw}`"))?;
+    // Handshake chatter goes to stderr: stdout carries only the
+    // sealed/state lines so interrupted runs concatenate byte-identically.
+    eprintln!("{welcome_raw}");
+
+    // Rounds the server already sealed are skipped; the bids of the round
+    // it lost in a crash are regenerated *identically* below.
+    let start = args.from.max(resumed);
+    for round in start..args.to {
+        let mut rng = StdRng::seed_from_u64(derive_seed(args.seed ^ DRIVE_SALT, round as u64));
+        for bidder in 0..args.bidders {
+            let at = round as f64 + rng.random_range(0.05..0.95);
+            let cost = rng.random_range(0.5..3.0);
+            let data = rng.random_range(50..500usize);
+            let quality = rng.random_range(0.5..1.0);
+            send_line(
+                &mut out,
+                JsonValue::object()
+                    .field("cmd", "bid")
+                    .field("at", at)
+                    .field("bidder", bidder)
+                    .field("cost", cost)
+                    .field("data", data)
+                    .field("quality", quality),
+            )?;
+            read_event(&mut reader)?;
+        }
+        if args.partial && round + 1 == args.to {
+            // Leave the last round's bids journaled but unsealed — the
+            // crash-recovery smoke kills the server right after this.
+            return Ok(());
+        }
+        send_line(&mut out, JsonValue::object().field("cmd", "seal"))?;
+        let (sealed_raw, _) = read_event(&mut reader)?;
+        println!("{sealed_raw}");
+    }
+    send_line(&mut out, JsonValue::object().field("cmd", "state"))?;
+    let (state_raw, _) = read_event(&mut reader)?;
+    println!("{state_raw}");
+    send_line(&mut out, JsonValue::object().field("cmd", "quit"))?;
+    let _ = read_line(&mut reader);
+    Ok(())
 }
 
 fn main() -> ExitCode {

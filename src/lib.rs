@@ -11,6 +11,7 @@
 //! | [`energy`](mod@energy) | `energy` | batteries, harvesting processes, cost models |
 //! | [`workload`](mod@workload) | `workload` | client populations, availability, arrival streams, scenarios |
 //! | [`ingest`](mod@ingest) | `ingest` | event-driven streaming bid ingestion: deadlines, late-bid policy, backpressure |
+//! | [`journal`](mod@journal) | `journal` | event-sourced market journal: append-only log, snapshots, torn-tail recovery |
 //! | [`baselines`](mod@baselines) | `baselines` | every comparator mechanism |
 //! | [`metrics`](mod@metrics) | `metrics` | statistics, series, tables |
 //!
@@ -22,6 +23,7 @@ pub use baselines;
 pub use energy;
 pub use fedsim;
 pub use ingest;
+pub use journal;
 pub use lovm_core as core;
 pub use lyapunov;
 pub use metrics;
