@@ -12,6 +12,12 @@
 //! journaled outcome, so a recovered session is bit-identical to one
 //! that never crashed.
 //!
+//! Long-lived sessions stay bounded on disk: every `compact_every`
+//! sealed rounds the journal is rewritten to drop the prefix the latest
+//! snapshot covers (`journal::compact`'s crash-safe temp → fsync →
+//! rename → directory-fsync dance), leaving a self-contained header +
+//! post-snapshot suffix that recovery replays transparently.
+//!
 //! [`MarketServer`] wraps sessions in a zero-dependency
 //! `std::net::TcpListener` accept loop: one thread per connection, each
 //! connection a reader-producer feeding a bounded `mpsc` channel into
@@ -20,10 +26,23 @@
 //! never a panic). Many sessions run concurrently, each with its own
 //! journal file keyed by the client-chosen session name.
 //!
-//! Environment: `LOVM_JOURNAL` points the CLI at the journal directory
-//! and `LOVM_SNAPSHOT_EVERY` sets the snapshot cadence in sealed rounds
-//! (0 disables snapshots; malformed values panic at startup, a silently
-//! ignored override being worse than a crash).
+//! **Replication.** A connection that says `follow` instead of `hello`
+//! becomes a live replica feed: the server sends the session's committed
+//! journal verbatim (a `bootstrap` line, the raw backlog, a `live`
+//! marker), then every newly committed round's lines the instant its
+//! seal fsyncs. A follower process ([`MarketSession::apply_replicated`],
+//! `lovm follow`) replays each line through the *same* `run_round` code
+//! path the leader ran, verifying every journaled digest bitwise, and
+//! keeps its own journal — so when the leader dies the follower can be
+//! promoted to serve the session with state exact to the bit. The
+//! replay-equality machinery is the oracle: leader and follower agree
+//! because they are the same computation.
+//!
+//! Environment: `LOVM_JOURNAL` points the CLI at the journal directory,
+//! `LOVM_SNAPSHOT_EVERY` sets the snapshot cadence in sealed rounds and
+//! `LOVM_COMPACT` the compaction cadence (0 disables either; malformed
+//! values panic at startup, a silently ignored override being worse
+//! than a crash).
 
 use crate::lovm::{Lovm, LovmConfig};
 use auction::bid::Bid;
@@ -32,11 +51,12 @@ use ingest::stats::IngestStats;
 use ingest::{Admission, CollectedRound, IngestConfig, RoundCollector};
 use journal::{Digest, JournalEvent, JournalWriter, Snapshot};
 use metrics::json::JsonValue;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 use workload::arrivals::TimedBid;
 
 /// Environment variable naming the server's journal directory.
@@ -68,6 +88,32 @@ fn parse_snapshot_every(raw: Option<&str>) -> usize {
     }
 }
 
+/// Environment variable setting the journal-compaction cadence in sealed
+/// rounds (`LOVM_COMPACT=16`; 0 — the default — disables compaction).
+pub const COMPACT_EVERY_ENV: &str = "LOVM_COMPACT";
+
+/// Compaction cadence from the environment (default 0 = disabled).
+///
+/// # Panics
+///
+/// Panics with a descriptive message when `LOVM_COMPACT` is set to
+/// anything but an unsigned round count.
+pub fn compact_every_from_env() -> usize {
+    parse_compact_every(std::env::var(COMPACT_EVERY_ENV).ok().as_deref())
+}
+
+fn parse_compact_every(raw: Option<&str>) -> usize {
+    match raw {
+        None => 0,
+        Some(raw) => raw.trim().parse::<usize>().unwrap_or_else(|_| {
+            panic!(
+                "{COMPACT_EVERY_ENV} must be a sealed-round count \
+                 (0 disables compaction), got `{raw}`"
+            )
+        }),
+    }
+}
+
 /// Journal directory from the environment (default `lovm-journal`).
 pub fn journal_dir_from_env() -> PathBuf {
     std::env::var_os(JOURNAL_ENV)
@@ -84,6 +130,10 @@ pub struct SessionConfig {
     pub snapshot: Option<PathBuf>,
     /// Snapshot every this many sealed rounds (0 disables).
     pub snapshot_every: usize,
+    /// Compact the journal every this many sealed rounds, dropping the
+    /// prefix the latest snapshot covers (0 disables; nonzero requires
+    /// snapshots to be enabled).
+    pub compact_every: usize,
     /// Mechanism configuration — must match across restarts for the
     /// replay-equality guarantee to hold (the digest check catches a
     /// mismatch at recovery).
@@ -103,6 +153,7 @@ impl SessionConfig {
             journal,
             snapshot: Some(PathBuf::from(snapshot)),
             snapshot_every: 8,
+            compact_every: 0,
             lovm: LovmConfig::default(),
             ingest: IngestConfig::default(),
         }
@@ -138,53 +189,68 @@ pub struct MarketSession {
     spend: f64,
     next_seq: u64,
     rounds_since_snapshot: usize,
+    rounds_since_compact: usize,
     recovered_rounds: usize,
+    /// The most recent snapshot on disk — the boundary the next
+    /// compaction may drop the journal prefix up to.
+    last_snapshot: Option<Snapshot>,
+    /// Raw journal lines appended since the last commit (the feed unit
+    /// replication publishes per sealed round).
+    pending_lines: Vec<String>,
+    /// The lines the last seal committed, until a publisher drains them.
+    last_commit_lines: Vec<String>,
 }
 
 fn corrupt(message: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message)
 }
 
-/// A snapshot is usable only when the journal's committed prefix still
-/// covers it *and* the event right at its boundary is the outcome whose
-/// digest the snapshot recorded. A snapshot ahead of a truncated journal
-/// (or from a diverged history) fails this and recovery falls back to a
-/// full replay — the snapshot is an accelerator, never the truth.
-fn snapshot_covers(snap: &Snapshot, events: &[JournalEvent]) -> bool {
-    let n = snap.events as usize;
-    if n == 0 || n > events.len() {
-        return false;
-    }
-    matches!(&events[n - 1], JournalEvent::Outcome { digest, .. } if *digest == snap.digest)
-}
-
 impl MarketSession {
     /// Opens (or resumes) the session: recovers the journal — truncating
     /// any torn or uncommitted tail — then rebuilds the market state by
-    /// snapshot fast-forward plus replay, verifying the recomputed
-    /// digest against every replayed outcome line.
+    /// snapshot fast-forward plus a buffered streaming replay (memory
+    /// stays bounded however large the log), verifying the recomputed
+    /// digest against every replayed outcome line. A compacted journal's
+    /// embedded base snapshot restores the dropped prefix; a separate
+    /// snapshot file is used only when it verifies against a commit
+    /// boundary and sits further ahead — the snapshot is an accelerator,
+    /// never the truth.
     ///
     /// # Errors
     ///
     /// I/O errors, plus `InvalidData` when replay diverges from the
     /// journal (a committed-region corruption or a config mismatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `compact_every` is nonzero while snapshots are
+    /// disabled: compaction can only drop what a snapshot covers.
     pub fn open(cfg: SessionConfig) -> std::io::Result<MarketSession> {
         cfg.ingest.validate();
-        let recovered = journal::recover(&cfg.journal)?;
-        let committed = recovered.events.len() as u64;
-        let snapshot = match &cfg.snapshot {
-            Some(path) => {
-                journal::read_snapshot(path)?.filter(|s| snapshot_covers(s, &recovered.events))
-            }
+        assert!(
+            cfg.compact_every == 0 || (cfg.snapshot.is_some() && cfg.snapshot_every > 0),
+            "journal compaction requires snapshots: set a snapshot path and a \
+             nonzero snapshot cadence alongside compact_every"
+        );
+        let meta = journal::recover_meta(&cfg.journal)?;
+        let file_snapshot = match &cfg.snapshot {
+            Some(path) => journal::read_snapshot(path)?.filter(|s| meta.snapshot_covers(s)),
             None => None,
         };
+        // The compaction base is itself a snapshot (it rode into the
+        // journal inside the header); fast-forward from whichever
+        // verified snapshot sits further ahead.
+        let snapshot = match (file_snapshot, meta.base.clone()) {
+            (Some(f), Some(b)) => Some(if f.events >= b.events { f } else { b }),
+            (f, b) => f.or(b),
+        };
         let writer = if cfg.journal.exists() {
-            JournalWriter::open_append(&cfg.journal, committed)?
+            JournalWriter::open_append(&cfg.journal, meta.committed_events)?
         } else {
             JournalWriter::create(&cfg.journal)?
         };
         let mut lovm = Lovm::new(cfg.lovm);
-        let (collector, digest, welfare, spend, next_seq, replay_from) = match &snapshot {
+        let (collector, digest, welfare, spend, next_seq, replay_from_bytes) = match &snapshot {
             Some(snap) => {
                 lovm.restore_backlog(snap.backlog);
                 (
@@ -193,7 +259,7 @@ impl MarketSession {
                     snap.welfare,
                     snap.spend,
                     snap.collector.next_seq,
-                    snap.events as usize,
+                    meta.replay_offset(snap),
                 )
             }
             None => (
@@ -216,11 +282,19 @@ impl MarketSession {
             spend,
             next_seq,
             rounds_since_snapshot: 0,
+            rounds_since_compact: 0,
             recovered_rounds: 0,
+            last_snapshot: snapshot,
+            pending_lines: Vec::new(),
+            last_commit_lines: Vec::new(),
         };
-        for ev in &recovered.events[replay_from..] {
-            session.replay_event(ev)?;
-        }
+        let journal_path = session.cfg.journal.clone();
+        journal::stream_events(
+            &journal_path,
+            replay_from_bytes,
+            meta.committed_bytes,
+            |ev| session.replay_event(ev),
+        )?;
         session.recovered_rounds = session.collector.next_round();
         Ok(session)
     }
@@ -306,33 +380,45 @@ impl MarketSession {
         assert!(at.is_finite(), "arrival time must be finite");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.writer
-            .append(&JournalEvent::Arrival { seq, at, bid })?;
+        let line = JournalEvent::Arrival { seq, at, bid }.to_line();
+        self.writer.append_raw(&line)?;
+        self.pending_lines.push(line);
         let admission = self.collector.offer_at(seq, TimedBid { at, bid });
         Ok((seq, admission))
     }
 
     /// Seals the next round: runs the topology-aware VCG path, journals
-    /// the seal and outcome lines, fsyncs (the commit point), and writes
-    /// a snapshot if the cadence says so.
+    /// the seal and outcome lines, fsyncs (the commit point), stages the
+    /// round's committed lines for replication, and runs the snapshot /
+    /// compaction cadences.
     pub fn seal(&mut self) -> std::io::Result<SealedOutcome> {
         let (collected, outcome) = self.run_round();
         let round = collected.sealed.round();
         let backlog = self.lovm.queue_backlog();
-        self.writer.append(&JournalEvent::Seal {
+        let seal_line = JournalEvent::Seal {
             round,
             sealed: collected.sealed.bids().to_vec(),
-        })?;
-        self.writer.append(&JournalEvent::Outcome {
+        }
+        .to_line();
+        let outcome_line = JournalEvent::Outcome {
             round,
             awards: outcome.winners.clone(),
             virtual_welfare: outcome.virtual_welfare,
             spend: outcome.total_payment(),
             backlog,
             digest: self.digest.value(),
-        })?;
+        }
+        .to_line();
+        self.writer.append_raw(&seal_line)?;
+        self.pending_lines.push(seal_line);
+        self.writer.append_raw(&outcome_line)?;
+        self.pending_lines.push(outcome_line);
         self.writer.sync()?;
+        // Everything staged since the last seal is now durable: hand it
+        // to the replication feed as one committed batch.
+        self.last_commit_lines = std::mem::take(&mut self.pending_lines);
         self.maybe_snapshot()?;
+        self.maybe_compact()?;
         Ok(SealedOutcome {
             round,
             stats: collected.stats,
@@ -340,6 +426,12 @@ impl MarketSession {
             backlog,
             digest: self.digest.value(),
         })
+    }
+
+    /// Drains the journal lines the last seal committed — the per-round
+    /// batch a replication publisher forwards to followers.
+    pub fn take_committed_lines(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.last_commit_lines)
     }
 
     fn maybe_snapshot(&mut self) -> std::io::Result<()> {
@@ -362,7 +454,62 @@ impl MarketSession {
             spend: self.spend,
             digest: self.digest.value(),
         };
-        journal::write_snapshot(path, &snap)
+        journal::write_snapshot(path, &snap)?;
+        self.last_snapshot = Some(snap);
+        Ok(())
+    }
+
+    /// Every `compact_every` sealed rounds, rewrites the journal to drop
+    /// the prefix the latest snapshot covers (crash-safe: temp file →
+    /// fsync → rename → directory fsync), then reopens the writer on the
+    /// new inode so later appends land in the compacted file.
+    fn maybe_compact(&mut self) -> std::io::Result<()> {
+        if self.cfg.compact_every == 0 {
+            return Ok(());
+        }
+        self.rounds_since_compact += 1;
+        if self.rounds_since_compact < self.cfg.compact_every {
+            return Ok(());
+        }
+        self.rounds_since_compact = 0;
+        let Some(snap) = self.last_snapshot.clone() else {
+            return Ok(());
+        };
+        let stats = journal::compact(&self.cfg.journal, &snap)?;
+        if stats.dropped_events > 0 {
+            // The rename replaced the inode the writer held open.
+            self.writer = JournalWriter::open_append(&self.cfg.journal, self.writer.events())?;
+        }
+        Ok(())
+    }
+
+    /// Applies one replicated journal line from the leader's committed
+    /// feed: appends it verbatim to the local journal (keeping the
+    /// replica byte-identical) and replays it through the same
+    /// `run_round` code path the leader ran, verifying every journaled
+    /// digest bitwise. Returns `Some((round, digest))` when the line was
+    /// an outcome — the follower's commit point, where it fsyncs and
+    /// runs its own snapshot/compaction cadences.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the line does not parse or the replayed state
+    /// diverges from the journaled digest (leader/follower mismatch).
+    pub fn apply_replicated(&mut self, line: &str) -> std::io::Result<Option<(usize, u64)>> {
+        let Some(ev) = JournalEvent::parse_line(line) else {
+            return Err(corrupt(format!(
+                "replicated line is not a journal event: {line}"
+            )));
+        };
+        self.writer.append_raw(line)?;
+        self.replay_event(&ev)?;
+        if let JournalEvent::Outcome { round, digest, .. } = &ev {
+            self.writer.sync()?;
+            self.maybe_snapshot()?;
+            self.maybe_compact()?;
+            return Ok(Some((*round, *digest)));
+        }
+        Ok(None)
     }
 
     /// Rounds sealed so far (including recovered ones).
@@ -409,6 +556,7 @@ impl MarketSession {
 #[derive(Debug, Clone, PartialEq)]
 enum Request {
     Hello { session: String },
+    Follow { session: String },
     Bid { at: f64, bid: Bid },
     Seal,
     State,
@@ -443,6 +591,20 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 ));
             }
             Ok(Request::Hello {
+                session: session.to_string(),
+            })
+        }
+        "follow" => {
+            let session = v
+                .get("session")
+                .and_then(JsonValue::as_str)
+                .ok_or("follow needs a `session` name")?;
+            if !valid_session_name(session) {
+                return Err(format!(
+                    "session name must be 1-64 chars of [A-Za-z0-9_-], got `{session}`"
+                ));
+            }
+            Ok(Request::Follow {
                 session: session.to_string(),
             })
         }
@@ -546,6 +708,9 @@ pub struct ServeConfig {
     pub journal_dir: PathBuf,
     /// Snapshot cadence in sealed rounds (0 disables).
     pub snapshot_every: usize,
+    /// Journal-compaction cadence in sealed rounds (0 disables; nonzero
+    /// requires a nonzero snapshot cadence).
+    pub compact_every: usize,
     /// Mechanism configuration shared by every session.
     pub lovm: LovmConfig,
     /// Ingestion configuration shared by every session.
@@ -560,11 +725,44 @@ impl ServeConfig {
             addr: addr.into(),
             journal_dir: journal_dir.into(),
             snapshot_every: 8,
+            compact_every: 0,
             lovm: LovmConfig::default(),
             ingest: IngestConfig::default(),
         }
     }
 }
+
+/// Server-wide replication hub: per-session lists of follower feeds.
+///
+/// The hub mutex is also the server's *ordering* lock: seals, snapshot
+/// and compaction renames, session opens (truncating recovery), and
+/// follower bootstrap reads all happen while holding it — so a follower
+/// registering mid-stream sees every committed line exactly once (the
+/// bootstrap read and the feed registration are atomic with respect to
+/// any concurrent seal).
+#[derive(Debug, Default)]
+struct HubState {
+    followers: HashMap<String, Vec<mpsc::Sender<Vec<String>>>>,
+}
+
+impl HubState {
+    /// Sends one committed batch to every live follower of `session`,
+    /// dropping feeds whose receiver has gone away.
+    fn publish(&mut self, session: &str, lines: Vec<String>) {
+        if lines.is_empty() {
+            return;
+        }
+        let Some(feeds) = self.followers.get_mut(session) else {
+            return;
+        };
+        feeds.retain(|tx| tx.send(lines.clone()).is_ok());
+        if feeds.is_empty() {
+            self.followers.remove(session);
+        }
+    }
+}
+
+type Hub = Arc<Mutex<HubState>>;
 
 /// The TCP market server (see module docs).
 #[derive(Debug)]
@@ -572,6 +770,7 @@ pub struct MarketServer {
     listener: TcpListener,
     cfg: ServeConfig,
     active: Arc<Mutex<HashSet<String>>>,
+    hub: Hub,
 }
 
 /// Releases a claimed session name when the connection ends, however it
@@ -596,6 +795,7 @@ impl MarketServer {
             listener,
             cfg,
             active: Arc::new(Mutex::new(HashSet::new())),
+            hub: Arc::new(Mutex::new(HubState::default())),
         })
     }
 
@@ -610,9 +810,10 @@ impl MarketServer {
             let Ok(stream) = stream else { continue };
             let cfg = self.cfg.clone();
             let active = Arc::clone(&self.active);
+            let hub = Arc::clone(&self.hub);
             std::thread::spawn(move || {
                 // A dropped peer is a normal way for a connection to end.
-                let _ = handle_connection(stream, &cfg, active);
+                let _ = handle_connection(stream, &cfg, active, hub);
             });
         }
         Ok(())
@@ -623,6 +824,7 @@ fn handle_connection(
     stream: TcpStream,
     cfg: &ServeConfig,
     active: Arc<Mutex<HashSet<String>>>,
+    hub: Hub,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
@@ -644,10 +846,14 @@ fn handle_connection(
         let _ = tx.send(Ok(Request::Quit));
     });
 
-    // The conversation starts with `hello`, which names the session.
+    // The conversation starts with `hello` (a driver) or `follow` (a
+    // replica feed), either of which names the session.
     let name = loop {
         match rx.recv() {
             Ok(Ok(Request::Hello { session })) => break session,
+            Ok(Ok(Request::Follow { session })) => {
+                return run_follower_feed(out, &rx, cfg, &hub, &session);
+            }
             Ok(Ok(Request::Quit)) | Err(_) => {
                 let _ = respond(&mut out, JsonValue::object().field("event", "bye"));
                 return Ok(());
@@ -671,9 +877,16 @@ fn handle_connection(
     let mut session_cfg = SessionConfig::new(cfg.journal_dir.join(format!("{name}.jsonl")));
     session_cfg.snapshot = Some(cfg.journal_dir.join(format!("{name}.snapshot.json")));
     session_cfg.snapshot_every = cfg.snapshot_every;
+    session_cfg.compact_every = cfg.compact_every;
     session_cfg.lovm = cfg.lovm;
     session_cfg.ingest = cfg.ingest;
-    let mut session = match MarketSession::open(session_cfg) {
+    // Open under the hub lock: recovery truncates the journal's torn
+    // tail, which must not race a follower's bootstrap read.
+    let opened = {
+        let _ordering = hub.lock().unwrap();
+        MarketSession::open(session_cfg)
+    };
+    let mut session = match opened {
         Ok(s) => s,
         Err(e) => {
             respond(
@@ -706,11 +919,19 @@ fn handle_connection(
                 )?;
             }
             Ok(Ok(Request::Seal)) => {
-                let sealed = session.seal()?;
+                // Seal and publish under the hub lock so every follower
+                // sees committed batches in seal order, with no window
+                // between the fsync and the feed.
+                let sealed = {
+                    let mut hub_state = hub.lock().unwrap();
+                    let sealed = session.seal()?;
+                    hub_state.publish(&name, session.take_committed_lines());
+                    sealed
+                };
                 respond(&mut out, sealed_response(&sealed))?;
             }
             Ok(Ok(Request::State)) => respond(&mut out, state_response(&session))?,
-            Ok(Ok(Request::Hello { .. })) => {
+            Ok(Ok(Request::Hello { .. })) | Ok(Ok(Request::Follow { .. })) => {
                 respond(&mut out, error_response("already in a session"))?;
             }
             Ok(Ok(Request::Quit)) | Err(_) => {
@@ -718,6 +939,71 @@ fn handle_connection(
                 return Ok(());
             }
             Ok(Err(msg)) => respond(&mut out, error_response(&msg))?,
+        }
+    }
+}
+
+/// Serves one follower connection: bootstrap (the committed journal,
+/// verbatim), a `live` marker, then every newly committed round's lines
+/// as the leader seals them. Registering the feed and reading the
+/// backlog happen under the same hub lock any seal publishes under, so
+/// the stream has no duplicates and no gaps.
+fn run_follower_feed(
+    mut out: TcpStream,
+    rx: &mpsc::Receiver<Result<Request, String>>,
+    cfg: &ServeConfig,
+    hub: &Hub,
+    session: &str,
+) -> std::io::Result<()> {
+    let journal_path = cfg.journal_dir.join(format!("{session}.jsonl"));
+    let (backlog, feed_rx) = {
+        let mut hub_state = hub.lock().unwrap();
+        let backlog = journal::committed_lines(&journal_path)?;
+        let (feed_tx, feed_rx) = mpsc::channel::<Vec<String>>();
+        hub_state
+            .followers
+            .entry(session.to_string())
+            .or_default()
+            .push(feed_tx);
+        (backlog, feed_rx)
+    };
+    respond(
+        &mut out,
+        JsonValue::object()
+            .field("event", "bootstrap")
+            .field("session", session)
+            .field("lines", backlog.len()),
+    )?;
+    for line in &backlog {
+        let mut framed = line.clone();
+        framed.push('\n');
+        out.write_all(framed.as_bytes())?;
+    }
+    respond(&mut out, JsonValue::object().field("event", "live"))?;
+    loop {
+        match feed_rx.recv_timeout(Duration::from_millis(200)) {
+            Ok(batch) => {
+                let mut framed = String::new();
+                for line in &batch {
+                    framed.push_str(line);
+                    framed.push('\n');
+                }
+                out.write_all(framed.as_bytes())?;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Reap a departed follower: its reader thread sends Quit
+                // at EOF (or the channel just disconnects).
+                match rx.try_recv() {
+                    Ok(Ok(Request::Quit)) | Err(mpsc::TryRecvError::Disconnected) => {
+                        return Ok(());
+                    }
+                    Ok(_) => {
+                        respond(&mut out, error_response("followers only listen"))?;
+                    }
+                    Err(mpsc::TryRecvError::Empty) => {}
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
         }
     }
 }
@@ -787,6 +1073,154 @@ mod tests {
             let result = std::panic::catch_unwind(|| parse_snapshot_every(Some(bad)));
             assert!(result.is_err(), "`{bad}` must panic");
         }
+    }
+
+    #[test]
+    fn compact_every_parses_or_panics() {
+        assert_eq!(parse_compact_every(None), 0);
+        assert_eq!(parse_compact_every(Some("0")), 0);
+        assert_eq!(parse_compact_every(Some(" 16 ")), 16);
+        for bad in ["abc", "", "-1", "2.5", "16 rounds"] {
+            let result = std::panic::catch_unwind(|| parse_compact_every(Some(bad)));
+            assert!(result.is_err(), "`{bad}` must panic");
+        }
+        let _ = std::panic::catch_unwind(|| {
+            let mut cfg = SessionConfig::new("unused.jsonl");
+            cfg.snapshot = None;
+            cfg.compact_every = 2;
+            let _ = MarketSession::open(cfg);
+        })
+        .expect_err("compaction without snapshots must panic");
+    }
+
+    /// The tentpole bound: with compaction on, sealing many more rounds
+    /// than the snapshot cadence keeps the on-disk journal pinned to the
+    /// post-snapshot suffix — while state, recovery, and continuation
+    /// stay bit-identical to an uncompacted twin.
+    #[test]
+    fn compaction_bounds_the_journal() {
+        let full_dir = temp_dir("nocompact");
+        let comp_dir = temp_dir("compact");
+        let mut full = MarketSession::open(session_cfg(&full_dir, 2)).unwrap();
+        let mut comp_cfg = session_cfg(&comp_dir, 2);
+        comp_cfg.compact_every = 2;
+        let mut compacted = MarketSession::open(comp_cfg.clone()).unwrap();
+
+        const ROUNDS: usize = 24;
+        let full_out = drive_rounds(&mut full, 0..ROUNDS);
+        let comp_out = drive_rounds(&mut compacted, 0..ROUNDS);
+        assert_eq!(comp_out, full_out);
+        assert_eq!(compacted.digest(), full.digest());
+        assert_eq!(compacted.journal_events(), full.journal_events());
+
+        // The journal is bounded by the cadences, not by history length:
+        // at most snapshot_every + compact_every rounds of suffix remain
+        // (7 lines per round here), versus 24 rounds in the twin.
+        let full_bytes = std::fs::metadata(full_dir.join("market.jsonl"))
+            .unwrap()
+            .len();
+        let comp_bytes = std::fs::metadata(comp_dir.join("market.jsonl"))
+            .unwrap()
+            .len();
+        assert!(
+            comp_bytes * 4 < full_bytes,
+            "compaction must bound the journal: {comp_bytes} vs {full_bytes} bytes"
+        );
+        let meta = journal::scan_meta(comp_dir.join("market.jsonl")).unwrap();
+        let base = meta.base.clone().expect("a compacted journal has a base");
+        assert!(base.events > 0, "the base must cover a nonempty prefix");
+        assert!(
+            meta.committed_events - meta.base_events() <= 7 * 4,
+            "suffix holds {} events, more than the cadence bound",
+            meta.committed_events - meta.base_events()
+        );
+
+        // Crash with un-sealed arrivals in flight; the reopened session
+        // recovers from the compacted journal and continues bitwise.
+        for (at, bid) in offers_for_round(ROUNDS) {
+            compacted.offer(at, bid).unwrap();
+        }
+        drop(compacted);
+        let mut recovered = MarketSession::open(comp_cfg).unwrap();
+        assert_eq!(recovered.recovered_rounds(), ROUNDS);
+        assert_eq!(recovered.digest(), full.digest());
+        let cont = drive_rounds(&mut recovered, ROUNDS..ROUNDS + 2);
+        let full_cont = drive_rounds(&mut full, ROUNDS..ROUNDS + 2);
+        assert_eq!(cont, full_cont);
+        assert_eq!(recovered.welfare().to_bits(), full.welfare().to_bits());
+        std::fs::remove_dir_all(&full_dir).ok();
+        std::fs::remove_dir_all(&comp_dir).ok();
+    }
+
+    /// The replication contract end to end, minus the sockets: bootstrap
+    /// a follower from the leader's committed journal, stream each
+    /// sealed round's batch through `apply_replicated`, kill the leader,
+    /// promote the follower, and the promoted session continues
+    /// bit-identically with a reference that never crashed.
+    #[test]
+    fn follower_replays_and_promotes_bit_identically() {
+        let leader_dir = temp_dir("leader");
+        let follower_dir = temp_dir("follower");
+        let mut leader_cfg = session_cfg(&leader_dir, 2);
+        leader_cfg.compact_every = 2;
+        let mut leader = MarketSession::open(leader_cfg).unwrap();
+        drive_rounds(&mut leader, 0..3);
+
+        // Bootstrap: the leader's committed journal, written verbatim
+        // (compaction header included) into the follower's journal.
+        let backlog = journal::committed_lines(leader_dir.join("market.jsonl")).unwrap();
+        let mut text = String::new();
+        for line in &backlog {
+            text.push_str(line);
+            text.push('\n');
+        }
+        std::fs::write(follower_dir.join("market.jsonl"), text).unwrap();
+        let mut follower_cfg = session_cfg(&follower_dir, 2);
+        follower_cfg.compact_every = 2;
+        let mut follower = MarketSession::open(follower_cfg.clone()).unwrap();
+        assert_eq!(follower.rounds_sealed(), 3);
+        assert_eq!(follower.digest(), leader.digest());
+
+        // Live: every sealed round's committed batch replays through the
+        // same code path, the journaled digest checked at each outcome.
+        for r in 3..6 {
+            for (at, bid) in offers_for_round(r) {
+                leader.offer(at, bid).unwrap();
+            }
+            let sealed = leader.seal().unwrap();
+            let batch = leader.take_committed_lines();
+            assert!(!batch.is_empty(), "a seal publishes its lines");
+            let mut committed = None;
+            for line in &batch {
+                if let Some(commit) = follower.apply_replicated(line).unwrap() {
+                    committed = Some(commit);
+                }
+            }
+            assert_eq!(committed, Some((r, sealed.digest)));
+            assert_eq!(follower.digest(), leader.digest());
+            assert_eq!(follower.backlog().to_bits(), leader.backlog().to_bits());
+        }
+
+        // The leader dies; promotion is just opening the replica journal
+        // as a serving session.
+        let dead_digest = leader.digest();
+        let dead_welfare = leader.welfare();
+        drop(leader);
+        drop(follower);
+        let mut promoted = MarketSession::open(follower_cfg).unwrap();
+        assert_eq!(promoted.recovered_rounds(), 6);
+        assert_eq!(promoted.digest(), dead_digest);
+        assert_eq!(promoted.welfare().to_bits(), dead_welfare.to_bits());
+
+        let cont = drive_rounds(&mut promoted, 6..8);
+        let ref_dir = temp_dir("follower-ref");
+        let mut reference = MarketSession::open(session_cfg(&ref_dir, 2)).unwrap();
+        let expect = drive_rounds(&mut reference, 0..8);
+        assert_eq!(cont, expect[6..].to_vec());
+        assert_eq!(promoted.digest(), reference.digest());
+        std::fs::remove_dir_all(&leader_dir).ok();
+        std::fs::remove_dir_all(&follower_dir).ok();
+        std::fs::remove_dir_all(&ref_dir).ok();
     }
 
     /// The tentpole contract: kill a session mid-round, reopen it, and
@@ -1015,6 +1449,90 @@ mod tests {
         let state = read_event(&mut reader);
         assert_eq!(state.get("event").unwrap().as_str(), Some("state"));
         assert_eq!(state.get("rounds").unwrap().as_usize(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn read_raw_line(reader: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line.trim_end_matches('\n').to_string()
+    }
+
+    /// Over real sockets: a `follow` connection bootstraps the committed
+    /// journal verbatim, goes live, and then receives every newly sealed
+    /// round's lines — ending in the outcome whose digest the driver saw.
+    #[test]
+    fn tcp_follower_streams_committed_lines() {
+        let dir = temp_dir("tcp-follow");
+        let server = MarketServer::bind(ServeConfig::new("127.0.0.1:0", &dir)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let connect = || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let reader = BufReader::new(stream.try_clone().unwrap());
+            (stream, reader)
+        };
+
+        // A driver seals round 0 first, so the follower has a backlog.
+        let (mut out, mut reader) = connect();
+        send(&mut out, r#"{"cmd":"hello","session":"beta"}"#);
+        read_event(&mut reader);
+        for (at, bid) in offers_for_round(0) {
+            send(
+                &mut out,
+                &format!(
+                    r#"{{"cmd":"bid","at":{at},"bidder":{},"cost":{},"data":{},"quality":{}}}"#,
+                    bid.bidder, bid.cost, bid.data_size, bid.quality
+                ),
+            );
+            read_event(&mut reader);
+        }
+        send(&mut out, r#"{"cmd":"seal"}"#);
+        read_event(&mut reader);
+
+        let (mut fout, mut freader) = connect();
+        send(&mut fout, r#"{"cmd":"follow","session":"beta"}"#);
+        let boot = read_event(&mut freader);
+        assert_eq!(boot.get("event").unwrap().as_str(), Some("bootstrap"));
+        let n = boot.get("lines").unwrap().as_usize().unwrap();
+        let backlog: Vec<String> = (0..n).map(|_| read_raw_line(&mut freader)).collect();
+        assert_eq!(
+            backlog,
+            journal::committed_lines(dir.join("beta.jsonl")).unwrap(),
+            "bootstrap must be the committed journal, byte for byte"
+        );
+        let live = read_event(&mut freader);
+        assert_eq!(live.get("event").unwrap().as_str(), Some("live"));
+
+        // Seal round 1 on the driver; the batch streams to the follower.
+        for (at, bid) in offers_for_round(1) {
+            send(
+                &mut out,
+                &format!(
+                    r#"{{"cmd":"bid","at":{at},"bidder":{},"cost":{},"data":{},"quality":{}}}"#,
+                    bid.bidder, bid.cost, bid.data_size, bid.quality
+                ),
+            );
+            read_event(&mut reader);
+        }
+        send(&mut out, r#"{"cmd":"seal"}"#);
+        let sealed = read_event(&mut reader);
+        let digest = sealed.get("digest").unwrap().as_str().unwrap().to_string();
+        // 5 arrivals + seal + outcome = 7 lines, outcome last.
+        let batch: Vec<String> = (0..7).map(|_| read_raw_line(&mut freader)).collect();
+        let outcome = JournalEvent::parse_line(batch.last().unwrap()).unwrap();
+        match outcome {
+            JournalEvent::Outcome {
+                round,
+                digest: journaled,
+                ..
+            } => {
+                assert_eq!(round, 1);
+                assert_eq!(journal::u64_hex(journaled), digest);
+            }
+            other => panic!("the batch must end in the outcome, got {other:?}"),
+        }
+        drop((fout, freader, out, reader));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

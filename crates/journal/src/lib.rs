@@ -5,10 +5,17 @@
 //! arrival, seal, and auction outcome becomes one JSON line in an
 //! append-only journal ([`JournalEvent`], [`JournalWriter`]), fsynced at
 //! each seal so the outcome line is the commit record. A killed server
-//! recovers by truncating the torn/uncommitted tail ([`recover`]),
+//! recovers by truncating the torn/uncommitted tail ([`recover_meta`]),
 //! optionally fast-forwarding from a [`Snapshot`] taken at a sealed
-//! round, and replaying the remaining events — landing *bit-identically*
-//! on the last fully-sealed round.
+//! round, and streaming the remaining events back through the live code
+//! path ([`stream_events`]) — landing *bit-identically* on the last
+//! fully-sealed round without ever holding the log in memory.
+//!
+//! [`compact`] keeps long-lived journals bounded: once a snapshot
+//! commits, the covered prefix is rewritten away behind a header line
+//! that embeds the snapshot itself, so a compacted journal stays
+//! self-contained and recovery transparently handles a file whose first
+//! event index is nonzero.
 //!
 //! Bit-exactness is inherited from `metrics::json`: every finite `f64`
 //! the writer renders parses back to the same bits, and the running
@@ -21,7 +28,10 @@ pub mod store;
 
 pub use event::JournalEvent;
 pub use snapshot::{read_snapshot, write_snapshot, Snapshot};
-pub use store::{committed_lines, recover, scan, JournalWriter, RecoveredJournal};
+pub use store::{
+    committed_lines, compact, recover, recover_meta, scan, scan_meta, stream_events, CompactStats,
+    JournalMeta, JournalWriter, OutcomeMark, RecoveredJournal,
+};
 
 /// Running FNV-1a digest over the bit patterns of a market trajectory.
 ///

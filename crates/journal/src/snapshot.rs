@@ -176,14 +176,9 @@ pub fn write_snapshot(path: impl AsRef<Path>, snapshot: &Snapshot) -> std::io::R
         file.sync_data()?;
     }
     std::fs::rename(&tmp, path)?;
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        // Make the rename itself durable. Directory fsync can be refused
-        // on some filesystems; the rename's atomicity already guarantees
-        // consistency, so a refusal is not fatal.
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
+    // Make the rename itself durable: without the directory fsync a
+    // crash can forget the entry even though the data was fsynced.
+    crate::store::fsync_parent_dir(path);
     Ok(())
 }
 

@@ -91,15 +91,17 @@ awk -v n="$naive_ns" -v i="$incremental_ns" 'BEGIN {
 # re-drive after the crash re-sends exactly what the torn tail lost.
 smoke_dir=$(mktemp -d)
 serve_pid=""
+follower_pid=""
 cleanup_serve() {
   [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+  [ -n "$follower_pid" ] && kill "$follower_pid" 2>/dev/null || true
   rm -rf "$smoke_dir"
 }
 trap cleanup_serve EXIT
 
 start_server() { # $1 = journal dir, $2 = log file; sets serve_addr/serve_pid
-  LOVM_JOURNAL="$1" LOVM_SNAPSHOT_EVERY=2 ./target/release/lovm serve \
-    --addr 127.0.0.1:0 --v 20 --budget 2 >"$2" 2>&1 &
+  LOVM_JOURNAL="$1" LOVM_SNAPSHOT_EVERY=2 LOVM_COMPACT="${compact_every:-0}" \
+    ./target/release/lovm serve --addr 127.0.0.1:0 --v 20 --budget 2 >"$2" 2>&1 &
   serve_pid=$!
   serve_addr=""
   for _ in $(seq 1 100); do
@@ -150,5 +152,60 @@ if ! diff -q <(grep '"event":"state"' "$smoke_dir/c2.out") \
   exit 1
 fi
 echo "ci: serve kill-and-recover smoke ok (byte-identical after SIGKILL)"
+
+# Kill-and-promote smoke for live replication: a leader serves with
+# journal compaction on, `lovm follow` replicates it into its own journal
+# directory, the leader is SIGKILLed mid-round (a round's arrivals
+# journaled but unsealed), the follower promotes itself to a server, and
+# re-driving against the promoted server must yield sealed/state lines
+# byte-identical to an uninterrupted reference run.
+compact_every=2
+start_server "$smoke_dir/repl-ref" "$smoke_dir/repl-ref.log"
+./target/release/lovm drive --addr "$serve_addr" --session repl \
+  --seed 7 --bidders 6 --from 0 --to 8 2>/dev/null >"$smoke_dir/repl-ref.out"
+stop_server TERM
+
+start_server "$smoke_dir/leader" "$smoke_dir/leader.log"
+LOVM_JOURNAL="$smoke_dir/replica" LOVM_SNAPSHOT_EVERY=2 LOVM_COMPACT=2 \
+  ./target/release/lovm follow --addr "$serve_addr" --session repl \
+  --serve-addr 127.0.0.1:0 --v 20 --budget 2 >"$smoke_dir/follow.log" 2>&1 &
+follower_pid=$!
+./target/release/lovm drive --addr "$serve_addr" --session repl \
+  --seed 7 --bidders 6 --from 0 --to 4 2>/dev/null >"$smoke_dir/p1.out"
+./target/release/lovm drive --addr "$serve_addr" --session repl \
+  --seed 7 --bidders 6 --from 4 --to 5 --partial 2>/dev/null >/dev/null
+stop_server KILL
+
+promoted_addr=""
+for _ in $(seq 1 100); do
+  promoted_addr=$(sed -n 's/^listening on //p' "$smoke_dir/follow.log")
+  [ -n "$promoted_addr" ] && break
+  sleep 0.1
+done
+if [ -z "$promoted_addr" ]; then
+  echo "ci: FAIL — the follower did not promote itself after the leader died"
+  cat "$smoke_dir/follow.log"
+  exit 1
+fi
+./target/release/lovm drive --addr "$promoted_addr" --session repl \
+  --seed 7 --bidders 6 --from 0 --to 8 2>/dev/null >"$smoke_dir/p2.out"
+kill "$follower_pid" 2>/dev/null || true
+wait "$follower_pid" 2>/dev/null || true
+follower_pid=""
+
+cat "$smoke_dir/p1.out" "$smoke_dir/p2.out" \
+  | { grep '"event":"sealed"' || true; } >"$smoke_dir/promoted.sealed"
+{ grep '"event":"sealed"' "$smoke_dir/repl-ref.out" || true; } >"$smoke_dir/repl-ref.sealed"
+if ! diff -q "$smoke_dir/promoted.sealed" "$smoke_dir/repl-ref.sealed" >/dev/null; then
+  echo "ci: FAIL — promoted follower's sealed rounds differ from the uninterrupted run"
+  diff "$smoke_dir/promoted.sealed" "$smoke_dir/repl-ref.sealed" || true
+  exit 1
+fi
+if ! diff -q <(grep '"event":"state"' "$smoke_dir/p2.out") \
+            <(grep '"event":"state"' "$smoke_dir/repl-ref.out") >/dev/null; then
+  echo "ci: FAIL — promoted follower's final state differs from the uninterrupted run"
+  exit 1
+fi
+echo "ci: follower kill-and-promote smoke ok (byte-identical after leader SIGKILL)"
 
 echo "ci: all green"

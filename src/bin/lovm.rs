@@ -8,6 +8,7 @@
 //! lovm csv      --scenario standard --mechanism lovm --v 20 > run.csv
 //! lovm serve    --addr 127.0.0.1:0 --v 20 --budget 2
 //! lovm drive    --addr 127.0.0.1:7878 --session m1 --from 0 --to 8
+//! lovm follow   --addr 127.0.0.1:7878 --session m1 --serve-addr 127.0.0.1:0
 //! ```
 //!
 //! `stream` runs the same marketplace through the event-driven ingestion
@@ -24,6 +25,16 @@
 //! It prints the server's `sealed`/`state` lines verbatim on stdout
 //! (handshake chatter goes to stderr), making crash-recovery runs
 //! byte-diffable against uninterrupted ones.
+//!
+//! `follow` attaches a live replica to a serving leader: it bootstraps
+//! the session's committed journal verbatim into its own `LOVM_JOURNAL`
+//! directory (which must differ from the leader's), replays every
+//! streamed round through the same code path the leader ran — verifying
+//! each journaled digest bitwise — and, when the leader's connection
+//! drops, promotes itself to a `serve` on `--serve-addr` (without the
+//! flag it just exits). Journals are bounded on disk by setting
+//! `LOVM_COMPACT`: every that-many sealed rounds the prefix covered by
+//! the latest snapshot is compacted away.
 
 use metrics::json::JsonValue;
 use simrng::{derive_seed, rngs::StdRng, RngExt, SeedableRng};
@@ -32,7 +43,8 @@ use std::net::TcpStream;
 use std::process::ExitCode;
 use sustainable_fl::core::offline::{competitive_ratio, offline_benchmark};
 use sustainable_fl::core::serve::{
-    journal_dir_from_env, snapshot_every_from_env, MarketServer, ServeConfig,
+    compact_every_from_env, journal_dir_from_env, snapshot_every_from_env, MarketServer,
+    MarketSession, ServeConfig, SessionConfig,
 };
 use sustainable_fl::prelude::*;
 
@@ -47,6 +59,7 @@ struct Args {
     k: usize,
     budget: f64,
     addr: String,
+    serve_addr: String,
     session: String,
     from: usize,
     to: usize,
@@ -65,6 +78,7 @@ fn parse_args() -> Result<Args, String> {
         k: 4,
         budget: 2.0,
         addr: "127.0.0.1:7878".into(),
+        serve_addr: String::new(),
         session: "market".into(),
         from: 0,
         to: 8,
@@ -88,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
             "--k" => args.k = value()?.parse().map_err(|e| format!("--k: {e}"))?,
             "--budget" => args.budget = value()?.parse().map_err(|e| format!("--budget: {e}"))?,
             "--addr" => args.addr = value()?,
+            "--serve-addr" => args.serve_addr = value()?,
             "--session" => args.session = value()?,
             "--from" => args.from = value()?.parse().map_err(|e| format!("--from: {e}"))?,
             "--to" => args.to = value()?.parse().map_err(|e| format!("--to: {e}"))?,
@@ -101,9 +116,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: lovm <list|simulate|stream|compare|csv|serve|drive> [--scenario NAME] \
+    "usage: lovm <list|simulate|stream|compare|csv|serve|drive|follow> [--scenario NAME] \
      [--mechanism NAME] [--v V] [--seed SEED] [--price P] [--k K] [--budget RHO] \
-     [--addr HOST:PORT] [--session NAME] [--from R] [--to R] [--bidders N] [--partial]\n\
+     [--addr HOST:PORT] [--serve-addr HOST:PORT] [--session NAME] [--from R] [--to R] \
+     [--bidders N] [--partial]\n\
      scenarios: small, standard, energy-heterogeneous, solar-fleet, large-<N>\n\
      mechanisms: lovm, myopic, greedy, proportional, fixed, random, all"
         .into()
@@ -262,15 +278,17 @@ fn run() -> Result<(), String> {
         }
         "serve" => serve(&args),
         "drive" => drive(&args),
+        "follow" => follow(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
 
-fn serve(args: &Args) -> Result<(), String> {
-    let cfg = ServeConfig {
-        addr: args.addr.clone(),
+fn serve_config(args: &Args, addr: &str) -> ServeConfig {
+    ServeConfig {
+        addr: addr.into(),
         journal_dir: journal_dir_from_env(),
         snapshot_every: snapshot_every_from_env(),
+        compact_every: compact_every_from_env(),
         lovm: LovmConfig {
             v: args.v,
             budget_per_round: args.budget,
@@ -278,7 +296,10 @@ fn serve(args: &Args) -> Result<(), String> {
             ..LovmConfig::default()
         },
         ingest: sustainable_fl::ingest::IngestConfig::from_env(),
-    };
+    }
+}
+
+fn run_server(cfg: ServeConfig) -> Result<(), String> {
     let journal_dir = cfg.journal_dir.clone();
     let server = MarketServer::bind(cfg).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
@@ -286,6 +307,114 @@ fn serve(args: &Args) -> Result<(), String> {
     println!("listening on {addr}");
     println!("journaling to {}", journal_dir.display());
     server.run().map_err(|e| e.to_string())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    run_server(serve_config(args, &args.addr))
+}
+
+/// Attaches a live replica to a serving leader (see the module docs):
+/// bootstrap the committed journal verbatim, replay the live feed
+/// through `MarketSession::apply_replicated` (each journaled digest
+/// verified bitwise), and on leader death promote to a full server on
+/// `--serve-addr`.
+fn follow(args: &Args) -> Result<(), String> {
+    let journal_dir = journal_dir_from_env();
+    std::fs::create_dir_all(&journal_dir).map_err(|e| e.to_string())?;
+    let stream =
+        TcpStream::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut out = stream;
+    send_line(
+        &mut out,
+        JsonValue::object()
+            .field("cmd", "follow")
+            .field("session", args.session.as_str()),
+    )?;
+    let (boot_raw, boot) = read_event(&mut reader)?;
+    let backlog = boot
+        .get("lines")
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| format!("malformed bootstrap `{boot_raw}`"))?;
+    eprintln!("{boot_raw}");
+
+    // The bootstrap *is* the leader's committed journal (compaction
+    // header included): write it verbatim so the replica journal starts
+    // byte-identical, then open it through the normal recovery path.
+    let journal_path = journal_dir.join(format!("{}.jsonl", args.session));
+    {
+        let mut file = std::fs::File::create(&journal_path).map_err(|e| e.to_string())?;
+        for _ in 0..backlog {
+            let line = read_line(&mut reader)?;
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .map_err(|e| e.to_string())?;
+        }
+        file.sync_data().map_err(|e| e.to_string())?;
+    }
+    let (live_raw, live) = read_event(&mut reader)?;
+    if live.get("event").and_then(JsonValue::as_str) != Some("live") {
+        return Err(format!("expected the live marker, got `{live_raw}`"));
+    }
+
+    let mut session_cfg = SessionConfig::new(&journal_path);
+    session_cfg.snapshot = Some(journal_dir.join(format!("{}.snapshot.json", args.session)));
+    session_cfg.snapshot_every = snapshot_every_from_env();
+    session_cfg.compact_every = compact_every_from_env();
+    session_cfg.lovm = LovmConfig {
+        v: args.v,
+        budget_per_round: args.budget,
+        max_winners: Some(args.k),
+        ..LovmConfig::default()
+    };
+    session_cfg.ingest = sustainable_fl::ingest::IngestConfig::from_env();
+    let mut session =
+        MarketSession::open(session_cfg).map_err(|e| format!("cannot open replica: {e}"))?;
+    eprintln!(
+        "replica live at round {} digest {:016x}",
+        session.rounds_sealed(),
+        session.digest()
+    );
+
+    // Every line from here on is a committed journal event; outcomes are
+    // the follower's commit points. EOF means the leader died.
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => return Err(format!("feed read: {e}")),
+        }
+        let line = line.trim_end_matches('\n');
+        if line.is_empty() {
+            continue;
+        }
+        let applied = session
+            .apply_replicated(line)
+            .map_err(|e| format!("replica diverged: {e}"))?;
+        if let Some((round, digest)) = applied {
+            eprintln!("replicated round {round} digest {digest:016x}");
+        }
+    }
+    drop((reader, out));
+
+    if args.serve_addr.is_empty() {
+        eprintln!(
+            "leader gone at round {} digest {:016x}; exiting (no --serve-addr)",
+            session.rounds_sealed(),
+            session.digest()
+        );
+        return Ok(());
+    }
+    eprintln!(
+        "leader gone at round {}; promoting on {}",
+        session.rounds_sealed(),
+        args.serve_addr
+    );
+    drop(session);
+    let mut cfg = serve_config(args, &args.serve_addr);
+    cfg.journal_dir = journal_dir;
+    run_server(cfg)
 }
 
 fn send_line(out: &mut TcpStream, v: JsonValue) -> Result<(), String> {

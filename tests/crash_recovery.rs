@@ -170,3 +170,116 @@ fn torn_journal_always_recovers_the_last_sealed_round() {
 fn torn_journal_recovers_despite_a_snapshot_from_the_future() {
     torn_write_property(2, "snap");
 }
+
+/// The sweep again over a *compacted* journal: the file begins with a
+/// compaction header whose embedded snapshot stands in for the dropped
+/// prefix. Truncation at every tail byte offset must land exactly where
+/// the raw bytes dictate — a cut inside the header falls all the way
+/// back to an empty market (the header commits or it doesn't), a cut in
+/// the suffix lands on the last committed outcome past the base — and
+/// every landing continues bit-identically.
+#[test]
+fn torn_compacted_journal_always_recovers() {
+    let ref_dir = temp_dir("compacted-ref");
+    let mut cfg = session_cfg(&ref_dir, 2);
+    cfg.compact_every = 3;
+    let mut reference = MarketSession::open(cfg).unwrap();
+    let ref_outcomes = drive(&mut reference, 0..ROUNDS);
+    for (at, bid) in offers_for_round(ROUNDS) {
+        reference.offer(at, bid).unwrap();
+    }
+    drop(reference);
+    let journal_bytes = std::fs::read(ref_dir.join("market.jsonl")).unwrap();
+    let snapshot_bytes = std::fs::read(ref_dir.join("market.snapshot.json")).unwrap();
+
+    // Independent oracle from the raw bytes: the sealed rounds the
+    // (complete) header's embedded snapshot covers, plus every complete
+    // outcome line at or before the cut.
+    let header_line = journal_bytes
+        .split_inclusive(|&b| b == b'\n')
+        .next()
+        .unwrap();
+    assert!(
+        header_line.starts_with(br#"{"event":"compact""#) && header_line.ends_with(b"\n"),
+        "compaction must have rewritten the journal behind a header"
+    );
+    let header_end = header_line.len();
+    let header =
+        metrics::json::JsonValue::parse(std::str::from_utf8(header_line).unwrap().trim()).unwrap();
+    let base_rounds = header
+        .get("snapshot")
+        .and_then(|s| s.get("collector"))
+        .and_then(|c| c.get("next_round"))
+        .and_then(|r| r.as_usize())
+        .unwrap();
+    assert!(
+        base_rounds > 0 && base_rounds < ROUNDS,
+        "the sweep needs sealed rounds on both sides of the base, got base {base_rounds}"
+    );
+    let mut outcome_line_ends = Vec::new();
+    let mut offset = 0usize;
+    for line in journal_bytes.split_inclusive(|&b| b == b'\n') {
+        offset += line.len();
+        if line.starts_with(br#"{"event":"outcome""#) && line.ends_with(b"\n") {
+            outcome_line_ends.push(offset);
+        }
+    }
+    assert_eq!(outcome_line_ends.len(), ROUNDS - base_rounds);
+    let expected_rounds = |cut: usize| {
+        if cut < header_end {
+            0
+        } else {
+            base_rounds + outcome_line_ends.iter().filter(|&&end| end <= cut).count()
+        }
+    };
+
+    let crash_dir = temp_dir("compacted-crash");
+    let journal_path = crash_dir.join("market.jsonl");
+    let snapshot_path = crash_dir.join("market.snapshot.json");
+    let mut continued: HashSet<usize> = HashSet::new();
+    for cut in 0..=journal_bytes.len() {
+        std::fs::write(&journal_path, &journal_bytes[..cut]).unwrap();
+        // The snapshot file survives every crash in full (atomic write);
+        // at most cuts it is now *ahead* of the truncated journal and
+        // must be ignored in favour of the header's base.
+        std::fs::write(&snapshot_path, &snapshot_bytes).unwrap();
+        let mut crash_cfg = session_cfg(&crash_dir, 2);
+        crash_cfg.compact_every = 3;
+        let mut recovered = MarketSession::open(crash_cfg)
+            .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+        let rounds = expected_rounds(cut);
+        assert_eq!(
+            recovered.recovered_rounds(),
+            rounds,
+            "cut at byte {cut} must land on the last committed round"
+        );
+        let (want_digest, want_backlog) = if rounds == 0 {
+            (journal::Digest::new().value(), 0.0)
+        } else {
+            (
+                ref_outcomes[rounds - 1].digest,
+                ref_outcomes[rounds - 1].backlog,
+            )
+        };
+        assert_eq!(recovered.digest(), want_digest, "digest at cut {cut}");
+        assert_eq!(
+            recovered.backlog().to_bits(),
+            want_backlog.to_bits(),
+            "backlog bits at cut {cut}"
+        );
+        if continued.insert(rounds) {
+            let tail = drive(&mut recovered, rounds..ROUNDS);
+            assert_eq!(
+                tail,
+                ref_outcomes[rounds..].to_vec(),
+                "continuation after recovery at cut {cut} diverged"
+            );
+        }
+    }
+    // Landing rounds: the empty market (mid-header cuts), the base, and
+    // every suffix round — rounds the compaction dropped cannot recur.
+    let want: HashSet<usize> = std::iter::once(0).chain(base_rounds..=ROUNDS).collect();
+    assert_eq!(continued, want);
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&crash_dir).ok();
+}
