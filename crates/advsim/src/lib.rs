@@ -1,0 +1,34 @@
+//! Strategic-adversary simulator: the truthfulness theorem as a standing
+//! empirical gate.
+//!
+//! The paper's central guarantee is incentive compatibility: no client
+//! can gain by misreporting its cost or gaming its submission timing.
+//! The property tests in `auction::properties` pin this for isolated VCG
+//! rounds; this crate pins it for the *whole pipeline* — arrivals flow
+//! through the real ingest → seal → VCG/sharded path while one focal
+//! client is driven by a pluggable [`Strategy`] agent, and its realized
+//! utility is compared against the paired counterfactual where the same
+//! client played truthfully on the same seed.
+//!
+//! Three layers:
+//!
+//! * [`trace`] — recorded (`at,bidder,cost,data,quality` CSV) or seeded
+//!   arrival streams carrying every bidder's *true* private cost;
+//! * [`strategy`] — the adversary catalog: cost shading, overbidding,
+//!   deadline sniping, churn, and pairwise collusion;
+//! * [`harness`] — paired-counterfactual cell replays, regret tables,
+//!   and the CI [`gate`] (`truthful regret ≥ −ε` in every cell).
+//!
+//! Consumed by the `exp_e16_adversary` experiment binary (golden-pinned)
+//! and the `lovm attack` CLI subcommand.
+
+pub mod harness;
+pub mod strategy;
+pub mod trace;
+
+pub use harness::{
+    gate, pick_focal, pick_partner, regret_table, run_cell, single_round_regret, topology_label,
+    Cell, CellReport,
+};
+pub use strategy::{catalog, Strategy};
+pub use trace::{Trace, TraceError, TraceWorkload, CSV_HEADER};

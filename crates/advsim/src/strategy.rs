@@ -1,0 +1,278 @@
+//! Strategy agents: how a focal client deviates from truthful play.
+//!
+//! A [`Strategy`] rewrites the focal client's arrivals in a trace —
+//! misreported costs, delayed submissions, withheld bids — while every
+//! other client stays untouched. The harness (`crate::harness`) then
+//! replays both the rewritten trace and the truthful original through the
+//! identical pipeline and charges the difference to the strategy.
+//!
+//! Two modeling rules keep the comparison honest:
+//!
+//! * **Delay-only timing.** A client can *wait* to submit a bid it has,
+//!   but cannot submit before the bid exists. [`Strategy::DeadlineSniper`]
+//!   therefore moves arrivals *forward* to `deadline − ε` and never
+//!   backward — sniping is procrastination, not time travel.
+//! * **Seeded withholding.** [`Strategy::Churner`] draws its drop
+//!   decisions from an RNG stream derived per `(seed, round, bidder)`, so
+//!   a cell's paired runs and any replay see the same churn pattern.
+
+use ingest::RoundSchedule;
+use simrng::rngs::StdRng;
+use simrng::{derive_seed, RngExt, SeedableRng};
+use workload::arrivals::TimedBid;
+
+/// Salt separating churn decisions from every other RNG consumer.
+const CHURN_SALT: u64 = 0xC4C1_2A11_D120_55ED;
+
+/// A pluggable deviation from truthful play (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Submit exactly the trace: the control arm of every cell.
+    Truthful,
+    /// Report `factor × cost` with `factor ∈ (0, 1)`: understate the
+    /// private cost to look cheaper than you are.
+    CostShader {
+        /// Multiplier applied to the true cost.
+        factor: f64,
+    },
+    /// Report `factor × cost` with `factor > 1`: inflate the cost hoping
+    /// the pivot payment inflates with it.
+    OverBidder {
+        /// Multiplier applied to the true cost.
+        factor: f64,
+    },
+    /// Hold every bid until `deadline − epsilon` into its round span
+    /// (fractions of a round; delay-only — an arrival already past that
+    /// instant keeps its own timestamp).
+    DeadlineSniper {
+        /// How far before the deadline the sniped bid lands.
+        epsilon: f64,
+    },
+    /// Withhold each round's bid with probability `p_drop` (seeded).
+    Churner {
+        /// Per-round probability of not submitting.
+        p_drop: f64,
+    },
+    /// Two shard-mates both shade to `factor × cost`, coordinating to
+    /// distort their shard's prices; regret is charged to their *joint*
+    /// utility.
+    ColludingPair {
+        /// Multiplier both colluders apply to their true costs.
+        factor: f64,
+    },
+}
+
+impl Strategy {
+    /// Stable label used in tables and the CLI.
+    pub fn label(&self) -> String {
+        match *self {
+            Strategy::Truthful => "truthful".into(),
+            Strategy::CostShader { factor } => format!("shade:{factor}"),
+            Strategy::OverBidder { factor } => format!("overbid:{factor}"),
+            Strategy::DeadlineSniper { epsilon } => format!("snipe:{epsilon}"),
+            Strategy::Churner { p_drop } => format!("churn:{p_drop}"),
+            Strategy::ColludingPair { factor } => format!("collude:{factor}"),
+        }
+    }
+
+    /// Whether the strategy controls a pair of clients rather than one.
+    pub fn is_pair(&self) -> bool {
+        matches!(self, Strategy::ColludingPair { .. })
+    }
+
+    /// Validates the strategy's parameters against the round geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-domain parameters (a shading factor outside
+    /// `(0, 1)`, an overbid factor ≤ 1, a snipe epsilon not inside the
+    /// deadline, a drop probability outside `[0, 1]`).
+    pub fn validate(&self, schedule: &RoundSchedule) {
+        match *self {
+            Strategy::Truthful => {}
+            Strategy::CostShader { factor } | Strategy::ColludingPair { factor } => assert!(
+                factor > 0.0 && factor < 1.0,
+                "shading factor must be in (0, 1), got {factor}"
+            ),
+            Strategy::OverBidder { factor } => assert!(
+                factor > 1.0 && factor.is_finite(),
+                "overbid factor must be > 1, got {factor}"
+            ),
+            Strategy::DeadlineSniper { epsilon } => assert!(
+                epsilon > 0.0 && epsilon < schedule.deadline(),
+                "snipe epsilon must be in (0, deadline {}), got {epsilon}",
+                schedule.deadline()
+            ),
+            Strategy::Churner { p_drop } => assert!(
+                (0.0..=1.0).contains(&p_drop),
+                "drop probability must be in [0, 1], got {p_drop}"
+            ),
+        }
+    }
+
+    /// Rewrites a trace's arrivals: every arrival of a bidder in `focal`
+    /// passes through the strategy, everything else is copied verbatim.
+    /// The result is re-sorted by timestamp (stable, so the original
+    /// `(time, seq)` tie-break of untouched arrivals is preserved).
+    pub fn apply(
+        &self,
+        arrivals: &[TimedBid],
+        focal: &[usize],
+        schedule: &RoundSchedule,
+        seed: u64,
+    ) -> Vec<TimedBid> {
+        self.validate(schedule);
+        let mut out: Vec<TimedBid> = Vec::with_capacity(arrivals.len());
+        for tb in arrivals {
+            if !focal.contains(&tb.bid.bidder) {
+                out.push(*tb);
+                continue;
+            }
+            match *self {
+                Strategy::Truthful => out.push(*tb),
+                Strategy::CostShader { factor }
+                | Strategy::OverBidder { factor }
+                | Strategy::ColludingPair { factor } => out.push(TimedBid {
+                    at: tb.at,
+                    bid: tb.bid.with_cost(tb.bid.cost * factor),
+                }),
+                Strategy::DeadlineSniper { epsilon } => {
+                    let span = schedule.span_of(tb.at);
+                    let snipe =
+                        (span as f64 + schedule.deadline() - epsilon) * schedule.round_len();
+                    out.push(TimedBid {
+                        at: tb.at.max(snipe), // delay-only: never travel back
+                        bid: tb.bid,
+                    });
+                }
+                Strategy::Churner { p_drop } => {
+                    let span = schedule.span_of(tb.at) as u64;
+                    let mut rng = StdRng::seed_from_u64(derive_seed(
+                        derive_seed(seed ^ CHURN_SALT, span),
+                        tb.bid.bidder as u64,
+                    ));
+                    if rng.random::<f64>() >= p_drop {
+                        out.push(*tb);
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite timestamps"));
+        out
+    }
+}
+
+/// The standard strategy catalog the experiment harness and the CLI run:
+/// one control arm plus five adversaries.
+pub fn catalog() -> Vec<Strategy> {
+    vec![
+        Strategy::Truthful,
+        Strategy::CostShader { factor: 0.5 },
+        Strategy::OverBidder { factor: 2.0 },
+        Strategy::DeadlineSniper { epsilon: 0.05 },
+        Strategy::Churner { p_drop: 0.5 },
+        Strategy::ColludingPair { factor: 0.6 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use auction::bid::Bid;
+
+    fn schedule() -> RoundSchedule {
+        RoundSchedule::new(1.0, 0.75, 0.0)
+    }
+
+    fn arrivals() -> Vec<TimedBid> {
+        vec![
+            TimedBid {
+                at: 0.1,
+                bid: Bid::new(0, 1.0, 100, 0.9),
+            },
+            TimedBid {
+                at: 0.2,
+                bid: Bid::new(1, 2.0, 200, 0.8),
+            },
+            TimedBid {
+                at: 1.3,
+                bid: Bid::new(0, 1.0, 100, 0.9),
+            },
+        ]
+    }
+
+    #[test]
+    fn truthful_is_identity() {
+        let a = arrivals();
+        assert_eq!(Strategy::Truthful.apply(&a, &[0], &schedule(), 1), a);
+    }
+
+    #[test]
+    fn shading_rewrites_only_focal_costs() {
+        let out = Strategy::CostShader { factor: 0.5 }.apply(&arrivals(), &[0], &schedule(), 1);
+        assert_eq!(out[0].bid.cost, 0.5);
+        assert_eq!(out[1].bid.cost, 2.0, "non-focal untouched");
+        assert_eq!(out[2].bid.cost, 0.5);
+        assert_eq!(out[0].at, 0.1, "timing untouched");
+    }
+
+    #[test]
+    fn sniper_delays_to_deadline_minus_epsilon_but_never_rewinds() {
+        let sched = schedule();
+        let out = Strategy::DeadlineSniper { epsilon: 0.05 }.apply(&arrivals(), &[0], &sched, 1);
+        // 0.1 → 0.70; the non-focal 0.2 stays, so order changes (re-sorted).
+        assert_eq!(out[0].bid.bidder, 1);
+        assert!((out[1].at - 0.70).abs() < 1e-12);
+        assert!((out[2].at - 1.70).abs() < 1e-12);
+        // An arrival already past the snipe instant keeps its timestamp.
+        let late = vec![TimedBid {
+            at: 0.9,
+            bid: Bid::new(0, 1.0, 100, 0.9),
+        }];
+        let kept = Strategy::DeadlineSniper { epsilon: 0.05 }.apply(&late, &[0], &sched, 1);
+        assert_eq!(kept[0].at, 0.9);
+    }
+
+    #[test]
+    fn churner_is_seeded_and_drops_roughly_p() {
+        let many: Vec<TimedBid> = (0..400)
+            .map(|r| TimedBid {
+                at: r as f64 + 0.5,
+                bid: Bid::new(0, 1.0, 100, 0.9),
+            })
+            .collect();
+        let s = Strategy::Churner { p_drop: 0.5 };
+        let a = s.apply(&many, &[0], &schedule(), 9);
+        let b = s.apply(&many, &[0], &schedule(), 9);
+        assert_eq!(a, b, "churn must be seed-deterministic");
+        let kept = a.len() as f64 / many.len() as f64;
+        assert!((0.35..0.65).contains(&kept), "kept fraction {kept}");
+        assert_ne!(
+            a,
+            s.apply(&many, &[0], &schedule(), 10),
+            "different seeds churn differently (with overwhelming probability)"
+        );
+    }
+
+    #[test]
+    fn colluding_pair_shades_both_members() {
+        let out =
+            Strategy::ColludingPair { factor: 0.6 }.apply(&arrivals(), &[0, 1], &schedule(), 1);
+        assert!((out[0].bid.cost - 0.6).abs() < 1e-12);
+        assert!((out[1].bid.cost - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "snipe epsilon")]
+    fn sniper_epsilon_must_fit_inside_deadline() {
+        Strategy::DeadlineSniper { epsilon: 0.9 }.apply(&arrivals(), &[0], &schedule(), 1);
+    }
+
+    #[test]
+    fn catalog_has_one_control_and_five_adversaries() {
+        let c = catalog();
+        assert_eq!(c.len(), 6);
+        assert_eq!(c[0], Strategy::Truthful);
+        assert!(c.iter().skip(1).all(|s| *s != Strategy::Truthful));
+    }
+}

@@ -109,6 +109,16 @@ fn splitmix64(seed: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The shard a bidder id hashes into under `shards` shards and `seed`
+/// (normally [`SHARD_SEED`]). This is *the* assignment [`partition`] uses,
+/// exposed so tooling — e.g. the adversary simulator picking colluding
+/// shard-mates — can reason about co-residency without building an
+/// instance.
+pub fn shard_of(bidder: usize, shards: usize, seed: u64) -> usize {
+    assert!(shards >= 1, "shard_of requires at least one shard");
+    (splitmix64((bidder as u64).wrapping_add(seed)) % shards as u64) as usize
+}
+
 /// Deterministically partitions an instance's items into `shards` groups
 /// of ascending item indices. Assignment depends only on the item's
 /// bidder id and `seed` — never on the round's population — so a bidder
@@ -117,8 +127,7 @@ pub fn partition(inst: &WdpInstance, shards: usize, seed: u64) -> Vec<Vec<usize>
     assert!(shards >= 1, "partition requires at least one shard");
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shards];
     for (i, it) in inst.items.iter().enumerate() {
-        let h = splitmix64((it.bidder as u64).wrapping_add(seed));
-        groups[(h % shards as u64) as usize].push(i);
+        groups[shard_of(it.bidder, shards, seed)].push(i);
     }
     groups
 }

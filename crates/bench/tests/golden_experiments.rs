@@ -78,3 +78,8 @@ golden!(e14_sharding, exp_e14_sharding, "e14_sharding");
 // on the deterministic virtual-time driver, so its snapshot is invariant
 // across worker and shard counts with no masked columns at all.
 golden!(e15_streaming, exp_e15_streaming, "e15_streaming");
+// e16 pins every topology per cell in code and replays seeded traces
+// through the deterministic ingest path, so its snapshot — regret tables
+// included — is byte-identical at any shard or worker count; the binary
+// itself exits nonzero if any regret cell breaks the truthfulness gate.
+golden!(e16_adversary, exp_e16_adversary, "e16_adversary");

@@ -631,6 +631,67 @@ mod tests {
         let _ = c.export_state();
     }
 
+    /// Property: conservation holds under `Backpressure::Shed` *combined*
+    /// with a `GraceWindow` late policy — every seeded arrival is accounted
+    /// for as admitted, admitted-late, deferred, dropped, superseded, or
+    /// shed, checked after *every* round seal (not just at the end), with
+    /// random offsets spanning on-time, in-grace, beyond-grace, and
+    /// next-round-banked arrivals (seeded rounds).
+    #[test]
+    fn stats_conserve_under_shed_plus_grace_every_round() {
+        use simrng::{rngs::StdRng, RngExt, SeedableRng};
+        for seed in 0..5u64 {
+            let cfg = IngestConfig {
+                deadline: 0.6,
+                late_policy: LateBidPolicy::GraceWindow { grace: 0.2 },
+                capacity: 8,
+                backpressure: Backpressure::Shed { watermark: 1.0 },
+                ..IngestConfig::default()
+            };
+            let mut c = RoundCollector::new(&cfg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut offered = 0usize;
+            let mut accounted = 0usize;
+            let mut shed_total = 0usize;
+            for r in 0..30usize {
+                let mut batch: Vec<TimedBid> = (0..12usize)
+                    .map(|k| {
+                        // Offsets across the whole span plus a slice into
+                        // the next round: exercises on-time (< 0.6),
+                        // in-grace (0.6..0.8), beyond-grace (0.8..1.0),
+                        // and early-banked (>= 1.0) classification.
+                        tb(r as f64 + rng.random_range(0.0..1.2), k)
+                    })
+                    .collect();
+                batch.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+                for arrival in batch {
+                    c.offer(arrival);
+                    offered += 1;
+                }
+                let stats = c.seal_next().stats;
+                accounted += stats.admitted
+                    + stats.admitted_late
+                    + stats.deferred_in
+                    + stats.dropped
+                    + stats.superseded
+                    + stats.shed;
+                shed_total += stats.shed;
+                assert_eq!(stats.deferred_in, 0, "grace policy never defers");
+                assert!(stats.buffer_peak <= cfg.capacity);
+                assert_eq!(
+                    accounted + c.outstanding(),
+                    offered,
+                    "seed {seed}: conservation broke after round {r}"
+                );
+            }
+            assert_eq!(offered as u64, c.offered());
+            assert!(
+                shed_total > 0,
+                "seed {seed}: capacity 8 < 12/round must shed"
+            );
+        }
+    }
+
     #[test]
     fn stats_conserve_every_offered_bid() {
         let cfg = IngestConfig {

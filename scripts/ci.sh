@@ -49,6 +49,30 @@ for t in 1 4; do
 done
 echo "ci: exp_e15_streaming smoke ok (thread-invariant)"
 
+# Smoke the strategic-adversary gate across the full shard × thread
+# matrix: the binary itself exits nonzero if any regret cell dips below
+# -1e-9 (a profitable deviation — a truthfulness break) or if no
+# adversary strictly loses, and because e16 pins every topology per cell
+# in code, all four passes must also produce byte-identical tables.
+e16_ref=""
+for shards in 1 8; do
+  for t in 1 4; do
+    if ! out=$(LOVM_SCALE=0.1 LOVM_SHARDS=$shards LOVM_THREADS=$t \
+        ./target/release/exp_e16_adversary); then
+      echo "ci: FAIL — exp_e16_adversary truthfulness gate broke at LOVM_SHARDS=$shards LOVM_THREADS=$t"
+      printf '%s\n' "$out" | tail -5
+      exit 1
+    fi
+    if [ -z "$e16_ref" ]; then
+      e16_ref="$out"
+    elif [ "$out" != "$e16_ref" ]; then
+      echo "ci: FAIL — exp_e16_adversary output differs at LOVM_SHARDS=$shards LOVM_THREADS=$t"
+      exit 1
+    fi
+  done
+done
+echo "ci: exp_e16_adversary truthfulness gate ok (shard- and thread-invariant)"
+
 # Smoke the payment-path benchmark in both modes (tiny sample counts: this
 # checks the bins run and report, not the timings themselves) and gate the
 # payment-engine regression: the incremental leave-one-out engine must stay

@@ -9,6 +9,7 @@
 //! lovm serve    --addr 127.0.0.1:0 --v 20 --budget 2
 //! lovm drive    --addr 127.0.0.1:7878 --session m1 --from 0 --to 8
 //! lovm follow   --addr 127.0.0.1:7878 --session m1 --serve-addr 127.0.0.1:0
+//! lovm attack   --trace bids.csv --v 10 --budget 50 --k 8
 //! ```
 //!
 //! `stream` runs the same marketplace through the event-driven ingestion
@@ -65,6 +66,9 @@ struct Args {
     to: usize,
     bidders: usize,
     partial: bool,
+    trace: String,
+    workload: String,
+    rounds: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +88,9 @@ fn parse_args() -> Result<Args, String> {
         to: 8,
         bidders: 6,
         partial: false,
+        trace: String::new(),
+        workload: "steady".into(),
+        rounds: 40,
     };
     let mut it = std::env::args().skip(1);
     args.command = it.next().ok_or_else(usage)?;
@@ -109,6 +116,9 @@ fn parse_args() -> Result<Args, String> {
             "--bidders" => {
                 args.bidders = value()?.parse().map_err(|e| format!("--bidders: {e}"))?
             }
+            "--trace" => args.trace = value()?,
+            "--workload" => args.workload = value()?,
+            "--rounds" => args.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -116,10 +126,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: lovm <list|simulate|stream|compare|csv|serve|drive|follow> [--scenario NAME] \
+    "usage: lovm <list|simulate|stream|compare|csv|serve|drive|follow|attack> [--scenario NAME] \
      [--mechanism NAME] [--v V] [--seed SEED] [--price P] [--k K] [--budget RHO] \
      [--addr HOST:PORT] [--serve-addr HOST:PORT] [--session NAME] [--from R] [--to R] \
-     [--bidders N] [--partial]\n\
+     [--bidders N] [--partial] [--trace FILE.csv] [--workload steady|late-rush] [--rounds R]\n\
      scenarios: small, standard, energy-heterogeneous, solar-fleet, large-<N>\n\
      mechanisms: lovm, myopic, greedy, proportional, fixed, random, all"
         .into()
@@ -279,7 +289,88 @@ fn run() -> Result<(), String> {
         "serve" => serve(&args),
         "drive" => drive(&args),
         "follow" => follow(&args),
+        "attack" => attack(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// Runs the strategic-adversary catalog against a bid trace — recorded
+/// (`--trace FILE.csv`, header `at,bidder,cost,data,quality`) or seeded
+/// (`--workload`/`--bidders`/`--rounds`/`--seed`) — through the real
+/// ingest → seal → VCG path, and prints the paired-counterfactual regret
+/// table. Ingestion knobs come from the environment (`LOVM_DEADLINE`,
+/// `LOVM_LATE_POLICY`, `LOVM_BUFFER`), the topology from `LOVM_SHARDS`.
+/// Exits nonzero if any strategy's regret dips below −1e-9 — i.e. if a
+/// deviation from truthful play *profited* on this trace. Note the
+/// truthfulness theorem speaks when the budget rate is slack (the virtual
+/// queue stays empty); a binding `--budget` can legitimately fail.
+fn attack(args: &Args) -> Result<(), String> {
+    use sustainable_fl::advsim::{
+        catalog, gate, regret_table, run_cell, Cell, Trace, TraceWorkload,
+    };
+
+    let trace = if args.trace.is_empty() {
+        let workload = match args.workload.as_str() {
+            "steady" => TraceWorkload::Steady,
+            "late-rush" => TraceWorkload::LateRush,
+            other => return Err(format!("unknown workload `{other}` (steady, late-rush)")),
+        };
+        Trace::seeded(workload, args.bidders, args.rounds, args.seed)
+    } else {
+        let text = std::fs::read_to_string(&args.trace)
+            .map_err(|e| format!("cannot read {}: {e}", args.trace))?;
+        Trace::from_csv(&text).map_err(|e| format!("{}: {e}", args.trace))?
+    };
+    let ingest = sustainable_fl::ingest::IngestConfig::from_env();
+    let lovm = LovmConfig {
+        v: args.v,
+        budget_per_round: args.budget,
+        max_winners: Some(args.k),
+        ..LovmConfig::default()
+    };
+    let policy = format!(
+        "{}@{}",
+        match ingest.late_policy {
+            sustainable_fl::ingest::LateBidPolicy::Drop => "drop".to_string(),
+            sustainable_fl::ingest::LateBidPolicy::DeferToNext => "defer".to_string(),
+            sustainable_fl::ingest::LateBidPolicy::GraceWindow { grace } =>
+                format!("grace:{grace}"),
+        },
+        ingest.deadline
+    );
+    let source = if args.trace.is_empty() {
+        format!(
+            "seeded {} x {} bidders x {} rounds",
+            args.workload, args.bidders, args.rounds
+        )
+    } else {
+        args.trace.clone()
+    };
+    println!(
+        "attack: trace {source}, seed {}, topology {}, policy {policy}, V {}, rho {}, k {}",
+        args.seed,
+        sustainable_fl::advsim::topology_label(lovm.topology),
+        args.v,
+        args.budget,
+        args.k
+    );
+    let cell = Cell {
+        workload: args.workload.clone(),
+        policy,
+        topology: lovm.topology,
+        ingest,
+    };
+    let reports: Vec<_> = catalog()
+        .iter()
+        .map(|s| run_cell(&trace, s, &cell, lovm, args.seed, par::Pool::auto()))
+        .collect();
+    println!("{}", regret_table(&reports).to_markdown());
+    match gate(&reports, 1e-9) {
+        Ok(()) => {
+            println!("gate: no strategy profited by deviating (all regret >= -1e-9)");
+            Ok(())
+        }
+        Err(msg) => Err(msg),
     }
 }
 

@@ -13,11 +13,13 @@
 //! | [`ingest`](mod@ingest) | `ingest` | event-driven streaming bid ingestion: deadlines, late-bid policy, backpressure |
 //! | [`journal`](mod@journal) | `journal` | event-sourced market journal: append-only log, snapshots, torn-tail recovery |
 //! | [`baselines`](mod@baselines) | `baselines` | every comparator mechanism |
+//! | [`advsim`](mod@advsim) | `advsim` | strategic-adversary simulator: strategy agents, paired-counterfactual regret |
 //! | [`metrics`](mod@metrics) | `metrics` | statistics, series, tables |
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and EXPERIMENTS.md
 //! for the full evaluation suite.
 
+pub use advsim;
 pub use auction;
 pub use baselines;
 pub use energy;

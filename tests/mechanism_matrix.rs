@@ -122,6 +122,118 @@ fn all_mechanisms_deterministic_per_seed() {
 }
 
 #[test]
+fn cost_shader_regret_non_negative_on_all_wdp_combos_vs_brute_force_oracle() {
+    // Strategy-regret row for the adversary simulator: a CostShader focal
+    // client must never profit from understating cost, under every WDP
+    // constraint combo {cardinality cap on/off} × {budget-capped instance
+    // on/off}, with subset enumeration (`SolverKind::Exhaustive` +
+    // `PaymentStrategy::Naive`) as the brute-force oracle. The budgeted
+    // combos use a slack budget: a *binding* cost knapsack makes the
+    // feasible set report-dependent, which is outside the DSIC theorem's
+    // scope (same regime note as e16 and the full-horizon probe below).
+    use simrng::rngs::StdRng;
+    use simrng::{RngExt, SeedableRng};
+    use sustainable_fl::advsim::{single_round_regret, Strategy};
+    use sustainable_fl::auction::{
+        AuctionOutcome, Bid, ClientValue, PaymentStrategy, SolverKind, Valuation, VcgAuction,
+        VcgConfig,
+    };
+
+    let valuation = Valuation::Linear(ClientValue {
+        value_per_unit: 1.0,
+        base_value: 0.0,
+    });
+    let slack_budget = 1e3; // far above any subset's total cost below
+    let combos: [(&str, Option<usize>, bool); 4] = [
+        ("uncapped/unbudgeted", None, false),
+        ("capped/unbudgeted", Some(3), false),
+        ("uncapped/budgeted", None, true),
+        ("capped/budgeted", Some(3), true),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(0xC057);
+    for case in 0..12u64 {
+        let n = rng.random_range(3..=8usize);
+        let bids: Vec<Bid> = (0..n)
+            .map(|i| {
+                Bid::new(
+                    i,
+                    rng.random_range(0.5..4.0),
+                    rng.random_range(1..8usize),
+                    rng.random_range(0.5..1.0),
+                )
+            })
+            .collect();
+        let focal = case as usize % n;
+        for (label, cap, budgeted) in combos {
+            let auction = VcgAuction::new(VcgConfig {
+                value_weight: 4.0,
+                cost_weight: 1.0,
+                max_winners: cap,
+                ..VcgConfig::default()
+            });
+            // The production path for this combo (top-K fast path for the
+            // unbudgeted rows, exact budget solve for the budgeted ones).
+            let prod = |b: &[Bid]| -> AuctionOutcome {
+                if budgeted {
+                    auction.run_with_budget_strategy_on(
+                        b,
+                        &valuation,
+                        slack_budget,
+                        SolverKind::Exact,
+                        PaymentStrategy::Incremental,
+                        par::Pool::serial(),
+                    )
+                } else {
+                    auction.run(b, &valuation)
+                }
+            };
+            // Brute-force oracle: enumerate every subset, re-solve each
+            // pivot from scratch. A slack budget is a no-op constraint, so
+            // the same closure is the oracle for all four combos.
+            let brute = |b: &[Bid]| -> AuctionOutcome {
+                auction.run_with_budget_strategy_on(
+                    b,
+                    &valuation,
+                    slack_budget,
+                    SolverKind::Exhaustive,
+                    PaymentStrategy::Naive,
+                    par::Pool::serial(),
+                )
+            };
+            // Oracle agreement at the truthful profile.
+            let fast = prod(&bids);
+            let exact = brute(&bids);
+            assert_eq!(
+                fast.winner_ids(),
+                exact.winner_ids(),
+                "case {case} {label}: production winners diverge from brute force"
+            );
+            assert!(
+                (fast.total_payment() - exact.total_payment()).abs() <= 1e-9,
+                "case {case} {label}: payments diverge from brute force ({} vs {})",
+                fast.total_payment(),
+                exact.total_payment()
+            );
+            for factor in [0.25, 0.5, 0.75, 0.9] {
+                let shade = Strategy::CostShader { factor };
+                for (path, mech) in [
+                    ("production", &prod as &dyn Fn(&[Bid]) -> AuctionOutcome),
+                    ("brute-force", &brute),
+                ] {
+                    let regret = single_round_regret(&bids, focal, &shade, case, mech);
+                    assert!(
+                        regret >= -1e-9,
+                        "case {case} {label} ({path}): CostShader{{{factor}}} \
+                         profited — regret {regret:+.9} for focal {focal}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn truthful_mechanisms_resist_full_horizon_misreports_on_energy_scenario() {
     // Long-run probe on a scenario with energy dynamics: misreporting every
     // round must not systematically help under LOVM.
