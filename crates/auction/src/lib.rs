@@ -66,5 +66,7 @@ pub use pivots::PaymentStrategy;
 pub use sealed::SealedRound;
 pub use shard::MarketTopology;
 pub use valuation::{ClientValue, Valuation};
-pub use vcg::{VcgAuction, VcgConfig};
-pub use wdp::{solve, solve_view, SolverKind, WdpInstance, WdpItem, WdpSolution, WdpView};
+pub use vcg::{RoundScratch, VcgAuction, VcgConfig};
+pub use wdp::{
+    solve, solve_view, SolverArena, SolverKind, WdpInstance, WdpItem, WdpSolution, WdpView, DP_EPS,
+};

@@ -42,8 +42,9 @@
 //! sets the welfares and payments need no longer agree at all.
 
 use crate::wdp::{
-    knapsack_candidates, knapsack_cell, knapsack_gcost, knapsack_width_2d, repair_overspend,
-    solve_view, SolverKind, WdpInstance, WdpView,
+    fill_preference_order, knapsack_cell, knapsack_gcost, knapsack_item_step_1d,
+    knapsack_item_step_2d, knapsack_width_2d, repair_overspend, solve_view, FlagTable, LooScratch,
+    SolverArena, SolverKind, WdpInstance, WdpView, DP_EPS,
 };
 
 /// How `W*₋ᵢ` pivot welfares are computed for payments.
@@ -98,21 +99,57 @@ pub fn leave_one_out_welfares_view_on(
     strategy: PaymentStrategy,
     pool: par::Pool,
 ) -> Vec<f64> {
+    let mut arena = SolverArena::new();
+    let mut out = Vec::new();
+    leave_one_out_welfares_view_into(view, targets, kind, strategy, pool, &mut arena, &mut out);
+    out
+}
+
+/// [`leave_one_out_welfares_view_on`] into caller-recycled buffers: the
+/// pivot lanes of `arena` hold every DP table, snapshot, and
+/// reconstruction buffer, and `out` receives one welfare per target (in
+/// target order, cleared first).
+///
+/// A serial caller (`LOVM_THREADS=1`) that keeps `arena` and `out` alive
+/// across rounds runs the hot engines (top-K splice, budgeted DP merge)
+/// with zero steady-state heap allocations. Parallel per-target fan-out
+/// gives each worker its own [`LooScratch`] via [`par::Pool::run_with`],
+/// so no buffer is shared and — per the pool's determinism contract — the
+/// welfares are bit-identical at any worker count. The `Naive` strategy
+/// and the fallback paths still allocate per call; they are reference /
+/// cold paths.
+pub fn leave_one_out_welfares_view_into(
+    view: &WdpView<'_>,
+    targets: &[usize],
+    kind: SolverKind,
+    strategy: PaymentStrategy,
+    pool: par::Pool,
+    arena: &mut SolverArena,
+    out: &mut Vec<f64>,
+) {
     match strategy {
-        PaymentStrategy::Naive => naive_loo(view, targets, kind, pool),
+        PaymentStrategy::Naive => {
+            out.clear();
+            out.append(&mut naive_loo(view, targets, kind, pool));
+        }
         PaymentStrategy::Incremental => match (view.budget(), kind) {
             (None, SolverKind::Exact) | (None, SolverKind::Knapsack { .. }) => {
-                topk_loo(view, targets, pool)
+                topk_loo(view, targets, pool, arena, out)
             }
-            (Some(_), SolverKind::Knapsack { grid }) => merge_loo(view, targets, grid, kind, pool),
+            (Some(_), SolverKind::Knapsack { grid }) => {
+                merge_loo(view, targets, grid, kind, pool, arena, out)
+            }
             // `Exact` dispatches reduced instances of ≤ 25 items to
             // exhaustive search; the DP merge only mirrors the knapsack
             // path, so it applies once every reduced instance is knapsack-
             // dispatched (n − 1 > 25).
             (Some(_), SolverKind::Exact) if view.len() > 26 => {
-                merge_loo(view, targets, 4000, kind, pool)
+                merge_loo(view, targets, 4000, kind, pool, arena, out)
             }
-            _ => naive_loo(view, targets, kind, pool),
+            _ => {
+                out.clear();
+                out.append(&mut naive_loo(view, targets, kind, pool));
+            }
         },
     }
 }
@@ -124,96 +161,82 @@ fn naive_loo(view: &WdpView<'_>, targets: &[usize], kind: SolverKind, pool: par:
     pool.map(targets, |&i| solve_view(&view.skipping(i), kind).objective)
 }
 
-/// Canonical objective: ascending-index, left-to-right sum — exactly what
-/// `WdpSolution::from_view` computes for the reduced view (removing one
-/// item maps the surviving indices monotonically, so the weight sequence
-/// is identical).
-fn canonical_objective(view: &WdpView<'_>, mut selected: Vec<usize>) -> f64 {
-    selected.sort_unstable();
-    selected.iter().map(|&i| view.item(i).weight).sum()
-}
-
 /// Incremental engine for instances without a budget constraint.
 ///
-/// `top_k` stable-sorts the positive-weight items by descending weight and
-/// truncates; removing any single item never changes the relative order of
-/// the rest, so every reduced optimum reads directly off the full order:
-/// the surviving top-K plus (when the cap was binding) the first displaced
-/// candidate.
-fn topk_loo(view: &WdpView<'_>, targets: &[usize], pool: par::Pool) -> Vec<f64> {
+/// `top_k` sorts the positive-weight items by descending weight (index
+/// ascending on ties — the stable order) and truncates; removing any
+/// single item never changes the relative order of the rest, so every
+/// reduced optimum reads directly off the full order: the surviving top-K
+/// plus (when the cap was binding) the first displaced candidate.
+///
+/// The order lives in `arena.order`; per-target reconstruction uses the
+/// worker's [`LooScratch`], and the final sum is the canonical
+/// ascending-index left-to-right fold `WdpSolution::from_view` computes.
+fn topk_loo(
+    view: &WdpView<'_>,
+    targets: &[usize],
+    pool: par::Pool,
+    arena: &mut SolverArena,
+    out: &mut Vec<f64>,
+) {
     match view.max_winners() {
         None => {
             // Reduced optimum = every positive item except the target.
             // Filtered in index order, which *is* the canonical order, so
             // each pivot is one allocation-free skip-one fold.
-            let positives: Vec<usize> = view
-                .indices()
-                .filter(|&i| view.item(i).weight > 0.0)
-                .collect();
-            pool.map(targets, |&t| {
-                positives
-                    .iter()
-                    .filter(|&&i| i != t)
-                    .map(|&i| view.item(i).weight)
-                    .sum()
-            })
-        }
-        Some(k) => topk_capped_loo(view, targets, k, pool),
-    }
-}
-
-/// Cardinality-capped arm of [`topk_loo`].
-fn topk_capped_loo(view: &WdpView<'_>, targets: &[usize], k: usize, pool: par::Pool) -> Vec<f64> {
-    let order = crate::wdp::preference_order(view);
-    pool.map(targets, |&t| {
-        let pos = order.iter().position(|&i| i == t);
-        let selected = match pos {
-            Some(p) if p < k => {
-                // The target was in the money: the other winners stay
-                // and the first displaced candidate (if any) slides in.
-                let mut s: Vec<usize> = order[..k.min(order.len())]
-                    .iter()
-                    .copied()
-                    .filter(|&i| i != t)
-                    .collect();
-                if let Some(&d) = order.get(k) {
-                    s.push(d);
+            arena.order.clear();
+            arena
+                .order
+                .extend(view.indices().filter(|&i| view.item(i).weight > 0.0));
+            let positives = &arena.order;
+            pool.run_with(targets.len(), &mut arena.loo, LooScratch::default, out, {
+                |_scratch, ti| {
+                    let t = targets[ti];
+                    positives
+                        .iter()
+                        .filter(|&&i| i != t)
+                        .map(|&i| view.item(i).weight)
+                        .sum()
                 }
-                s
-            }
-            // The target never won (or has non-positive weight):
-            // removing it leaves the top-K untouched.
-            _ => order[..k.min(order.len())].to_vec(),
-        };
-        canonical_objective(view, selected)
-    })
-}
-
-/// Bit set indexed as `item * row_width + cell`, one row per DP state cell.
-/// The DP taken-flag tables would be the engine's dominant allocation as
-/// `Vec<bool>`; packing them 64× keeps even 10⁴-bidder instances cheap.
-struct FlagTable {
-    words: Vec<u64>,
-    row_words: usize,
-}
-
-impl FlagTable {
-    fn new(rows: usize, row_bits: usize) -> Self {
-        let row_words = row_bits.div_ceil(64);
-        FlagTable {
-            words: vec![0u64; rows * row_words],
-            row_words,
+            });
         }
-    }
-
-    #[inline]
-    fn set(&mut self, row: usize, bit: usize) {
-        self.words[row * self.row_words + bit / 64] |= 1u64 << (bit % 64);
-    }
-
-    #[inline]
-    fn get(&self, row: usize, bit: usize) -> bool {
-        self.words[row * self.row_words + bit / 64] & (1u64 << (bit % 64)) != 0
+        Some(k) => {
+            fill_preference_order(view, &mut arena.order);
+            let order = &arena.order;
+            pool.run_with(targets.len(), &mut arena.loo, LooScratch::default, out, {
+                |scratch: &mut LooScratch, ti| {
+                    let t = targets[ti];
+                    let pos = order.iter().position(|&i| i == t);
+                    scratch.selected.clear();
+                    match pos {
+                        Some(p) if p < k => {
+                            // The target was in the money: the other
+                            // winners stay and the first displaced
+                            // candidate (if any) slides in.
+                            scratch.selected.extend(
+                                order[..k.min(order.len())]
+                                    .iter()
+                                    .copied()
+                                    .filter(|&i| i != t),
+                            );
+                            if let Some(&d) = order.get(k) {
+                                scratch.selected.push(d);
+                            }
+                        }
+                        // The target never won (or has non-positive
+                        // weight): removing it leaves the top-K untouched.
+                        _ => scratch
+                            .selected
+                            .extend_from_slice(&order[..k.min(order.len())]),
+                    }
+                    // Canonical objective: ascending-index, left-to-right
+                    // sum — exactly what `WdpSolution::from_view` computes
+                    // for the reduced view.
+                    scratch.selected.sort_unstable();
+                    scratch.selected.iter().map(|&i| view.item(i).weight).sum()
+                }
+            });
+        }
     }
 }
 
@@ -234,7 +257,9 @@ fn merge_loo(
     grid: usize,
     kind: SolverKind,
     pool: par::Pool,
-) -> Vec<f64> {
+    arena: &mut SolverArena,
+    out: &mut Vec<f64>,
+) {
     let budget = view.budget().expect("merge engine requires a budget");
     assert!(grid >= 1, "grid must be at least 1");
     for i in view.indices() {
@@ -244,7 +269,26 @@ fn merge_loo(
             "knapsack requires non-negative finite costs"
         );
     }
-    let cand = knapsack_candidates(view, budget);
+    let SolverArena {
+        cand,
+        gcosts,
+        weights,
+        dp,
+        snap_pos,
+        fwd_taken,
+        bwd_taken,
+        fwd_snap,
+        bwd_snap,
+        loo,
+        ..
+    } = arena;
+    // Same filter as `wdp::knapsack_candidates`, into the arena's SoA
+    // lane — both engines must see the exact same item roster.
+    cand.clear();
+    cand.extend(
+        view.indices()
+            .filter(|&i| view.item(i).weight > 0.0 && view.item(i).cost <= budget + 1e-12),
+    );
     let m = cand.len();
 
     // The reduced instance drops one candidate, so its DP geometry is
@@ -260,165 +304,170 @@ fn merge_loo(
     let rows = kmax.map_or(1, |k| k + 1);
     let grid_eff = width - 1;
     let cell = knapsack_cell(budget, grid_eff);
-    let gc = |i: usize| knapsack_gcost(view.item(i).cost, budget, cell, grid_eff);
+    gcosts.clear();
+    gcosts.extend(
+        cand.iter()
+            .map(|&i| knapsack_gcost(view.item(i).cost, budget, cell, grid_eff)),
+    );
+    weights.clear();
+    weights.extend(cand.iter().map(|&i| view.item(i).weight));
 
     // Table-size guard: past this the snapshot/flag memory outweighs the
     // saved solves, so hand the job back to the reference engine.
-    let snapshot_positions: Vec<usize> = {
-        let mut ps: Vec<usize> = targets
-            .iter()
-            .filter_map(|&t| cand.binary_search(&t).ok())
-            .collect();
-        ps.sort_unstable();
-        ps.dedup();
-        ps
-    };
+    snap_pos.clear();
+    snap_pos.extend(targets.iter().filter_map(|&t| cand.binary_search(&t).ok()));
+    snap_pos.sort_unstable();
+    snap_pos.dedup();
     let cells = rows * width;
-    if m.saturating_mul(cells) > (1 << 28)
-        || snapshot_positions.len().saturating_mul(cells) > (1 << 24)
-    {
-        return naive_loo(view, targets, kind, pool);
+    if m.saturating_mul(cells) > (1 << 28) || snap_pos.len().saturating_mul(cells) > (1 << 24) {
+        out.clear();
+        out.append(&mut naive_loo(view, targets, kind, pool));
+        return;
     }
 
     // Any target that is not a knapsack candidate leaves the DP unchanged:
     // its reduced optimum is the full optimum (computed over the same
-    // candidate roster, hence the same floats).
+    // candidate roster, hence the same floats). Cold path — LOVM targets
+    // are winners, which are always candidates — so the extra legacy
+    // solve's allocations don't touch the steady state.
     let full_objective = if targets.iter().any(|&t| cand.binary_search(&t).is_err()) {
         solve_view(view, SolverKind::Knapsack { grid }).objective
     } else {
         0.0
     };
     if m == 0 {
-        return targets.iter().map(|_| full_objective).collect();
+        out.clear();
+        out.extend(targets.iter().map(|_| full_objective));
+        return;
     }
-
-    let snap_index = |p: usize| snapshot_positions.binary_search(&p).ok();
 
     // Forward sweep: fwd state before processing cand[p] is bit-identical
     // to the naive LOO DP's state after the prefix cand[0..p] (same items,
     // same order, same update rule). Backward sweep mirrors it from the
     // end, so the snapshot at p covers exactly the suffix cand[p+1..].
-    let mut fwd_tk = FlagTable::new(m, cells);
-    let mut fwd_snap: Vec<Vec<f64>> = Vec::with_capacity(snapshot_positions.len());
-    fwd_snap.resize(snapshot_positions.len(), Vec::new());
-    {
-        let mut dp = vec![0.0f64; cells];
-        for (t, &i) in cand.iter().enumerate() {
-            if let Some(s) = snap_index(t) {
-                fwd_snap[s] = dp.clone();
-            }
-            knapsack_step(
-                &mut dp,
-                &mut fwd_tk,
-                t,
-                gc(i),
-                view.item(i).weight,
-                kmax,
-                width,
-            );
+    // Snapshots are rows of one flat arena buffer (`snaps * cells`).
+    let snaps = snap_pos.len();
+    fwd_taken.reset(m, cells);
+    fwd_snap.clear();
+    fwd_snap.resize(snaps * cells, 0.0);
+    dp.clear();
+    dp.resize(cells, 0.0);
+    let mut sat = 0usize;
+    for t in 0..m {
+        if let Ok(s) = snap_pos.binary_search(&t) {
+            fwd_snap[s * cells..(s + 1) * cells].copy_from_slice(dp);
         }
+        sat = knapsack_step(dp, fwd_taken, t, gcosts[t], weights[t], kmax, sat);
     }
-    let mut bwd_tk = FlagTable::new(m, cells);
-    let mut bwd_snap: Vec<Vec<f64>> = Vec::new();
-    bwd_snap.resize(snapshot_positions.len(), Vec::new());
-    {
-        let mut dp = vec![0.0f64; cells];
-        for t in (0..m).rev() {
-            if let Some(s) = snap_index(t) {
-                bwd_snap[s] = dp.clone();
-            }
-            let i = cand[t];
-            knapsack_step(
-                &mut dp,
-                &mut bwd_tk,
-                t,
-                gc(i),
-                view.item(i).weight,
-                kmax,
-                width,
-            );
+    bwd_taken.reset(m, cells);
+    bwd_snap.clear();
+    bwd_snap.resize(snaps * cells, 0.0);
+    dp.clear();
+    dp.resize(cells, 0.0);
+    let mut sat = 0usize;
+    for t in (0..m).rev() {
+        if let Ok(s) = snap_pos.binary_search(&t) {
+            bwd_snap[s * cells..(s + 1) * cells].copy_from_slice(dp);
         }
+        sat = knapsack_step(dp, bwd_taken, t, gcosts[t], weights[t], kmax, sat);
     }
 
     // Per-target merge: pick the best prefix/suffix split of the budget
     // (and of the winner count, when capped), reconstruct both halves from
     // their flags in the naive walk's descending order, repair, re-sum.
-    pool.map(targets, |&t| {
-        let Ok(p) = cand.binary_search(&t) else {
-            return full_objective;
-        };
-        if m == 1 {
-            // Reduced instance has no candidates at all. (Summed, not a
-            // literal zero: an empty float sum is −0.0 and the contract is
-            // bit-identity.)
-            return canonical_objective(view, Vec::new());
-        }
-        let s = snap_index(p).expect("snapshot recorded for every candidate target");
-        let fs = &fwd_snap[s];
-        let bs = &bwd_snap[s];
+    // Shared-borrow the tables for the fan-out; each worker reconstructs
+    // into its own `LooScratch`.
+    let (cand, gcosts, snap_pos) = (&*cand, &*gcosts, &*snap_pos);
+    let (fwd_taken, bwd_taken) = (&*fwd_taken, &*bwd_taken);
+    let (fwd_snap, bwd_snap) = (&*fwd_snap, &*bwd_snap);
+    pool.run_with(targets.len(), loo, LooScratch::default, out, {
+        |scratch: &mut LooScratch, ti| {
+            let t = targets[ti];
+            let Ok(p) = cand.binary_search(&t) else {
+                return full_objective;
+            };
+            if m == 1 {
+                // Reduced instance has no candidates at all. (Summed, not
+                // a literal zero: an empty float sum is −0.0 and the
+                // contract is bit-identity.)
+                scratch.selected.clear();
+                return scratch.selected.iter().map(|&i| view.item(i).weight).sum();
+            }
+            let s = snap_pos
+                .binary_search(&p)
+                .expect("snapshot recorded for every candidate target");
+            let fs = &fwd_snap[s * cells..(s + 1) * cells];
+            let bs = &bwd_snap[s * cells..(s + 1) * cells];
 
-        // Best split, scanned low-to-high with the DP's strict-improvement
-        // epsilon. Both tables are monotone in count and cost, so each
-        // prefix state pairs with the full remaining capacity.
-        let mut best = f64::NEG_INFINITY;
-        let (mut bj1, mut bc1) = (0usize, 0usize);
-        for j1 in 0..rows {
-            let j2 = rows - 1 - j1;
-            for c1 in 0..width {
-                let v = fs[j1 * width + c1] + bs[j2 * width + (grid_eff - c1)];
-                if v > best + 1e-15 {
-                    best = v;
-                    bj1 = j1;
-                    bc1 = c1;
+            // Best split, scanned low-to-high with the DP's
+            // strict-improvement epsilon. Both tables are monotone in count
+            // and cost, so each prefix state pairs with the full remaining
+            // capacity.
+            let mut best = f64::NEG_INFINITY;
+            let (mut bj1, mut bc1) = (0usize, 0usize);
+            for j1 in 0..rows {
+                let j2 = rows - 1 - j1;
+                for c1 in 0..width {
+                    let v = fs[j1 * width + c1] + bs[j2 * width + (grid_eff - c1)];
+                    if v > best + DP_EPS {
+                        best = v;
+                        bj1 = j1;
+                        bc1 = c1;
+                    }
                 }
             }
-        }
 
-        // Suffix walk (forward through items, as the backward table was
-        // built last-item-first), then reversed so the combined vector is
-        // in the naive reconstruction's descending item order.
-        let mut selected: Vec<usize> = Vec::new();
-        {
-            let mut j = rows - 1 - bj1;
-            let mut c = grid_eff - bc1;
-            let mut part = Vec::new();
-            for (q, &i) in cand.iter().enumerate().skip(p + 1) {
-                if kmax.is_some() && j == 0 {
-                    break;
+            // Suffix walk (forward through items, as the backward table
+            // was built last-item-first), then reversed in place so the
+            // combined vector is in the naive reconstruction's descending
+            // item order.
+            scratch.selected.clear();
+            {
+                let mut j = rows - 1 - bj1;
+                let mut c = grid_eff - bc1;
+                for q in (p + 1)..m {
+                    if kmax.is_some() && j == 0 {
+                        break;
+                    }
+                    let row = if kmax.is_some() { j } else { 0 };
+                    if bwd_taken.get(q, row * width + c) {
+                        scratch.selected.push(cand[q]);
+                        c -= gcosts[q];
+                        j = j.saturating_sub(1);
+                    }
                 }
-                let row = if kmax.is_some() { j } else { 0 };
-                if bwd_tk.get(q, row * width + c) {
-                    part.push(i);
-                    c -= gc(i);
-                    j = j.saturating_sub(1);
+                scratch.selected.reverse();
+            }
+            {
+                let mut j = bj1;
+                let mut c = bc1;
+                for q in (0..p).rev() {
+                    if kmax.is_some() && j == 0 {
+                        break;
+                    }
+                    let row = if kmax.is_some() { j } else { 0 };
+                    if fwd_taken.get(q, row * width + c) {
+                        scratch.selected.push(cand[q]);
+                        c -= gcosts[q];
+                        j = j.saturating_sub(1);
+                    }
                 }
             }
-            part.reverse();
-            selected.extend(part);
+            repair_overspend(view, &mut scratch.selected, budget, &mut scratch.repair);
+            // Canonical objective: ascending-index, left-to-right sum.
+            scratch.selected.sort_unstable();
+            scratch.selected.iter().map(|&i| view.item(i).weight).sum()
         }
-        {
-            let mut j = bj1;
-            let mut c = bc1;
-            for q in (0..p).rev() {
-                if kmax.is_some() && j == 0 {
-                    break;
-                }
-                let row = if kmax.is_some() { j } else { 0 };
-                if fwd_tk.get(q, row * width + c) {
-                    selected.push(cand[q]);
-                    c -= gc(cand[q]);
-                    j = j.saturating_sub(1);
-                }
-            }
-        }
-        repair_overspend(view, &mut selected, budget);
-        canonical_objective(view, selected)
-    })
+    });
 }
 
 /// One knapsack DP item update (shared by both sweeps): the classic
 /// reverse-cell relaxation, with a count dimension when `kmax` is set.
-/// Identical update rule and epsilon to `wdp::knapsack`.
+/// Identical update rule and epsilon to `wdp::knapsack`, executed through
+/// the shared hot kernels (`wdp::knapsack_item_step_{1d,2d}`: saturated
+/// high-span splat, branchy compare span, word-grouped traceback bits).
+/// `sat` is the caller-tracked saturation index (capped running sum of
+/// processed items' grid costs); returns the advanced value.
 fn knapsack_step(
     dp: &mut [f64],
     tk: &mut FlagTable,
@@ -426,34 +475,20 @@ fn knapsack_step(
     gcost: usize,
     weight: f64,
     kmax: Option<usize>,
-    width: usize,
-) {
+    sat: usize,
+) -> usize {
+    let rows = kmax.map_or(1, |k| k + 1);
+    let width = dp.len() / rows;
     let grid_eff = width - 1;
     if gcost > grid_eff {
-        return;
+        return sat;
     }
+    let row = tk.row_mut(item_row);
     match kmax {
-        None => {
-            for c in (gcost..width).rev() {
-                let candidate = dp[c - gcost] + weight;
-                if candidate > dp[c] + 1e-15 {
-                    dp[c] = candidate;
-                    tk.set(item_row, c);
-                }
-            }
-        }
-        Some(kmax) => {
-            for j in (1..=kmax).rev() {
-                for c in (gcost..width).rev() {
-                    let candidate = dp[(j - 1) * width + (c - gcost)] + weight;
-                    if candidate > dp[j * width + c] + 1e-15 {
-                        dp[j * width + c] = candidate;
-                        tk.set(item_row, j * width + c);
-                    }
-                }
-            }
-        }
+        None => knapsack_item_step_1d(dp, row, 0, gcost, weight, sat),
+        Some(kmax) => knapsack_item_step_2d(dp, row, width, kmax, gcost, weight, sat),
     }
+    (sat + gcost).min(width - 1)
 }
 
 #[cfg(test)]

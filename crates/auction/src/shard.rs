@@ -32,8 +32,8 @@
 //! by the property suite and reported by `exp_e14_sharding`. `Sharded{1}`
 //! always degrades to the monolithic path exactly.
 
-use crate::pivots::{leave_one_out_welfares_view_on, PaymentStrategy};
-use crate::wdp::{solve_view, SolverKind, WdpInstance, WdpSolution, WdpView};
+use crate::pivots::{leave_one_out_welfares_view_into, PaymentStrategy};
+use crate::wdp::{SolverArena, SolverKind, WdpInstance, WdpSolution, WdpView};
 
 /// Name of the environment variable selecting the default shard count for
 /// the LOVM round loop (`LOVM_SHARDS=8`; unset or `1` mean monolithic;
@@ -224,13 +224,45 @@ pub fn solve_sharded_on(
     strategy: PaymentStrategy,
     pool: par::Pool,
 ) -> ShardedRound {
+    solve_sharded_arena_on(
+        inst,
+        kind,
+        topology,
+        strategy,
+        pool,
+        &mut SolverArena::new(),
+    )
+}
+
+/// [`solve_sharded_on`] through a caller-recycled [`SolverArena`]: a serial
+/// caller that keeps the arena alive across rounds runs the whole pipeline
+/// — per-shard solves, pivots, and reconciliation — without steady-state
+/// heap allocations in the solver. A parallel shard fan-out gives each
+/// worker its own arena via [`par::Pool::run_with`] (scratch never feeds
+/// an output bit, so `LOVM_THREADS` still cannot change the result).
+pub fn solve_sharded_arena_on(
+    inst: &WdpInstance,
+    kind: SolverKind,
+    topology: MarketTopology,
+    strategy: PaymentStrategy,
+    pool: par::Pool,
+    arena: &mut SolverArena,
+) -> ShardedRound {
     let n = inst.items.len();
     let eff = topology.effective_shards(n);
     if eff <= 1 {
         let view = WdpView::full(inst);
-        let solution = solve_view(&view, kind);
-        let loo_welfares =
-            leave_one_out_welfares_view_on(&view, &solution.selected, kind, strategy, pool);
+        let solution = arena.solve_view(&view, kind);
+        let mut loo_welfares = Vec::new();
+        leave_one_out_welfares_view_into(
+            &view,
+            &solution.selected,
+            kind,
+            strategy,
+            pool,
+            arena,
+            &mut loo_welfares,
+        );
         let stat = ShardStat {
             size: n,
             winners: solution.selected.len(),
@@ -252,25 +284,44 @@ pub fn solve_sharded_on(
     let groups = partition(inst, eff, SHARD_SEED);
     // Per-shard stage: each shard solves its WDP and runs the incremental
     // pivot engine over its own winners, with the worker budget split
-    // between the shard fan-out and each shard's pivot merges.
-    let per_shard: Vec<(Vec<usize>, ShardStat)> = pool.map_nested(&groups, |group, inner| {
-        let view = WdpView::of_subset(inst, group);
-        let sol = solve_view(&view, kind);
-        let loo = leave_one_out_welfares_view_on(&view, &sol.selected, kind, strategy, inner);
-        let pivot_mass = loo.iter().map(|&w| (sol.objective - w).max(0.0)).sum();
-        let stat = ShardStat {
-            size: group.len(),
-            winners: sol.selected.len(),
-            welfare: sol.objective,
-            pivot_mass,
-        };
-        let mut champs = sol.selected;
-        if let Some(d) = first_displaced(&view, &champs) {
-            champs.push(d);
-        }
-        champs.sort_unstable();
-        (champs, stat)
-    });
+    // between the shard fan-out and each shard's pivot merges. Serial runs
+    // borrow the round's arena; parallel workers build their own.
+    let (outer, inner) = pool.split(groups.len());
+    let mut per_shard: Vec<(Vec<usize>, ShardStat)> = Vec::new();
+    outer.run_with(
+        groups.len(),
+        arena,
+        SolverArena::default,
+        &mut per_shard,
+        |shard_arena, gi| {
+            let group = &groups[gi];
+            let view = WdpView::of_subset(inst, group);
+            let sol = shard_arena.solve_view(&view, kind);
+            let mut loo = Vec::new();
+            leave_one_out_welfares_view_into(
+                &view,
+                &sol.selected,
+                kind,
+                strategy,
+                inner,
+                shard_arena,
+                &mut loo,
+            );
+            let pivot_mass = loo.iter().map(|&w| (sol.objective - w).max(0.0)).sum();
+            let stat = ShardStat {
+                size: group.len(),
+                winners: sol.selected.len(),
+                welfare: sol.objective,
+                pivot_mass,
+            };
+            let mut champs = sol.selected;
+            if let Some(d) = first_displaced(&view, &champs) {
+                champs.push(d);
+            }
+            champs.sort_unstable();
+            (champs, stat)
+        },
+    );
 
     // Champion pool: shard proposals are disjoint index sets, merged into
     // one ascending roster.
@@ -285,9 +336,17 @@ pub fn solve_sharded_on(
     // Reconciliation: the original constraints over the champion pool,
     // then reconciliation-level pivots for the final winners.
     let rview = WdpView::of_subset(inst, &champions);
-    let solution = solve_view(&rview, kind);
-    let loo_welfares =
-        leave_one_out_welfares_view_on(&rview, &solution.selected, kind, strategy, pool);
+    let solution = arena.solve_view(&rview, kind);
+    let mut loo_welfares = Vec::new();
+    leave_one_out_welfares_view_into(
+        &rview,
+        &solution.selected,
+        kind,
+        strategy,
+        pool,
+        arena,
+        &mut loo_welfares,
+    );
     ShardedRound {
         solution,
         loo_welfares,

@@ -18,10 +18,31 @@
 
 use crate::bid::Bid;
 use crate::outcome::{AuctionOutcome, Award};
-use crate::pivots::{leave_one_out_welfares_on, PaymentStrategy};
-use crate::shard::{solve_sharded_on, MarketTopology};
+use crate::pivots::{leave_one_out_welfares_on, leave_one_out_welfares_view_into, PaymentStrategy};
+use crate::shard::{solve_sharded_arena_on, solve_sharded_on, MarketTopology};
 use crate::valuation::Valuation;
-use crate::wdp::{solve, SolverKind, WdpInstance, WdpItem, WdpSolution};
+use crate::wdp::{solve, SolverArena, SolverKind, WdpInstance, WdpItem, WdpSolution, WdpView};
+
+/// Reusable workspace for the streamed round loop: the solver arena plus
+/// the instance/solution/welfare buffers one auction round churns through.
+/// `core::Lovm` keeps one alive across rounds, which is what makes a
+/// sustained `lovm stream` / `serve` session allocate nothing per sealed
+/// round inside the solver (the returned [`AuctionOutcome`] still owns its
+/// award vector — that is the API's output, not solver scratch).
+#[derive(Debug, Clone, Default)]
+pub struct RoundScratch {
+    arena: SolverArena,
+    items: Vec<WdpItem>,
+    solution: WdpSolution,
+    welfares: Vec<f64>,
+}
+
+impl RoundScratch {
+    /// An empty scratch; buffers warm up over the first rounds.
+    pub fn new() -> Self {
+        RoundScratch::default()
+    }
+}
 
 /// Configuration of one VCG round.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,31 +136,68 @@ impl VcgAuction {
         }
     }
 
-    /// Builds the winner-determination instance for the given bids. Bids
-    /// whose reported cost exceeds the reserve price get weight −∞-like
-    /// exclusion (never selected).
+    /// The WDP item for one bid: its virtual-welfare score and money cost.
+    /// Bids whose reported cost exceeds the reserve price get weight
+    /// −∞-like exclusion (never selected).
+    fn item_for(&self, b: &Bid, valuation: &Valuation) -> WdpItem {
+        let above_reserve = self.config.reserve_price.is_some_and(|r| b.cost > r);
+        WdpItem {
+            bidder: b.bidder,
+            weight: if above_reserve {
+                f64::MIN
+            } else {
+                self.config.value_weight * valuation.client_value(b)
+                    - self.config.cost_weight * b.cost
+            },
+            cost: b.cost,
+        }
+    }
+
+    /// Builds the winner-determination instance for the given bids.
     pub fn instance(&self, bids: &[Bid], valuation: &Valuation) -> WdpInstance {
-        let items = bids
-            .iter()
-            .map(|b| {
-                let above_reserve = self.config.reserve_price.is_some_and(|r| b.cost > r);
-                WdpItem {
-                    bidder: b.bidder,
-                    weight: if above_reserve {
-                        f64::MIN
-                    } else {
-                        self.config.value_weight * valuation.client_value(b)
-                            - self.config.cost_weight * b.cost
-                    },
-                    cost: b.cost,
-                }
-            })
-            .collect();
+        let items = bids.iter().map(|b| self.item_for(b, valuation)).collect();
         let mut inst = WdpInstance::new(items);
         if let Some(k) = self.config.max_winners {
             inst = inst.with_max_winners(k);
         }
         inst
+    }
+
+    /// Clarke awards for a solved no-budget round: `p_i = c_i + pivot/Q`,
+    /// reserve-capped. Shared by [`VcgAuction::run_with_strategy_on`] and
+    /// the scratch path so both produce the identical float sequence.
+    fn awards(
+        &self,
+        bids: &[Bid],
+        valuation: &Valuation,
+        sol: &WdpSolution,
+        w_minus: &[f64],
+    ) -> AuctionOutcome {
+        let w_star = sol.objective;
+        let q = self.config.cost_weight;
+        let winners = sol
+            .selected
+            .iter()
+            .zip(w_minus)
+            .map(|(&i, &w_minus_i)| {
+                let bid = &bids[i];
+                // Exact top-K gives W* ≥ W*₋ᵢ; the clamp only absorbs
+                // last-ulp float noise when the pivot is a mathematical tie.
+                let pivot = (w_star - w_minus_i).max(0.0);
+                let mut payment = bid.cost + pivot / q;
+                // The reserve caps the critical report, hence the payment.
+                if let Some(r) = self.config.reserve_price {
+                    payment = payment.min(r);
+                }
+                Award {
+                    bidder: bid.bidder,
+                    cost: bid.cost,
+                    value: valuation.client_value(bid),
+                    payment,
+                }
+            })
+            .collect();
+        AuctionOutcome::new(winners, w_star)
     }
 
     /// Runs the auction: exact winner determination plus Clarke payments.
@@ -175,31 +233,63 @@ impl VcgAuction {
     ) -> AuctionOutcome {
         let inst = self.instance(bids, valuation);
         let (sol, w_minus) = self.solve_and_pivots(&inst, SolverKind::Exact, strategy, pool);
-        let w_star = sol.objective;
-        let q = self.config.cost_weight;
-        let winners = sol
-            .selected
-            .iter()
-            .zip(w_minus)
-            .map(|(&i, w_minus_i)| {
-                let bid = &bids[i];
-                // Exact top-K gives W* ≥ W*₋ᵢ; the clamp only absorbs
-                // last-ulp float noise when the pivot is a mathematical tie.
-                let pivot = (w_star - w_minus_i).max(0.0);
-                let mut payment = bid.cost + pivot / q;
-                // The reserve caps the critical report, hence the payment.
-                if let Some(r) = self.config.reserve_price {
-                    payment = payment.min(r);
-                }
-                Award {
-                    bidder: bid.bidder,
-                    cost: bid.cost,
-                    value: valuation.client_value(bid),
-                    payment,
-                }
-            })
-            .collect();
-        AuctionOutcome::new(winners, w_star)
+        self.awards(bids, valuation, &sol, &w_minus)
+    }
+
+    /// [`VcgAuction::run_with_strategy_on`] through a caller-recycled
+    /// [`RoundScratch`]: the same auction, the same payments bit for bit,
+    /// with the instance build, winner determination, and pivot welfares
+    /// all running on recycled buffers. A monolithic caller that keeps the
+    /// scratch across rounds reaches zero steady-state solver allocations
+    /// per round; sharded topologies get per-worker arenas (correctness
+    /// under `LOVM_THREADS`, not zero-alloc — scoped workers cannot
+    /// persist buffers across rounds).
+    pub fn run_with_scratch_on(
+        &self,
+        bids: &[Bid],
+        valuation: &Valuation,
+        strategy: PaymentStrategy,
+        pool: par::Pool,
+        scratch: &mut RoundScratch,
+    ) -> AuctionOutcome {
+        // Rebuild the instance inside the recycled item buffer; it is
+        // moved back into the scratch before returning.
+        let mut items = std::mem::take(&mut scratch.items);
+        items.clear();
+        items.extend(bids.iter().map(|b| self.item_for(b, valuation)));
+        let mut inst = WdpInstance::new(items);
+        if let Some(k) = self.config.max_winners {
+            inst = inst.with_max_winners(k);
+        }
+        let kind = SolverKind::Exact;
+        let outcome = if self.config.topology.effective_shards(inst.items.len()) <= 1 {
+            let view = WdpView::full(&inst);
+            scratch
+                .arena
+                .solve_view_into(&view, kind, &mut scratch.solution);
+            leave_one_out_welfares_view_into(
+                &view,
+                &scratch.solution.selected,
+                kind,
+                strategy,
+                pool,
+                &mut scratch.arena,
+                &mut scratch.welfares,
+            );
+            self.awards(bids, valuation, &scratch.solution, &scratch.welfares)
+        } else {
+            let round = solve_sharded_arena_on(
+                &inst,
+                kind,
+                self.config.topology,
+                strategy,
+                pool,
+                &mut scratch.arena,
+            );
+            self.awards(bids, valuation, &round.solution, &round.loo_welfares)
+        };
+        scratch.items = inst.items;
+        outcome
     }
 
     /// Runs the auction with an arbitrary (budget-capped) instance and the

@@ -10,6 +10,20 @@
 //! greedy approximation and a fractional upper bound used by baselines and
 //! the experiment harness.
 
+/// Strict-improvement epsilon of every DP/scan comparison in the solver
+/// stack: a candidate value only replaces an incumbent when it exceeds it
+/// by more than `DP_EPS`.
+///
+/// Payments depend on this constant **bitwise**: the epsilon decides which
+/// of two near-tied states wins, that decision picks the reconstructed
+/// winner set, and the winner set drives every pivot welfare and payment
+/// float downstream. The golden corpus, `pivot_equivalence`, and the
+/// arena differential suite all pin outputs produced under this exact
+/// value and comparison shape (`new > old + DP_EPS`), so any change to the
+/// epsilon — or to the order the comparisons are evaluated in — is a
+/// payment-breaking change, not a tuning knob.
+pub const DP_EPS: f64 = 1e-15;
+
 /// One candidate in a winner-determination instance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WdpItem {
@@ -258,7 +272,7 @@ impl Iterator for WdpViewIter<'_> {
 }
 
 /// A solved winner-determination instance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WdpSolution {
     /// Indices into [`WdpInstance::items`] of the selected items.
     pub selected: Vec<usize>,
@@ -338,17 +352,29 @@ pub fn solve_view(view: &WdpView<'_>, kind: SolverKind) -> WdpSolution {
 /// depends on using exactly this filter and comparator — keep the two in
 /// lockstep.
 pub(crate) fn preference_order(view: &WdpView<'_>) -> Vec<usize> {
-    let mut order: Vec<usize> = view
-        .indices()
-        .filter(|&i| view.item(i).weight > 0.0)
-        .collect();
-    order.sort_by(|&a, &b| {
+    let mut order = Vec::new();
+    fill_preference_order(view, &mut order);
+    order
+}
+
+/// [`preference_order`] into a caller-recycled buffer (cleared first).
+///
+/// The comparator is (weight descending, parent index ascending). Because
+/// the candidates enter the buffer in ascending parent-index order, that
+/// tiebreak makes `sort_unstable_by` produce the exact permutation a
+/// stable descending-weight sort would — without the merge-sort scratch
+/// allocation, which is what lets [`SolverArena`] top-K solves run
+/// allocation-free at steady state.
+pub(crate) fn fill_preference_order(view: &WdpView<'_>, order: &mut Vec<usize>) {
+    order.clear();
+    order.extend(view.indices().filter(|&i| view.item(i).weight > 0.0));
+    order.sort_unstable_by(|&a, &b| {
         view.item(b)
             .weight
             .partial_cmp(&view.item(a).weight)
             .expect("weights are finite")
+            .then_with(|| a.cmp(&b))
     });
-    order
 }
 
 /// Exact solver for views without a budget constraint: select the top-K
@@ -376,7 +402,7 @@ fn exhaustive(view: &WdpView<'_>) -> WdpSolution {
             continue;
         }
         let obj: f64 = sel.iter().map(|&i| view.item(i).weight).sum();
-        if obj > best_obj + 1e-15 {
+        if obj > best_obj + DP_EPS {
             best_obj = obj;
             best = sel;
         }
@@ -439,23 +465,41 @@ pub(crate) fn knapsack_width_2d(cand_len: usize, kmax: usize, grid: usize) -> us
 /// densities of the remaining items), so this sorts once — O(s log s)
 /// instead of a rescan per drop — while reproducing the greedy loop's drop
 /// sequence and float trajectory exactly.
-pub(crate) fn repair_overspend(view: &WdpView<'_>, selected: &mut Vec<usize>, budget: f64) {
+pub(crate) fn repair_overspend(
+    view: &WdpView<'_>,
+    selected: &mut Vec<usize>,
+    budget: f64,
+    scratch: &mut RepairScratch,
+) {
     let mut spent: f64 = selected.iter().map(|&i| view.item(i).cost).sum();
     if spent <= budget + 1e-9 {
         return;
     }
-    let density: Vec<f64> = selected
-        .iter()
-        .map(|&i| view.item(i).weight / view.item(i).cost.max(1e-12))
-        .collect();
-    let mut drop_order: Vec<usize> = (0..selected.len()).collect();
-    drop_order.sort_by(|&a, &b| {
+    let RepairScratch {
+        density,
+        drop_order,
+        dropped,
+    } = scratch;
+    density.clear();
+    density.extend(
+        selected
+            .iter()
+            .map(|&i| view.item(i).weight / view.item(i).cost.max(1e-12)),
+    );
+    drop_order.clear();
+    drop_order.extend(0..selected.len());
+    // (density ascending, position ascending): positions are unique, so
+    // `sort_unstable_by` with the position tiebreak is the same permutation
+    // a stable density sort would produce, minus its scratch allocation.
+    drop_order.sort_unstable_by(|&a, &b| {
         density[a]
             .partial_cmp(&density[b])
             .expect("densities are finite")
+            .then_with(|| a.cmp(&b))
     });
-    let mut dropped = vec![false; selected.len()];
-    for &pos in &drop_order {
+    dropped.clear();
+    dropped.resize(selected.len(), false);
+    for &pos in drop_order.iter() {
         if spent <= budget + 1e-9 {
             break;
         }
@@ -468,6 +512,15 @@ pub(crate) fn repair_overspend(view: &WdpView<'_>, selected: &mut Vec<usize>, bu
         idx += 1;
         keep
     });
+}
+
+/// Reusable buffers for [`repair_overspend`]. Hot paths keep one alive per
+/// solver arena / pivot worker; cold paths build a throwaway default.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RepairScratch {
+    density: Vec<f64>,
+    drop_order: Vec<usize>,
+    dropped: Vec<bool>,
 }
 
 /// Budget-constrained 0/1 knapsack DP over a discretized cost grid.
@@ -509,7 +562,7 @@ fn knapsack(view: &WdpView<'_>, grid: usize) -> WdpSolution {
                 if gc <= grid {
                     for c in (gc..width).rev() {
                         let candidate = dp[c - gc] + w;
-                        if candidate > dp[c] + 1e-15 {
+                        if candidate > dp[c] + DP_EPS {
                             dp[c] = candidate;
                             tk[c] = true;
                         }
@@ -519,7 +572,7 @@ fn knapsack(view: &WdpView<'_>, grid: usize) -> WdpSolution {
             }
             let mut bc = 0usize;
             for (c, &v) in dp.iter().enumerate() {
-                if v > dp[bc] + 1e-15 {
+                if v > dp[bc] + DP_EPS {
                     bc = c;
                 }
             }
@@ -555,7 +608,7 @@ fn knapsack(view: &WdpView<'_>, grid: usize) -> WdpSolution {
                     for j in (1..=kmax).rev() {
                         for c in (gc..width).rev() {
                             let candidate = dp[j - 1][c - gc] + w;
-                            if candidate > dp[j][c] + 1e-15 {
+                            if candidate > dp[j][c] + DP_EPS {
                                 dp[j][c] = candidate;
                                 tk[j * width + c] = true;
                             }
@@ -567,7 +620,7 @@ fn knapsack(view: &WdpView<'_>, grid: usize) -> WdpSolution {
             let (mut bj, mut bc, mut best) = (0usize, 0usize, 0.0f64);
             for (j, row) in dp.iter().enumerate() {
                 for (c, &v) in row.iter().enumerate() {
-                    if v > best + 1e-15 {
+                    if v > best + DP_EPS {
                         best = v;
                         bj = j;
                         bc = c;
@@ -592,8 +645,432 @@ fn knapsack(view: &WdpView<'_>, grid: usize) -> WdpSolution {
         }
     };
     let mut selected = selected;
-    repair_overspend(view, &mut selected, budget);
+    repair_overspend(view, &mut selected, budget, &mut RepairScratch::default());
     WdpSolution::from_view(view, selected)
+}
+
+/// Bit-packed per-(item, cell) flag matrix backing DP tracebacks, one
+/// `u64` word per 64 cells. Owned by a [`SolverArena`] (or the pivot
+/// engine's sweeps) and recycled via [`FlagTable::reset`] so steady-state
+/// solves re-zero the same words instead of allocating a fresh
+/// `Vec<Vec<bool>>` — 8× less traceback memory than byte flags, zero
+/// mallocs once warm.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlagTable {
+    words: Vec<u64>,
+    row_words: usize,
+}
+
+impl FlagTable {
+    /// Clears the table and resizes it to `rows` rows of `row_bits` flags,
+    /// all zero. Reuses the existing word buffer when it is large enough.
+    pub(crate) fn reset(&mut self, rows: usize, row_bits: usize) {
+        self.row_words = row_bits.div_ceil(64);
+        self.words.clear();
+        self.words.resize(rows * self.row_words, 0);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, row: usize, bit: usize) -> bool {
+        self.words[row * self.row_words + (bit >> 6)] & (1u64 << (bit & 63)) != 0
+    }
+
+    /// One row's words, for branchless `|=` updates in DP inner loops.
+    #[inline]
+    pub(crate) fn row_mut(&mut self, row: usize) -> &mut [u64] {
+        let start = row * self.row_words;
+        &mut self.words[start..start + self.row_words]
+    }
+}
+
+/// Sets flag bits `[from, to)` in a packed row (whole words in the middle,
+/// masked edges), the traceback twin of a saturated-span fill.
+#[inline]
+fn set_bit_span(row: &mut [u64], from: usize, to: usize) {
+    if from >= to {
+        return;
+    }
+    let (fw, fb) = (from >> 6, from & 63);
+    let (lw, lb) = ((to - 1) >> 6, (to - 1) & 63);
+    let first = !0u64 << fb;
+    let last = !0u64 >> (63 - lb);
+    if fw == lw {
+        row[fw] |= first & last;
+    } else {
+        row[fw] |= first;
+        for word in &mut row[fw + 1..lw] {
+            *word = !0;
+        }
+        row[lw] |= last;
+    }
+}
+
+/// One 0/1-knapsack item step on a 1-D cost-grid DP row, bit-identical to
+/// the textbook descending sweep
+/// `for c in (gc..width).rev() { if dp[c-gc] + w > dp[c] + DP_EPS { … } }`
+/// but restructured for the hot path:
+///
+/// * **Saturated span.** `dp` is constant (bitwise) for `c >= sat`, where
+///   `sat` is the capped running sum of processed items' grid costs: above
+///   the reachable cost prefix every state holds the same "take
+///   everything so far" value. For `c >= sat + gc` both `dp[c-gc]` and
+///   `dp[c]` are that constant, so the comparison has one answer for the
+///   whole span — evaluate it once, then splat-store the (identical)
+///   updated value and word-fill the traceback bits. Same comparison on
+///   the same bits as the per-cell loop, so the DP trajectory is
+///   unchanged.
+/// * **Compare span.** Below the saturation point the exact per-cell loop
+///   runs, with the conditional store kept *branchy* (stores are rare and
+///   the branch predicts well; an unconditional select-store doubles
+///   memory traffic and measures ~2× slower here) and traceback bits
+///   accumulated in a register, one `|=` per 64-cell word.
+///
+/// `bit_base` offsets the traceback bit index (`bit_base + c`) so the 2-D
+/// solver can pack its `j` planes into one row. Callers that do not track
+/// saturation pass `sat = width` (pure compare span). Returns nothing;
+/// advancing `sat` (`min(sat + gc, width - 1)`) is the caller's job since
+/// it is per-item state, not per-plane.
+#[inline]
+pub(crate) fn knapsack_item_step_1d(
+    dp: &mut [f64],
+    row: &mut [u64],
+    bit_base: usize,
+    gc: usize,
+    w: f64,
+    sat: usize,
+) {
+    let width = dp.len();
+    let uni = (sat + gc).min(width);
+    if uni < width {
+        // Representative cells: dp[uni] == dp[c] and dp[uni-gc] == dp[c-gc]
+        // for every c in the span (both indices are >= sat).
+        let candidate = dp[uni - gc] + w;
+        if candidate > dp[uni] + DP_EPS {
+            for v in dp[uni..].iter_mut() {
+                *v = candidate;
+            }
+            set_bit_span(row, bit_base + uni, bit_base + width);
+        }
+    }
+    // Exact per-cell sweep over (gc..uni), highest cells first (the same
+    // order the one-piece legacy loop visits them in).
+    let mut upper = uni;
+    while upper > gc {
+        let word = (bit_base + upper - 1) >> 6;
+        let base = word << 6;
+        let lower = gc.max(base.saturating_sub(bit_base));
+        let mut bits = row[word];
+        for c in (lower..upper).rev() {
+            let candidate = dp[c - gc] + w;
+            if candidate > dp[c] + DP_EPS {
+                dp[c] = candidate;
+                bits |= 1u64 << (bit_base + c - base);
+            }
+        }
+        row[word] = bits;
+        upper = lower;
+    }
+}
+
+/// One item step of the count-capped 2-D knapsack DP (`dp` is `kmax + 1`
+/// row-major planes of `width` cells; plane `j` reads plane `j - 1`).
+/// Descending `j` so every read sees pre-item state, each plane stepped by
+/// [`knapsack_item_step_1d`] against its predecessor. The saturation
+/// invariant holds per plane with the same shared `sat` (the constraint
+/// `cost <= c` is vacuous above the reachable prefix in every plane).
+#[inline]
+pub(crate) fn knapsack_item_step_2d(
+    dp: &mut [f64],
+    row: &mut [u64],
+    width: usize,
+    kmax: usize,
+    gc: usize,
+    w: f64,
+    sat: usize,
+) {
+    for j in (1..=kmax).rev() {
+        let (below, plane) = dp[(j - 1) * width..(j + 1) * width].split_at_mut(width);
+        let uni = (sat + gc).min(width);
+        let bit_base = j * width;
+        if uni < width {
+            let candidate = below[uni - gc] + w;
+            if candidate > plane[uni] + DP_EPS {
+                for v in plane[uni..].iter_mut() {
+                    *v = candidate;
+                }
+                set_bit_span(row, bit_base + uni, bit_base + width);
+            }
+        }
+        let mut upper = uni;
+        while upper > gc {
+            let word = (bit_base + upper - 1) >> 6;
+            let base = word << 6;
+            let lower = gc.max(base.saturating_sub(bit_base));
+            let mut bits = row[word];
+            for c in (lower..upper).rev() {
+                let candidate = below[c - gc] + w;
+                if candidate > plane[c] + DP_EPS {
+                    plane[c] = candidate;
+                    bits |= 1u64 << (bit_base + c - base);
+                }
+            }
+            row[word] = bits;
+            upper = lower;
+        }
+    }
+}
+
+/// Per-worker reconstruction scratch for leave-one-out pivot targets: the
+/// selection being rebuilt plus its repair buffers. One lives in every
+/// [`SolverArena`]; parallel pivot workers build their own.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LooScratch {
+    pub(crate) selected: Vec<usize>,
+    pub(crate) repair: RepairScratch,
+}
+
+/// Reusable solver workspace: flat DP rows, a bit-packed traceback, and
+/// struct-of-arrays candidate lanes, all recycled across solves.
+///
+/// The arena path computes **bit-identical** results to the free-function
+/// solvers ([`solve_view`]): it keeps the exact
+/// `dp[c - gc] + w > dp[c] + DP_EPS` comparison, the same cell iteration
+/// order, and the same ascending-index reconstruction — it only
+/// restructures *where the bytes live and how the iteration space is
+/// walked* (SoA lanes walked contiguously, the per-candidate `gc <= grid`
+/// test hoisted out of the cell loop, the saturated high-cost span
+/// collapsed to one representative comparison, traceback bits accumulated
+/// per 64-cell word — see [`knapsack_item_step_1d`]). The
+/// `arena_equivalence` differential suite pins that contract.
+///
+/// Reuse contract: keep one arena per worker. Serial callers
+/// (`LOVM_THREADS=1`) that hold an arena across rounds reach zero
+/// steady-state heap allocations per solve; parallel fan-outs give each
+/// worker its own arena via [`par::Pool::run_with`], so no buffer is ever
+/// shared and determinism is untouched (scratch never feeds an output
+/// bit).
+#[derive(Debug, Clone, Default)]
+pub struct SolverArena {
+    /// Candidate parent indices (ascending), the SoA "who" lane.
+    pub(crate) cand: Vec<usize>,
+    /// Grid-discretized costs, parallel to `cand`.
+    pub(crate) gcosts: Vec<usize>,
+    /// Selection weights, parallel to `cand`.
+    pub(crate) weights: Vec<f64>,
+    /// Flat DP value table (`rows * width` for the 2-D solver).
+    pub(crate) dp: Vec<f64>,
+    taken: FlagTable,
+    /// Preference order for top-K solves.
+    pub(crate) order: Vec<usize>,
+    repair: RepairScratch,
+    // Lanes below are the incremental pivot engine's (crate::pivots)
+    // forward/backward merge workspace; they ride in the same arena so one
+    // object threads through solve + payments.
+    pub(crate) snap_pos: Vec<usize>,
+    pub(crate) fwd_taken: FlagTable,
+    pub(crate) bwd_taken: FlagTable,
+    pub(crate) fwd_snap: Vec<f64>,
+    pub(crate) bwd_snap: Vec<f64>,
+    pub(crate) loo: LooScratch,
+}
+
+impl SolverArena {
+    /// An empty arena; buffers grow on first use and are then recycled.
+    pub fn new() -> Self {
+        SolverArena::default()
+    }
+
+    /// [`SolverArena::solve_view_into`] returning an owned solution.
+    pub fn solve_view(&mut self, view: &WdpView<'_>, kind: SolverKind) -> WdpSolution {
+        let mut out = WdpSolution::default();
+        self.solve_view_into(view, kind, &mut out);
+        out
+    }
+
+    /// Solves a view into a caller-recycled solution, bit-identical to
+    /// [`solve_view`] (same dispatch, same floats).
+    ///
+    /// The hot dispatches (top-K and knapsack — everything a LOVM round
+    /// can hit) run entirely on arena buffers: zero heap allocations once
+    /// `self` and `out` have warmed up. `Exhaustive` and `GreedyDensity`
+    /// are cold experiment/baseline paths and delegate to the allocating
+    /// free functions.
+    pub fn solve_view_into(&mut self, view: &WdpView<'_>, kind: SolverKind, out: &mut WdpSolution) {
+        match kind {
+            SolverKind::Exact => match view.budget() {
+                None => self.top_k_into(view, out),
+                Some(_) if view.len() <= 25 => copy_solution(exhaustive(view), out),
+                Some(_) => self.knapsack_into(view, 4000, out),
+            },
+            SolverKind::Exhaustive => copy_solution(exhaustive(view), out),
+            SolverKind::Knapsack { grid } => match view.budget() {
+                Some(_) => self.knapsack_into(view, grid, out),
+                None => self.top_k_into(view, out),
+            },
+            SolverKind::GreedyDensity => copy_solution(greedy_density(view), out),
+        }
+    }
+
+    /// Arena twin of `top_k`: preference order into the recycled `order`
+    /// lane, truncate to K, canonicalize.
+    fn top_k_into(&mut self, view: &WdpView<'_>, out: &mut WdpSolution) {
+        let k = view.max_winners().unwrap_or(view.len());
+        fill_preference_order(view, &mut self.order);
+        let take = k.min(self.order.len());
+        out.selected.clear();
+        out.selected.extend_from_slice(&self.order[..take]);
+        finish_canonical(view, out);
+    }
+
+    /// Arena twin of `knapsack`: SoA lanes + flat tables + branchless
+    /// inner loops, same floats in the same order.
+    fn knapsack_into(&mut self, view: &WdpView<'_>, grid: usize, out: &mut WdpSolution) {
+        let budget = view.budget().expect("knapsack requires a budget");
+        assert!(grid >= 1, "grid must be at least 1");
+        for i in view.indices() {
+            let it = view.item(i);
+            assert!(
+                it.cost.is_finite() && it.cost >= 0.0,
+                "knapsack requires non-negative finite costs"
+            );
+        }
+        // Same filter as `knapsack_candidates`, into the recycled lane.
+        self.cand.clear();
+        self.cand.extend(
+            view.indices()
+                .filter(|&i| view.item(i).weight > 0.0 && view.item(i).cost <= budget + 1e-12),
+        );
+        let m = self.cand.len();
+        if m == 0 {
+            out.selected.clear();
+            finish_canonical(view, out);
+            return;
+        }
+        self.weights.clear();
+        self.weights
+            .extend(self.cand.iter().map(|&i| view.item(i).weight));
+        match view.max_winners() {
+            None => {
+                let width = grid + 1;
+                let cell = knapsack_cell(budget, grid);
+                self.gcosts.clear();
+                self.gcosts.extend(
+                    self.cand
+                        .iter()
+                        .map(|&i| knapsack_gcost(view.item(i).cost, budget, cell, grid)),
+                );
+                self.dp.clear();
+                self.dp.resize(width, 0.0);
+                self.taken.reset(m, width);
+                // `sat`: dp is constant (bitwise) from this index up — the
+                // capped reachable-cost prefix (see knapsack_item_step_1d).
+                let mut sat = 0usize;
+                for t in 0..m {
+                    let gc = self.gcosts[t];
+                    // Hoisted unaffordability test: the legacy loop pushes
+                    // an all-false traceback row in this case; here the
+                    // reset table's row is already zero.
+                    if gc > grid {
+                        continue;
+                    }
+                    knapsack_item_step_1d(
+                        &mut self.dp[..width],
+                        self.taken.row_mut(t),
+                        0,
+                        gc,
+                        self.weights[t],
+                        sat,
+                    );
+                    sat = (sat + gc).min(width - 1);
+                }
+                let mut bc = 0usize;
+                for (c, &v) in self.dp.iter().enumerate() {
+                    if v > self.dp[bc] + DP_EPS {
+                        bc = c;
+                    }
+                }
+                out.selected.clear();
+                let mut c = bc;
+                for t in (0..m).rev() {
+                    if self.taken.get(t, c) {
+                        out.selected.push(self.cand[t]);
+                        c -= self.gcosts[t];
+                    }
+                }
+            }
+            Some(k) => {
+                let kmax = k.min(m);
+                let width = knapsack_width_2d(m, kmax, grid);
+                let grid_eff = width - 1;
+                let cell_eff = knapsack_cell(budget, grid_eff);
+                self.gcosts.clear();
+                self.gcosts.extend(
+                    self.cand
+                        .iter()
+                        .map(|&i| knapsack_gcost(view.item(i).cost, budget, cell_eff, grid_eff)),
+                );
+                let rows = kmax + 1;
+                self.dp.clear();
+                self.dp.resize(rows * width, 0.0);
+                self.taken.reset(m, rows * width);
+                let mut sat = 0usize;
+                for t in 0..m {
+                    let gc = self.gcosts[t];
+                    if gc > grid_eff {
+                        continue;
+                    }
+                    knapsack_item_step_2d(
+                        &mut self.dp[..rows * width],
+                        self.taken.row_mut(t),
+                        width,
+                        kmax,
+                        gc,
+                        self.weights[t],
+                        sat,
+                    );
+                    sat = (sat + gc).min(width - 1);
+                }
+                // Flat row-major scan == legacy's (j outer, c inner) order.
+                let (mut bj, mut bc, mut best) = (0usize, 0usize, 0.0f64);
+                for (idx, &v) in self.dp.iter().enumerate() {
+                    if v > best + DP_EPS {
+                        best = v;
+                        bj = idx / width;
+                        bc = idx % width;
+                    }
+                }
+                out.selected.clear();
+                let (mut j, mut c) = (bj, bc);
+                for t in (0..m).rev() {
+                    if j == 0 {
+                        break;
+                    }
+                    if self.taken.get(t, j * width + c) {
+                        out.selected.push(self.cand[t]);
+                        c -= self.gcosts[t];
+                        j -= 1;
+                    }
+                }
+            }
+        }
+        repair_overspend(view, &mut out.selected, budget, &mut self.repair);
+        finish_canonical(view, out);
+    }
+}
+
+/// Canonicalizes an in-place solution exactly like
+/// [`WdpSolution::from_view`]: ascending indices, objective summed
+/// left-to-right over that order.
+pub(crate) fn finish_canonical(view: &WdpView<'_>, out: &mut WdpSolution) {
+    out.selected.sort_unstable();
+    out.objective = out.selected.iter().map(|&i| view.item(i).weight).sum();
+}
+
+/// Moves an owned solution into a recycled output slot (cold paths only).
+fn copy_solution(sol: WdpSolution, out: &mut WdpSolution) {
+    out.selected.clear();
+    out.selected.extend_from_slice(&sol.selected);
+    out.objective = sol.objective;
 }
 
 /// Greedy approximation: by weight when only cardinality binds, by
@@ -950,6 +1427,104 @@ mod tests {
                 brute.objective
             );
             assert!(inst.feasible(&exact.selected));
+        }
+    }
+
+    /// Boundary behaviour of the grid discretizer: exact cell edges floor
+    /// onto the edge, unaffordable items land strictly past `grid_eff`,
+    /// and a zero budget admits only zero-cost items.
+    #[test]
+    fn gcost_boundaries() {
+        let budget = 10.0;
+        let grid_eff = 100usize;
+        let cell = knapsack_cell(budget, grid_eff);
+        assert_eq!(cell, 0.1);
+        // Cost exactly on a cell edge: 2.0 / 0.1 = 20.0 floors to cell 20,
+        // not 19 or 21 — the pack stays representable without rounding up.
+        assert_eq!(knapsack_gcost(2.0, budget, cell, grid_eff), 20);
+        // Cost equal to the whole budget occupies the last cell, still
+        // affordable.
+        assert_eq!(knapsack_gcost(budget, budget, cell, grid_eff), grid_eff);
+        // Just inside an edge floors down to the previous cell.
+        assert_eq!(
+            knapsack_gcost(0.1 * 20.0 - 1e-9, budget, cell, grid_eff),
+            19
+        );
+        // Cost above the budget grid-rounds past grid_eff, so the DP's
+        // `gc <= grid` guard (and the arena's hoisted twin) skips it.
+        assert!(knapsack_gcost(10.5, budget, cell, grid_eff) > grid_eff);
+        // Zero budget: any positive cost is "never fits" = grid_eff + 1,
+        // zero cost occupies cell 0.
+        assert_eq!(
+            knapsack_gcost(0.5, 0.0, knapsack_cell(0.0, grid_eff), grid_eff),
+            grid_eff + 1
+        );
+        assert_eq!(
+            knapsack_gcost(0.0, 0.0, knapsack_cell(0.0, grid_eff), grid_eff),
+            0
+        );
+    }
+
+    /// Boundary behaviour of the 2-D table sizing: small shapes keep the
+    /// full grid, absurd shapes coarsen to the memory cap, and the width
+    /// never collapses below the 64-cell floor.
+    #[test]
+    fn width_2d_coarsening_edges() {
+        // Small instance, kmax = 1: full width survives.
+        assert_eq!(knapsack_width_2d(10, 1, 4000), 4001);
+        // Exactly at the cap: 2 * 2 * width <= 1<<28 holds for width
+        // (1<<26), so no coarsening.
+        assert_eq!(knapsack_width_2d(2, 1, (1 << 26) - 1), 1 << 26);
+        // Absurd n × grid: 4096 candidates × kmax 15 over a 2²⁰ grid
+        // coarsens the width to max_cells / (n * (kmax + 1)).
+        let w = knapsack_width_2d(1 << 12, 15, 1 << 20);
+        assert_eq!(w, (1usize << 28) / ((1 << 12) * 16));
+        assert_eq!(w, 4096);
+        // Degenerate overload: the 64-cell floor wins over the quotient.
+        assert_eq!(knapsack_width_2d(1 << 24, 63, 4000), 64);
+        // kmax = 1 with a huge candidate pool: quotient 32 is clamped up
+        // to the 64-cell floor.
+        assert_eq!(knapsack_width_2d(1 << 22, 1, 1 << 10), 64);
+    }
+
+    /// The arena solver matches the legacy free functions bit-for-bit on
+    /// hand-built boundary instances (the big seeded sweep lives in
+    /// tests/arena_equivalence.rs).
+    #[test]
+    fn arena_matches_legacy_on_boundaries() {
+        let mut arena = SolverArena::new();
+        let cases = [
+            WdpInstance::new(vec![item(0, 5.0, 1.0), item(1, 2.0, 0.0)]).with_budget(0.0),
+            WdpInstance::new(vec![
+                item(0, 6.0, 10.0),
+                item(1, 4.0, 4.0),
+                item(2, 3.0, 3.0),
+                item(3, 2.5, 2.0),
+            ])
+            .with_budget(9.0),
+            WdpInstance::new(vec![
+                item(0, 5.0, 1.0),
+                item(1, 4.0, 1.0),
+                item(2, 3.0, 1.0),
+            ])
+            .with_budget(10.0)
+            .with_max_winners(2),
+            WdpInstance::new(vec![item(0, 3.0, 1.0), item(1, 5.0, 1.0)]).with_max_winners(1),
+            WdpInstance::new(vec![]),
+        ];
+        for inst in &cases {
+            for kind in [SolverKind::Exact, SolverKind::Knapsack { grid: 100 }] {
+                let legacy = solve(inst, kind);
+                let view = WdpView::full(inst);
+                let fresh = arena.solve_view(&view, kind);
+                assert_eq!(legacy.selected, fresh.selected);
+                assert_eq!(legacy.objective.to_bits(), fresh.objective.to_bits());
+                // Second solve through the now-warm arena: recycled
+                // buffers must not leak state between solves.
+                let warm = arena.solve_view(&view, kind);
+                assert_eq!(legacy.selected, warm.selected);
+                assert_eq!(legacy.objective.to_bits(), warm.objective.to_bits());
+            }
         }
     }
 

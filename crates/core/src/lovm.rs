@@ -21,7 +21,7 @@ use auction::outcome::AuctionOutcome;
 use auction::pivots::PaymentStrategy;
 use auction::shard::MarketTopology;
 use auction::valuation::Valuation;
-use auction::vcg::{VcgAuction, VcgConfig};
+use auction::vcg::{RoundScratch, VcgAuction, VcgConfig};
 use lyapunov::dpp::{DppConfig, DriftPlusPenalty};
 use workload::Scenario;
 
@@ -117,6 +117,11 @@ impl LovmConfig {
 pub struct Lovm {
     config: LovmConfig,
     dpp: DriftPlusPenalty,
+    /// Per-round solver scratch ([`RoundScratch`]) kept alive across the
+    /// mechanism's lifetime, so sustained `stream`/`serve` loops reuse the
+    /// arena's DP buffers instead of reallocating them every sealed round.
+    /// Pure scratch: never read across rounds, so it cannot affect outputs.
+    scratch: RoundScratch,
 }
 
 impl Lovm {
@@ -132,7 +137,11 @@ impl Lovm {
             budget_per_round: config.budget_per_round,
             min_cost_weight: config.min_cost_weight,
         });
-        Lovm { config, dpp }
+        Lovm {
+            config,
+            dpp,
+            scratch: RoundScratch::new(),
+        }
     }
 
     /// The configuration.
@@ -177,11 +186,12 @@ impl Lovm {
             topology: self.config.topology,
             ..VcgConfig::default()
         });
-        let outcome = auction.run_with_strategy_on(
+        let outcome = auction.run_with_scratch_on(
             bids,
             &self.config.valuation,
             self.config.payment_strategy,
             pool,
+            &mut self.scratch,
         );
         self.dpp.observe_spend(outcome.total_payment());
         outcome

@@ -174,6 +174,79 @@ impl Pool {
             .collect()
     }
 
+    /// [`Pool::run`] with per-worker scratch state, writing results into a
+    /// caller-recycled output vector (cleared first, filled in index
+    /// order).
+    ///
+    /// Serial runs (one worker or fewer than two items) borrow the
+    /// caller's `scratch` directly — a caller that keeps `scratch` and
+    /// `out` alive across calls reaches a zero-allocation steady state
+    /// once their capacities have warmed up. Parallel runs give each
+    /// worker its own state built by `init` (created and dropped on the
+    /// worker thread, so `S` needs no `Send`); `scratch` is untouched.
+    ///
+    /// This is what the solver-arena hot paths (`auction::wdp`,
+    /// `auction::pivots`) run on: per-worker arenas mean `LOVM_THREADS>1`
+    /// never shares a buffer, and by the determinism contract the scratch
+    /// (and worker count) cannot change any output bit — only `f`'s return
+    /// values land in `out`, in index order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from `f` on the calling thread.
+    pub fn run_with<S, U, I, F>(&self, n: usize, scratch: &mut S, init: I, out: &mut Vec<U>, f: F)
+    where
+        U: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> U + Sync,
+    {
+        out.clear();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            out.reserve(n);
+            for i in 0..n {
+                let v = f(scratch, i);
+                out.push(v);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, U)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut state = init();
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&mut state, i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for part in parts {
+            for (i, v) in part {
+                debug_assert!(slots[i].is_none(), "index {i} computed twice");
+                slots[i] = Some(v);
+            }
+        }
+        out.extend(
+            slots
+                .into_iter()
+                .map(|s| s.expect("every index in 0..n is claimed exactly once")),
+        );
+    }
+
     /// Maps `f` over `items`, returning results in item order.
     pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
@@ -440,6 +513,87 @@ mod tests {
         let out = Pool::with_threads(8).run(10_000, |i| i);
         let expect: Vec<usize> = (0..10_000).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn run_with_matches_run_and_reuses_output() {
+        let mut out = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::with_threads(threads);
+            let mut scratch = vec![0u64; 8];
+            pool.run_with(
+                100,
+                &mut scratch,
+                || vec![0u64; 8],
+                &mut out,
+                |state, i| {
+                    // Scratch is genuinely mutable per worker.
+                    state[i % 8] = state[i % 8].wrapping_add(i as u64);
+                    (i as u64) * 3 + 1
+                },
+            );
+            let expect: Vec<u64> = (0..100).map(|i| i * 3 + 1).collect();
+            assert_eq!(out, expect, "threads={threads}");
+        }
+        // Serial path mutated the caller's scratch in place.
+        let pool = Pool::serial();
+        let mut scratch = 0u64;
+        pool.run_with(
+            10,
+            &mut scratch,
+            || 0u64,
+            &mut out,
+            |s, i| {
+                *s += i as u64;
+                i as u64
+            },
+        );
+        assert_eq!(scratch, (0..10).sum::<u64>());
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn run_with_empty_and_uneven_inputs() {
+        let mut out: Vec<usize> = vec![1, 2, 3];
+        Pool::with_threads(4).run_with(0, &mut (), || (), &mut out, |_, i| i);
+        assert!(out.is_empty(), "out must be cleared even for n = 0");
+        // Uneven per-item work: completion order differs from index order,
+        // yet the scatter restores index order exactly.
+        Pool::with_threads(4).run_with(
+            200,
+            &mut (),
+            || (),
+            &mut out,
+            |_, i| {
+                let mut acc = i as u64;
+                for _ in 0..(i % 7) * 1000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                let _ = acc;
+                i
+            },
+        );
+        assert_eq!(out, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_with_worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            let mut out = Vec::new();
+            Pool::with_threads(2).run_with(
+                8,
+                &mut (),
+                || (),
+                &mut out,
+                |_, i| {
+                    if i == 5 {
+                        panic!("boom at 5");
+                    }
+                    i
+                },
+            );
+        });
+        assert!(result.is_err());
     }
 
     #[test]

@@ -106,6 +106,46 @@ awk -v n="$naive_ns" -v i="$incremental_ns" 'BEGIN {
   }
 }'
 
+# Smoke the solver roofline in both thread modes and gate the arena-vs-
+# legacy regression: on the capped budgeted n=4096 row (the shape a LOVM
+# round actually solves — budget plus max_winners), the arena-backed
+# branchless DP must stay at least 1.3x faster than the legacy allocating
+# solver. The win is micro-architectural (no per-item traceback allocation,
+# saturated-span skipping, word-packed flags), so one worker is where it
+# must show; LOVM_THREADS only exercises that the bin runs under both.
+solver_out=""
+for t in 1 4; do
+  out=$(LOVM_THREADS=$t LOVM_BENCH_SAMPLES=5 LOVM_BENCH_BATCH_NS=200000 \
+    ./target/release/bench_solver)
+  if [ "$t" = 1 ]; then solver_out="$out"; fi
+done
+solver_median_of() {
+  printf '%s\n' "$solver_out" | { grep -F "\"bench\":\"solver/$1\"" || true; } \
+    | sed 's/.*"median_ns":\([0-9.e+-]*\).*/\1/'
+}
+legacy_ns=$(solver_median_of "budgetcap_n4096_g4000_legacy")
+arena_ns=$(solver_median_of "budgetcap_n4096_g4000_arena")
+awk -v l="$legacy_ns" -v a="$arena_ns" 'BEGIN {
+  if (l == "" || a == "" || a <= 0) {
+    print "ci: solver rows missing from bench_solver output"; exit 1
+  }
+  speedup = l / a
+  printf "ci: solver arena n=4096 g=4000 budget+cap speedup %.2fx (legacy %.0f ns, arena %.0f ns)\n", speedup, l, a
+  if (speedup < 1.3) {
+    print "ci: FAIL — arena solver below the 1.3x floor on the capped budgeted n=4096 row"; exit 1
+  }
+}'
+# The roofline artifact must be valid JSON with the expected shape, proven
+# by re-parsing the file through metrics::json (`--check` runs the parser
+# and schema assertions without re-benchmarking).
+if ! [ -s BENCH_solver.json ]; then
+  echo "ci: FAIL — bench_solver did not write BENCH_solver.json"; exit 1
+fi
+if ! ./target/release/bench_solver --check BENCH_solver.json; then
+  echo "ci: FAIL — BENCH_solver.json failed metrics::json validation"; exit 1
+fi
+echo "ci: BENCH_solver.json written and parse-validated"
+
 # Kill-and-recover smoke for the event-sourced market server: run an
 # uninterrupted reference session, then the same session interrupted by
 # SIGKILL with a round's arrivals journaled but unsealed, restart the
