@@ -127,6 +127,10 @@ pub fn leave_one_out_welfares_view_into(
     arena: &mut SolverArena,
     out: &mut Vec<f64>,
 ) {
+    // One LOO pivot pass per call: the `solve.pivots_ns` span covers the
+    // whole engine (every strategy funnels through here). Inert unless
+    // telemetry is enabled; records only wall time, never an output bit.
+    let _pivots_span = telemetry::hist!("solve.pivots_ns").span();
     match strategy {
         PaymentStrategy::Naive => {
             out.clear();

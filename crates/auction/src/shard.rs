@@ -250,7 +250,11 @@ pub fn solve_sharded_arena_on(
 ) -> ShardedRound {
     let n = inst.items.len();
     let eff = topology.effective_shards(n);
+    telemetry::gauge!("solve.shards").set(eff.max(1) as f64);
     if eff <= 1 {
+        // Monolithic short-circuit: the single solve is the round's one
+        // "shard", so it still lands in the per-shard histogram.
+        let _shard_span = telemetry::hist!("solve.shard_ns").span();
         let view = WdpView::full(inst);
         let solution = arena.solve_view(&view, kind);
         let mut loo_welfares = Vec::new();
@@ -294,6 +298,9 @@ pub fn solve_sharded_arena_on(
         SolverArena::default,
         &mut per_shard,
         |shard_arena, gi| {
+            // Per-shard solve + pivots span; histograms are shared
+            // atomics, so parallel workers record without coordination.
+            let _shard_span = telemetry::hist!("solve.shard_ns").span();
             let group = &groups[gi];
             let view = WdpView::of_subset(inst, group);
             let sol = shard_arena.solve_view(&view, kind);
@@ -335,6 +342,7 @@ pub fn solve_sharded_arena_on(
 
     // Reconciliation: the original constraints over the champion pool,
     // then reconciliation-level pivots for the final winners.
+    let _reconcile_span = telemetry::hist!("solve.reconcile_ns").span();
     let rview = WdpView::of_subset(inst, &champions);
     let solution = arena.solve_view(&rview, kind);
     let mut loo_welfares = Vec::new();

@@ -331,6 +331,7 @@ pub fn solve(inst: &WdpInstance, kind: SolverKind) -> WdpSolution {
 /// Panics if `Exhaustive` is requested for more than 25 items, or item
 /// costs are negative/non-finite when a budget constraint is present.
 pub fn solve_view(view: &WdpView<'_>, kind: SolverKind) -> WdpSolution {
+    let _solve_span = solver_kind_hist(kind).span();
     match kind {
         SolverKind::Exact => match view.budget() {
             None => top_k(view),
@@ -343,6 +344,18 @@ pub fn solve_view(view: &WdpView<'_>, kind: SolverKind) -> WdpSolution {
             None => top_k(view),
         },
         SolverKind::GreedyDensity => greedy_density(view),
+    }
+}
+
+/// The per-`SolverKind` WDP latency histogram (`solve.wdp.<kind>_ns`).
+/// Telemetry is a pure observer: these spans record wall time only and
+/// can never reach a payment, digest, or journal byte.
+fn solver_kind_hist(kind: SolverKind) -> &'static telemetry::Histogram {
+    match kind {
+        SolverKind::Exact => telemetry::hist!("solve.wdp.exact_ns"),
+        SolverKind::Exhaustive => telemetry::hist!("solve.wdp.exhaustive_ns"),
+        SolverKind::Knapsack { .. } => telemetry::hist!("solve.wdp.knapsack_ns"),
+        SolverKind::GreedyDensity => telemetry::hist!("solve.wdp.greedy_ns"),
     }
 }
 
@@ -896,6 +909,10 @@ impl SolverArena {
     /// are cold experiment/baseline paths and delegate to the allocating
     /// free functions.
     pub fn solve_view_into(&mut self, view: &WdpView<'_>, kind: SolverKind, out: &mut WdpSolution) {
+        // Per-`SolverKind` latency span; inert (no clock read) unless
+        // telemetry is enabled. Handles live in leaked statics, so the
+        // steady-state zero-allocation contract holds with telemetry on.
+        let _solve_span = solver_kind_hist(kind).span();
         match kind {
             SolverKind::Exact => match view.budget() {
                 None => self.top_k_into(view, out),

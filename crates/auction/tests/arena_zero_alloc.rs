@@ -90,7 +90,10 @@ fn run_round(
 
 /// 100-round streamed loop over budgeted knapsack rounds (n = 80 keeps the
 /// budgeted Exact dispatch on the arena DP, not the exhaustive enumerator)
-/// interleaved with top-K rounds: zero allocations after warm-up.
+/// interleaved with top-K rounds: zero allocations after warm-up — first
+/// with telemetry disabled, then again with it force-enabled. Recording
+/// into the preallocated histograms must be as allocation-free as not
+/// recording at all (handle registration allocates once, in the warm-up).
 #[test]
 fn streamed_rounds_allocate_nothing_after_warmup() {
     // All instances are built BEFORE measurement; rounds only read them.
@@ -120,26 +123,40 @@ fn streamed_rounds_allocate_nothing_after_warmup() {
     }
 
     let mut last_objective = 0u64;
-    let before = ALLOC_CALLS.load(Ordering::Relaxed);
-    for round in 0..100 {
-        let i = round % views.len();
-        run_round(
-            &views[i],
-            kinds[i],
-            &mut arena,
-            &mut solution,
-            &mut welfares,
-        );
-        // Consume the outputs so the solves cannot be optimized away.
-        last_objective ^= solution.objective.to_bits();
-        last_objective ^= welfares.iter().map(|w| w.to_bits()).fold(0, |a, b| a ^ b);
-        let now = ALLOC_CALLS.load(Ordering::Relaxed);
-        assert_eq!(
-            now,
-            before,
-            "round {round} allocated ({} calls) — arena reuse contract broken",
-            now - before
-        );
+    for phase in ["telemetry-off", "telemetry-on"] {
+        if phase == "telemetry-on" {
+            // Enabled-mode recording must stay on the zero-allocation
+            // budget: histogram buckets are preallocated and the handle
+            // caches are `&'static`. The re-warm-up below pays the
+            // one-time registration allocations.
+            telemetry::force_configure(true, telemetry::SinkSpec::None);
+            for (view, kind) in views.iter().zip(kinds) {
+                run_round(view, kind, &mut arena, &mut solution, &mut welfares);
+            }
+        }
+        let before = ALLOC_CALLS.load(Ordering::Relaxed);
+        for round in 0..100 {
+            let i = round % views.len();
+            run_round(
+                &views[i],
+                kinds[i],
+                &mut arena,
+                &mut solution,
+                &mut welfares,
+            );
+            // Consume the outputs so the solves cannot be optimized away
+            // (the rotate keeps identical passes from cancelling to 0).
+            last_objective = last_objective.rotate_left(1) ^ solution.objective.to_bits();
+            last_objective ^= welfares.iter().map(|w| w.to_bits()).fold(0, |a, b| a ^ b);
+            let now = ALLOC_CALLS.load(Ordering::Relaxed);
+            assert_eq!(
+                now,
+                before,
+                "{phase} round {round} allocated ({} calls) — arena reuse \
+                 contract broken",
+                now - before
+            );
+        }
     }
     assert_ne!(last_objective, 0, "solves produced no output?");
 }

@@ -51,6 +51,7 @@ pub mod ledger;
 pub mod lovm;
 pub mod mechanism;
 pub mod multi;
+pub mod obs;
 pub mod offline;
 pub mod orchestrator;
 pub mod serve;

@@ -178,6 +178,10 @@ impl Lovm {
     /// serial pool; the streaming entry points pass their own so sharded
     /// rounds can fan out.
     pub fn round_on(&mut self, bids: &[Bid], pool: par::Pool) -> AuctionOutcome {
+        // Whole-mechanism-round span (scoring + WDP + pivots + queue
+        // update); the finer per-shard / per-kind spans live inside the
+        // auction crates. Inert unless telemetry is enabled.
+        let _round_span = telemetry::hist!("solve.round_ns").span();
         let w = self.dpp.weights();
         let auction = VcgAuction::new(VcgConfig {
             value_weight: w.value_weight,

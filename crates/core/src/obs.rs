@@ -1,0 +1,256 @@
+//! Observability glue: one schema-tagged JSON-lines record per sealed
+//! round, the global-counter rollup behind the `stats` wire command, and
+//! the JSON serialization of the telemetry registry.
+//!
+//! Everything here is a **pure observer**: records are built from values
+//! the round already produced and written to the telemetry sink only —
+//! never to stdout, the journal, or anything a digest folds. The golden
+//! and determinism suites run with `LOVM_TELEMETRY` both unset and set
+//! to pin that.
+
+use ingest::{IngestStats, StreamTotals};
+use metrics::json::{JsonValue, ToJson};
+use telemetry::HistSnapshot;
+
+/// Schema tag carried by every per-round telemetry record; bump the
+/// suffix on any field change so downstream parsers can dispatch.
+pub const ROUND_SCHEMA: &str = "lovm.telemetry.round.v1";
+
+/// Everything one sealed round reports to the telemetry sink. The
+/// `timings` are site-measured span values in nanoseconds (name, ns);
+/// finer-grained distributions (per shard, per `SolverKind`, journal
+/// fsync) live in the global histograms and are read via `stats`.
+#[derive(Debug, Clone)]
+pub struct RoundObservation<'a> {
+    /// Which loop sealed the round (`"stream"` or `"serve"`).
+    pub source: &'static str,
+    /// Session name for served rounds, `None` for in-process streams.
+    pub session: Option<&'a str>,
+    /// The round index.
+    pub round: usize,
+    /// The seal's ingestion stats.
+    pub stats: &'a IngestStats,
+    /// Winners in the sealed auction.
+    pub winners: usize,
+    /// Virtual welfare of the round.
+    pub welfare: f64,
+    /// Total payment of the round.
+    pub spend: f64,
+    /// Virtual budget backlog after the round, if the mechanism has one.
+    pub backlog: Option<f64>,
+    /// Site-measured phase durations, `(phase, nanoseconds)`.
+    pub timings: &'a [(&'static str, u64)],
+}
+
+impl RoundObservation<'_> {
+    /// Renders the record. Field order is fixed so records diff cleanly.
+    pub fn to_json(&self) -> JsonValue {
+        let mut timings = JsonValue::object();
+        for &(name, ns) in self.timings {
+            timings = timings.field(name, ns);
+        }
+        let mut v = JsonValue::object()
+            .field("schema", ROUND_SCHEMA)
+            .field("source", self.source);
+        if let Some(session) = self.session {
+            v = v.field("session", session);
+        }
+        v = v
+            .field("round", self.round)
+            .field("ingest", self.stats.to_json())
+            .field("winners", self.winners)
+            .field("welfare", self.welfare)
+            .field("spend", self.spend);
+        if let Some(b) = self.backlog {
+            v = v.field("backlog", b);
+        }
+        v.field("timings", timings)
+    }
+
+    /// Emits the record as one line to the telemetry sink (no-op when
+    /// `LOVM_TELEMETRY` is unset) and folds the round into the global
+    /// counters the `stats` command reports.
+    pub fn record(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        observe_round_counters(self.stats, self.backlog);
+        if telemetry::sink_active() {
+            telemetry::emit_line(&self.to_json().to_string());
+        }
+    }
+}
+
+/// Folds one seal's ingestion stats into the global counter rollup:
+/// session-lifetime admitted/deferred/dropped/shed totals plus the
+/// buffer high-water mark, mirroring [`StreamTotals::absorb`] at the
+/// registry level.
+fn observe_round_counters(stats: &IngestStats, backlog: Option<f64>) {
+    telemetry::counter!("rounds.sealed").add(1);
+    telemetry::counter!("ingest.arrivals").add(stats.arrivals as u64);
+    telemetry::counter!("ingest.admitted").add((stats.admitted + stats.admitted_late) as u64);
+    telemetry::counter!("ingest.admitted_late").add(stats.admitted_late as u64);
+    telemetry::counter!("ingest.deferred").add(stats.deferred_in as u64);
+    telemetry::counter!("ingest.dropped").add(stats.dropped as u64);
+    telemetry::counter!("ingest.superseded").add(stats.superseded as u64);
+    telemetry::counter!("ingest.shed").add(stats.shed as u64);
+    telemetry::counter!("ingest.blocked").add(stats.blocked as u64);
+    telemetry::gauge!("ingest.buffer_peak").set_max(stats.buffer_peak as f64);
+    if let Some(b) = backlog {
+        telemetry::gauge!("queue.backlog").set(b);
+    }
+}
+
+/// One histogram snapshot as JSON: count, mean, exact min/max, the
+/// standard quantiles, and the non-empty `(lower_bound, count)` buckets
+/// (bounded — at most [`telemetry::BUCKETS`] pairs) for sparklines.
+fn hist_json(snap: &HistSnapshot) -> JsonValue {
+    let mut buckets = JsonValue::array();
+    for (lo, c) in snap.nonzero_buckets() {
+        buckets = buckets.item(JsonValue::array().item(lo).item(c));
+    }
+    JsonValue::object()
+        .field("count", snap.count)
+        .field("mean_ns", snap.mean())
+        .field("min_ns", snap.min())
+        .field("p50_ns", snap.quantile(50.0))
+        .field("p95_ns", snap.quantile(95.0))
+        .field("p99_ns", snap.quantile(99.0))
+        .field("max_ns", snap.max())
+        .field("buckets", buckets)
+}
+
+/// The full telemetry registry as JSON (name-sorted, deterministic
+/// shape): what the `stats` wire command returns and `lovm top` renders.
+pub fn registry_json() -> JsonValue {
+    let snap = telemetry::snapshot();
+    let mut counters = JsonValue::object();
+    for (name, v) in &snap.counters {
+        counters = counters.field(name, *v);
+    }
+    let mut gauges = JsonValue::object();
+    for (name, v) in &snap.gauges {
+        gauges = gauges.field(name, *v);
+    }
+    let mut hists = JsonValue::object();
+    for (name, h) in &snap.hists {
+        hists = hists.field(name, hist_json(h));
+    }
+    JsonValue::object()
+        .field("enabled", telemetry::enabled())
+        .field("counters", counters)
+        .field("gauges", gauges)
+        .field("hists", hists)
+}
+
+/// Session-lifetime ingestion rollup as JSON, with the conservation
+/// identity's inputs spelled out.
+pub fn totals_json(totals: &StreamTotals) -> JsonValue {
+    totals.to_json()
+}
+
+/// Validates one emitted telemetry line: parses via `metrics::json` and
+/// checks the schema tag plus required fields. Returns a description of
+/// the first problem, if any. `lovm telemetry-check` runs this over a
+/// whole file in CI.
+pub fn validate_round_line(line: &str) -> Result<(), String> {
+    let v = JsonValue::parse(line).map_err(|e| format!("unparseable JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(|s| s.as_str())
+        .ok_or("missing schema tag")?;
+    if schema != ROUND_SCHEMA {
+        return Err(format!("schema {schema:?}, expected {ROUND_SCHEMA:?}"));
+    }
+    for key in ["source", "round", "winners", "welfare", "spend"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing field {key:?}"));
+        }
+    }
+    let ingest = v.get("ingest").ok_or("missing field \"ingest\"")?;
+    for key in ["arrivals", "admitted", "dropped", "shed", "buffer_peak"] {
+        if ingest.get(key).and_then(|x| x.as_u64()).is_none() {
+            return Err(format!("ingest missing numeric field {key:?}"));
+        }
+    }
+    if v.get("timings").is_none() {
+        return Err("missing field \"timings\"".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stats() -> IngestStats {
+        IngestStats {
+            round: 4,
+            arrivals: 12,
+            admitted: 9,
+            admitted_late: 1,
+            deferred_in: 0,
+            dropped: 1,
+            superseded: 0,
+            shed: 1,
+            blocked: 0,
+            buffer_peak: 11,
+            sealed: 10,
+        }
+    }
+
+    #[test]
+    fn round_record_round_trips_through_parser() {
+        let stats = sample_stats();
+        let timings = [("solve_ns", 12_345u64), ("round_ns", 99_999u64)];
+        let obs = RoundObservation {
+            source: "stream",
+            session: None,
+            round: 4,
+            stats: &stats,
+            winners: 3,
+            welfare: 17.5,
+            spend: 6.25,
+            backlog: Some(1.5),
+            timings: &timings,
+        };
+        let line = obs.to_json().to_string();
+        validate_round_line(&line).expect("emitted record must validate");
+        let v = JsonValue::parse(&line).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(ROUND_SCHEMA));
+        assert_eq!(v.get("round").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            v.get("ingest").unwrap().get("sealed").unwrap().as_u64(),
+            Some(10)
+        );
+        assert_eq!(
+            v.get("timings").unwrap().get("solve_ns").unwrap().as_u64(),
+            Some(12_345)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_and_garbage() {
+        assert!(validate_round_line("not json").is_err());
+        let wrong = JsonValue::object()
+            .field("schema", "lovm.other.v1")
+            .to_string();
+        let err = validate_round_line(&wrong).unwrap_err();
+        assert!(err.contains("schema"), "unexpected error: {err}");
+        let missing = JsonValue::object()
+            .field("schema", ROUND_SCHEMA)
+            .to_string();
+        assert!(validate_round_line(&missing).is_err());
+    }
+
+    #[test]
+    fn registry_json_has_the_contract_sections() {
+        let v = registry_json();
+        for key in ["enabled", "counters", "gauges", "hists"] {
+            assert!(v.get(key).is_some(), "missing section {key}");
+        }
+        // The rendered registry itself parses back through the parser.
+        let text = v.to_string();
+        assert!(JsonValue::parse(&text).is_ok());
+    }
+}

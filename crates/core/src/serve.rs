@@ -47,7 +47,7 @@
 use crate::lovm::{Lovm, LovmConfig};
 use auction::bid::Bid;
 use auction::outcome::AuctionOutcome;
-use ingest::stats::IngestStats;
+use ingest::stats::{IngestStats, StreamTotals};
 use ingest::{Admission, CollectedRound, IngestConfig, RoundCollector};
 use journal::{Digest, JournalEvent, JournalWriter, Snapshot};
 use metrics::json::JsonValue;
@@ -56,7 +56,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use workload::arrivals::TimedBid;
 
 /// Environment variable naming the server's journal directory.
@@ -199,6 +199,10 @@ pub struct MarketSession {
     pending_lines: Vec<String>,
     /// The lines the last seal committed, until a publisher drains them.
     last_commit_lines: Vec<String>,
+    /// Session-lifetime ingestion rollup. Folded in `run_round`, which
+    /// replay shares — so recovery rebuilds the same totals a session
+    /// that never crashed would report via the `stats` command.
+    totals: StreamTotals,
 }
 
 fn corrupt(message: String) -> std::io::Error {
@@ -271,6 +275,9 @@ impl MarketSession {
                 0,
             ),
         };
+        // Resume the rollup from the snapshot so the fast-forwarded
+        // prefix still counts; replay below re-absorbs the suffix.
+        let resumed_totals = snapshot.as_ref().map(|s| s.totals).unwrap_or_default();
         let mut session = MarketSession {
             cfg,
             writer,
@@ -287,6 +294,7 @@ impl MarketSession {
             last_snapshot: snapshot,
             pending_lines: Vec::new(),
             last_commit_lines: Vec::new(),
+            totals: resumed_totals,
         };
         let journal_path = session.cfg.journal.clone();
         journal::stream_events(
@@ -346,6 +354,7 @@ impl MarketSession {
     /// recovery guarantee.
     fn run_round(&mut self) -> (CollectedRound, AuctionOutcome) {
         let collected = self.collector.seal_next();
+        self.totals.absorb(&collected.stats);
         let outcome = self.lovm.round_on(collected.sealed.bids(), self.pool);
         let backlog = self.lovm.queue_backlog();
         self.digest.fold_usize(collected.sealed.round());
@@ -392,7 +401,10 @@ impl MarketSession {
     /// round's committed lines for replication, and runs the snapshot /
     /// compaction cadences.
     pub fn seal(&mut self) -> std::io::Result<SealedOutcome> {
+        let observing = telemetry::enabled();
+        let solve_start = observing.then(Instant::now);
         let (collected, outcome) = self.run_round();
+        let solve_ns = elapsed_ns(solve_start);
         let round = collected.sealed.round();
         let backlog = self.lovm.queue_backlog();
         let seal_line = JournalEvent::Seal {
@@ -409,16 +421,38 @@ impl MarketSession {
             digest: self.digest.value(),
         }
         .to_line();
+        let persist_start = observing.then(Instant::now);
         self.writer.append_raw(&seal_line)?;
         self.pending_lines.push(seal_line);
         self.writer.append_raw(&outcome_line)?;
         self.pending_lines.push(outcome_line);
         self.writer.sync()?;
+        let persist_ns = elapsed_ns(persist_start);
         // Everything staged since the last seal is now durable: hand it
         // to the replication feed as one committed batch.
         self.last_commit_lines = std::mem::take(&mut self.pending_lines);
         self.maybe_snapshot()?;
         self.maybe_compact()?;
+        if observing {
+            let session = self
+                .cfg
+                .journal
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string);
+            crate::obs::RoundObservation {
+                source: "serve",
+                session: session.as_deref(),
+                round,
+                stats: &collected.stats,
+                winners: outcome.winners.len(),
+                welfare: outcome.virtual_welfare,
+                spend: outcome.total_payment(),
+                backlog: Some(backlog),
+                timings: &[("solve_ns", solve_ns), ("persist_ns", persist_ns)],
+            }
+            .record();
+        }
         Ok(SealedOutcome {
             round,
             stats: collected.stats,
@@ -453,6 +487,7 @@ impl MarketSession {
             welfare: self.welfare,
             spend: self.spend,
             digest: self.digest.value(),
+            totals: self.totals,
         };
         journal::write_snapshot(path, &snap)?;
         self.last_snapshot = Some(snap);
@@ -546,6 +581,20 @@ impl MarketSession {
     pub fn journal_events(&self) -> u64 {
         self.writer.events()
     }
+
+    /// Session-lifetime ingestion rollup — every sealed round's stats
+    /// folded through [`StreamTotals::absorb`], recovered rounds
+    /// included. The `stats` wire command reports this.
+    pub fn stream_totals(&self) -> &StreamTotals {
+        &self.totals
+    }
+}
+
+/// Nanoseconds since an optional start instant (0 when not measuring).
+fn elapsed_ns(start: Option<Instant>) -> u64 {
+    start.map_or(0, |t| {
+        u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -560,6 +609,7 @@ enum Request {
     Bid { at: f64, bid: Bid },
     Seal,
     State,
+    Stats,
     Quit,
 }
 
@@ -639,6 +689,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
         }
         "seal" => Ok(Request::Seal),
         "state" => Ok(Request::State),
+        "stats" => Ok(Request::Stats),
         "quit" => Ok(Request::Quit),
         other => Err(format!("unknown cmd `{other}`")),
     }
@@ -676,6 +727,29 @@ fn sealed_response(s: &SealedOutcome) -> JsonValue {
         .field("spend", s.outcome.total_payment())
         .field("backlog", s.backlog)
         .field("digest", journal::u64_hex(s.digest))
+}
+
+/// The `stats` response: the process-wide telemetry registry (counters,
+/// gauges, histograms — what `lovm top` renders), plus the session's
+/// lifetime ingestion rollup when asked from inside one. Works before
+/// `hello` too, so a monitor can poll a server it never drives.
+fn stats_response(session: Option<&MarketSession>) -> JsonValue {
+    let mut v = JsonValue::object()
+        .field("event", "stats")
+        .field("registry", crate::obs::registry_json());
+    if let Some(s) = session {
+        v = v.field(
+            "session",
+            JsonValue::object()
+                .field("rounds", s.rounds_sealed())
+                .field("welfare", s.welfare())
+                .field("spend", s.total_spend())
+                .field("backlog", s.backlog())
+                .field("digest", journal::u64_hex(s.digest()))
+                .field("totals", crate::obs::totals_json(s.stream_totals())),
+        );
+    }
+    v
 }
 
 fn state_response(session: &MarketSession) -> JsonValue {
@@ -858,6 +932,9 @@ fn handle_connection(
                 let _ = respond(&mut out, JsonValue::object().field("event", "bye"));
                 return Ok(());
             }
+            // Server-wide stats work before a session is named, so a
+            // monitor like `lovm top` never has to claim one.
+            Ok(Ok(Request::Stats)) => respond(&mut out, stats_response(None))?,
             Ok(Ok(_)) => respond(&mut out, error_response("say hello first"))?,
             Ok(Err(msg)) => respond(&mut out, error_response(&msg))?,
         }
@@ -931,6 +1008,7 @@ fn handle_connection(
                 respond(&mut out, sealed_response(&sealed))?;
             }
             Ok(Ok(Request::State)) => respond(&mut out, state_response(&session))?,
+            Ok(Ok(Request::Stats)) => respond(&mut out, stats_response(Some(&session)))?,
             Ok(Ok(Request::Hello { .. })) | Ok(Ok(Request::Follow { .. })) => {
                 respond(&mut out, error_response("already in a session"))?;
             }
@@ -1355,6 +1433,7 @@ mod tests {
         );
         assert_eq!(parse_request(r#"{"cmd":"seal"}"#), Ok(Request::Seal));
         assert_eq!(parse_request(r#"{"cmd":"state"}"#), Ok(Request::State));
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#), Ok(Request::Stats));
         assert_eq!(parse_request(r#"{"cmd":"quit"}"#), Ok(Request::Quit));
         // Hostile input errors instead of panicking (out-of-domain bids
         // would assert inside Bid::new).
@@ -1449,6 +1528,100 @@ mod tests {
         let state = read_event(&mut reader);
         assert_eq!(state.get("event").unwrap().as_str(), Some("state"));
         assert_eq!(state.get("rounds").unwrap().as_usize(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite: the session-lifetime rollup conserves — every offered
+    /// arrival lands in exactly one of the totals' buckets — and a
+    /// recovered session rebuilds the identical rollup by replay.
+    #[test]
+    fn stream_totals_conserve_and_survive_recovery() {
+        let dir = temp_dir("totals");
+        let mut cfg = session_cfg(&dir, 2);
+        // A tight deadline with deferral so the rollup sees more than
+        // the happy path: late bids defer, re-bids supersede them.
+        cfg.ingest.deadline = 0.6;
+        cfg.ingest.late_policy = ingest::LateBidPolicy::DeferToNext;
+        let mut session = MarketSession::open(cfg.clone()).unwrap();
+        let mut offered = 0usize;
+        let mut per_round = Vec::new();
+        for r in 0..6usize {
+            for k in 0..10usize {
+                let at = r as f64 + (k as f64 + 0.5) / 10.0;
+                let bid = Bid::new(k % 6, 0.8 + k as f64 * 0.1, 100 + 10 * k, 0.8);
+                session.offer(at, bid).unwrap();
+                offered += 1;
+            }
+            per_round.push(session.seal().unwrap().stats);
+        }
+        // One empty flush seal so the final round's deferred bids land
+        // in a sealed set instead of sitting outstanding.
+        per_round.push(session.seal().unwrap().stats);
+        let totals = *session.stream_totals();
+        assert_eq!(totals, StreamTotals::from_rounds(&per_round));
+        assert_eq!(totals.rounds, 7);
+        assert!(totals.deferred > 0, "the deadline must defer some bids");
+        assert!(totals.superseded > 0, "re-bids must supersede deferrals");
+        // Conservation: every offered arrival sealed, dropped, was
+        // superseded, or was shed — nothing vanishes or double-counts.
+        assert_eq!(
+            totals.sealed + totals.dropped + totals.superseded + totals.shed,
+            offered
+        );
+        drop(session);
+        let recovered = MarketSession::open(cfg).unwrap();
+        assert_eq!(*recovered.stream_totals(), totals);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The `stats` command answers both before `hello` (registry only)
+    /// and inside a session (adding the lifetime rollup), and the
+    /// response parses back through the same JSON layer.
+    #[test]
+    fn tcp_stats_reports_registry_and_session_totals() {
+        let dir = temp_dir("tcp-stats");
+        let server = MarketServer::bind(ServeConfig::new("127.0.0.1:0", &dir)).unwrap();
+        let addr = server.local_addr().unwrap();
+        std::thread::spawn(move || server.run());
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut out = stream;
+
+        // Pre-hello: a monitor polls server-wide stats without claiming
+        // a session.
+        send(&mut out, r#"{"cmd":"stats"}"#);
+        let stats = read_event(&mut reader);
+        assert_eq!(stats.get("event").unwrap().as_str(), Some("stats"));
+        let registry = stats.get("registry").expect("stats carries the registry");
+        for key in ["enabled", "counters", "gauges", "hists"] {
+            assert!(registry.get(key).is_some(), "registry missing {key}");
+        }
+        assert!(stats.get("session").is_none(), "no session claimed yet");
+
+        send(&mut out, r#"{"cmd":"hello","session":"gamma"}"#);
+        read_event(&mut reader);
+        for round in 0..2 {
+            for (at, bid) in offers_for_round(round) {
+                send(
+                    &mut out,
+                    &format!(
+                        r#"{{"cmd":"bid","at":{at},"bidder":{},"cost":{},"data":{},"quality":{}}}"#,
+                        bid.bidder, bid.cost, bid.data_size, bid.quality
+                    ),
+                );
+                read_event(&mut reader);
+            }
+            send(&mut out, r#"{"cmd":"seal"}"#);
+            read_event(&mut reader);
+        }
+        send(&mut out, r#"{"cmd":"stats"}"#);
+        let stats = read_event(&mut reader);
+        let session = stats.get("session").expect("in-session stats add totals");
+        assert_eq!(session.get("rounds").unwrap().as_usize(), Some(2));
+        let totals = session.get("totals").unwrap();
+        assert_eq!(totals.get("rounds").unwrap().as_usize(), Some(2));
+        assert_eq!(totals.get("arrivals").unwrap().as_usize(), Some(10));
+        assert_eq!(totals.get("sealed").unwrap().as_usize(), Some(10));
         std::fs::remove_dir_all(&dir).ok();
     }
 

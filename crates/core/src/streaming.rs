@@ -149,11 +149,26 @@ pub(crate) fn stream_rounds(
     let mut spent = 0.0;
     let mut spend_sum = 0.0;
 
+    // Phase clocks for the per-round telemetry record; `None` (and
+    // therefore never read) while telemetry is disabled.
+    let clock = |on: bool| on.then(std::time::Instant::now);
+    let elapsed_ns = |t: Option<std::time::Instant>| {
+        t.map_or(0, |t| {
+            u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+    };
+
     for round in 0..scenario.horizon {
+        let observing = telemetry::enabled();
+        let round_start = clock(observing);
+        let buffer_start = clock(observing);
         for tb in stream.emit_round(round) {
             collector.offer(tb);
         }
+        let buffer_ns = elapsed_ns(buffer_start);
+        let seal_start = clock(observing);
         let collected = collector.seal_next();
+        let seal_ns = elapsed_ns(seal_start);
         let bids = collected.sealed.bids();
         let info = RoundInfo {
             round,
@@ -161,7 +176,9 @@ pub(crate) fn stream_rounds(
             total_budget: scenario.total_budget,
             spent_so_far: spent,
         };
+        let solve_start = clock(observing);
         let (outcome, backlog) = step(&info, bids);
+        let solve_ns = elapsed_ns(solve_start);
         let winner_ids = outcome.winner_ids();
         stream.consume_energy(&winner_ids);
 
@@ -185,6 +202,30 @@ pub(crate) fn stream_rounds(
         push_ingest_series(&mut series, &collected.stats);
 
         ledger.record(&outcome, |id| stream.true_cost(id));
+
+        if observing {
+            let round_ns = elapsed_ns(round_start);
+            telemetry::hist!("ingest.buffer_ns").record(buffer_ns);
+            telemetry::hist!("round.total_ns").record(round_ns);
+            crate::obs::RoundObservation {
+                source: "stream",
+                session: None,
+                round,
+                stats: &collected.stats,
+                winners: winner_ids.len(),
+                welfare: outcome.virtual_welfare,
+                spend,
+                backlog,
+                timings: &[
+                    ("buffer_ns", buffer_ns),
+                    ("seal_ns", seal_ns),
+                    ("solve_ns", solve_ns),
+                    ("round_ns", round_ns),
+                ],
+            }
+            .record();
+        }
+
         outcomes.push(outcome);
         bids_per_round.push(bids.to_vec());
         ingest_stats.push(collected.stats);

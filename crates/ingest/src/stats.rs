@@ -87,22 +87,28 @@ pub struct StreamTotals {
 impl StreamTotals {
     /// Aggregates a run's per-round stats.
     pub fn from_rounds(rounds: &[IngestStats]) -> Self {
-        let mut t = StreamTotals {
-            rounds: rounds.len(),
-            ..StreamTotals::default()
-        };
+        let mut t = StreamTotals::default();
         for s in rounds {
-            t.arrivals += s.arrivals;
-            t.sealed += s.admitted + s.admitted_late + s.deferred_in;
-            t.admitted_late += s.admitted_late;
-            t.deferred += s.deferred_in;
-            t.dropped += s.dropped;
-            t.superseded += s.superseded;
-            t.shed += s.shed;
-            t.blocked += s.blocked;
-            t.buffer_peak = t.buffer_peak.max(s.buffer_peak);
+            t.absorb(s);
         }
         t
+    }
+
+    /// Folds one sealed round into the running rollup. A session that
+    /// absorbs every seal maintains the same totals `from_rounds` would
+    /// compute over the full history — without retaining it — which is
+    /// what the `stats` wire command reports for a live `lovm serve`.
+    pub fn absorb(&mut self, s: &IngestStats) {
+        self.rounds += 1;
+        self.arrivals += s.arrivals;
+        self.sealed += s.admitted + s.admitted_late + s.deferred_in;
+        self.admitted_late += s.admitted_late;
+        self.deferred += s.deferred_in;
+        self.dropped += s.dropped;
+        self.superseded += s.superseded;
+        self.shed += s.shed;
+        self.blocked += s.blocked;
+        self.buffer_peak = self.buffer_peak.max(s.buffer_peak);
     }
 }
 
@@ -156,6 +162,35 @@ mod tests {
         assert_eq!(t.deferred, 2);
         assert_eq!(t.dropped, 2);
         assert_eq!(t.buffer_peak, 12);
+    }
+
+    #[test]
+    fn absorb_matches_from_rounds() {
+        let rounds = vec![
+            IngestStats {
+                round: 0,
+                arrivals: 7,
+                admitted: 5,
+                shed: 2,
+                buffer_peak: 9,
+                sealed: 5,
+                ..IngestStats::default()
+            },
+            IngestStats {
+                round: 1,
+                arrivals: 3,
+                admitted: 2,
+                dropped: 1,
+                buffer_peak: 4,
+                sealed: 2,
+                ..IngestStats::default()
+            },
+        ];
+        let mut incremental = StreamTotals::default();
+        for s in &rounds {
+            incremental.absorb(s);
+        }
+        assert_eq!(incremental, StreamTotals::from_rounds(&rounds));
     }
 
     #[test]

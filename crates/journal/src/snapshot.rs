@@ -11,8 +11,8 @@
 use crate::event::{bid_from_json, bid_to_json};
 use ingest::collector::AdmitClass;
 use ingest::events::Event;
-use ingest::CollectorState;
-use metrics::json::JsonValue;
+use ingest::{CollectorState, StreamTotals};
+use metrics::json::{JsonValue, ToJson};
 use std::path::Path;
 
 /// Format marker so an unrelated JSON file is never mistaken for a
@@ -39,6 +39,11 @@ pub struct Snapshot {
     pub spend: f64,
     /// Running state digest at the boundary.
     pub digest: u64,
+    /// Session-lifetime ingestion rollup at the boundary, so the rounds
+    /// a snapshot fast-forward skips still count in the `stats` report.
+    /// Observability only — never digest-folded; a snapshot without the
+    /// field reads as all zeros rather than as absent.
+    pub totals: StreamTotals,
 }
 
 impl Snapshot {
@@ -66,6 +71,7 @@ impl Snapshot {
             .field("welfare", self.welfare)
             .field("spend", self.spend)
             .field("digest", crate::u64_hex(self.digest))
+            .field("totals", self.totals.to_json())
             .field(
                 "collector",
                 JsonValue::object()
@@ -115,8 +121,29 @@ impl Snapshot {
             welfare: v.get("welfare")?.as_f64()?,
             spend: v.get("spend")?.as_f64()?,
             digest: crate::u64_from_hex(v.get("digest")?.as_str()?)?,
+            totals: v
+                .get("totals")
+                .and_then(totals_from_json)
+                .unwrap_or_default(),
         })
     }
+}
+
+/// Decodes the rollup; any missing field zeroes the whole thing (the
+/// rollup is telemetry, not truth — it must never fail a recovery).
+fn totals_from_json(v: &JsonValue) -> Option<StreamTotals> {
+    Some(StreamTotals {
+        rounds: v.get("rounds")?.as_usize()?,
+        arrivals: v.get("arrivals")?.as_usize()?,
+        sealed: v.get("sealed")?.as_usize()?,
+        admitted_late: v.get("admitted_late")?.as_usize()?,
+        deferred: v.get("deferred")?.as_usize()?,
+        dropped: v.get("dropped")?.as_usize()?,
+        superseded: v.get("superseded")?.as_usize()?,
+        shed: v.get("shed")?.as_usize()?,
+        blocked: v.get("blocked")?.as_usize()?,
+        buffer_peak: v.get("buffer_peak")?.as_usize()?,
+    })
 }
 
 fn event_to_json(ev: &Event) -> JsonValue {
@@ -160,6 +187,8 @@ fn class_from_name(name: &str) -> Option<AdmitClass> {
 /// leaves either the old snapshot or the new one, never a torn mix.
 pub fn write_snapshot(path: impl AsRef<Path>, snapshot: &Snapshot) -> std::io::Result<()> {
     use std::io::Write;
+    let _snapshot_span = telemetry::hist!("journal.snapshot_ns").span();
+    telemetry::counter!("journal.snapshots").add(1);
     let path = path.as_ref();
     let mut tmp = path.to_path_buf();
     let mut name = path
@@ -233,6 +262,18 @@ mod tests {
             welfare: 123.456,
             spend: 78.9,
             digest: 0xdead_beef_cafe_f00d,
+            totals: StreamTotals {
+                rounds: 7,
+                arrivals: 44,
+                sealed: 38,
+                admitted_late: 2,
+                deferred: 3,
+                dropped: 4,
+                superseded: 1,
+                shed: 1,
+                blocked: 0,
+                buffer_peak: 9,
+            },
         }
     }
 

@@ -104,6 +104,7 @@ impl JournalWriter {
     /// path: a follower's journal stays byte-identical to the leader's
     /// feed). The line must not contain a newline.
     pub fn append_raw(&mut self, line: &str) -> std::io::Result<()> {
+        let _append_span = telemetry::hist!("journal.append_ns").span();
         debug_assert!(!line.contains('\n'), "one event per line");
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
@@ -116,6 +117,9 @@ impl JournalWriter {
     /// Called once per sealed round, after the outcome line: the fsync
     /// boundary *is* the durability boundary.
     pub fn sync(&mut self) -> std::io::Result<()> {
+        // fsync stalls are the canonical serve-loop latency cliff; this
+        // span is what `lovm top` renders as `journal.fsync_ns`.
+        let _fsync_span = telemetry::hist!("journal.fsync_ns").span();
         self.file.flush()?;
         self.file.get_ref().sync_data()
     }
@@ -458,6 +462,8 @@ fn corrupt(message: String) -> std::io::Error {
 /// journal's commit boundaries — compacting to an unverified state
 /// would silently corrupt every future recovery.
 pub fn compact(path: impl AsRef<Path>, snapshot: &Snapshot) -> std::io::Result<CompactStats> {
+    let _compact_span = telemetry::hist!("journal.compact_ns").span();
+    telemetry::counter!("journal.compactions").add(1);
     let path = path.as_ref();
     let meta = scan_meta(path)?;
     if snapshot.events <= meta.base_events() {
@@ -577,6 +583,7 @@ mod tests {
             welfare: 4.2 * rounds as f64,
             spend: 1.3 * rounds as f64,
             digest: 0x1234_5678_9abc_def0 ^ (rounds - 1) as u64,
+            totals: ingest::StreamTotals::default(),
         }
     }
 

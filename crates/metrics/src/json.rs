@@ -158,6 +158,14 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The key/value pairs in insertion order, if this is an object.
+    pub fn entries(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
 }
 
 /// A parse failure: where in the input, and why.

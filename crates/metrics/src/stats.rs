@@ -48,12 +48,25 @@ impl Summary {
 
 /// Percentile (0–100) by linear interpolation on a *sorted* slice.
 ///
+/// Edge contract (shared with [`percentile`], which telemetry readout
+/// calls on live histogram data): a single-element slice returns that
+/// element for every `p`; infinities are ordered normally; empty input,
+/// `p` outside `[0, 100]`, and NaN-containing input all **panic with a
+/// named message** — returning NaN would let a poisoned latency series
+/// propagate silently into dashboards and CI gates.
+///
 /// # Panics
 ///
-/// Panics if the slice is empty or `p` outside `[0, 100]`.
+/// - `"percentile of empty slice"` if the slice is empty.
+/// - `"percentile must be in [0, 100]"` if `p` is outside that range.
+/// - `"percentile of NaN-containing input"` if any element is NaN.
 pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty slice");
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    assert!(
+        !sorted.iter().any(|v| v.is_nan()),
+        "percentile of NaN-containing input"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }
@@ -61,13 +74,21 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
+    // Exact rank: skip interpolation so an infinite endpoint is returned
+    // as-is instead of poisoning the blend with `inf * 0 = NaN`.
+    if frac == 0.0 {
+        return sorted[lo];
+    }
     sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
-/// Percentile of an unsorted sample.
+/// Percentile of an unsorted sample. Same edge contract as
+/// [`percentile_sorted`]: NaN-containing input panics with a named
+/// message *regardless of sample size* (a bare `[NaN]` used to slip
+/// through because a one-element sort never compares).
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, p)
 }
 
@@ -148,12 +169,42 @@ mod tests {
     #[test]
     fn percentile_single() {
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 100.0), 7.0);
     }
 
     #[test]
     #[should_panic(expected = "percentile of empty slice")]
     fn percentile_empty_panics() {
         let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1.0, 2.0], 100.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of NaN-containing input")]
+    fn percentile_nan_panics() {
+        let _ = percentile(&[1.0, f64::NAN, 3.0], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile of NaN-containing input")]
+    fn percentile_single_nan_panics() {
+        // A one-element sort never compares, so the old unwrap-in-sort
+        // let a bare NaN through; the explicit scan must not.
+        let _ = percentile(&[f64::NAN], 50.0);
+    }
+
+    #[test]
+    fn percentile_orders_infinities() {
+        let v = [f64::INFINITY, 1.0, f64::NEG_INFINITY];
+        assert_eq!(percentile(&v, 0.0), f64::NEG_INFINITY);
+        assert_eq!(percentile(&v, 50.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), f64::INFINITY);
     }
 
     #[test]

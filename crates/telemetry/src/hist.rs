@@ -1,0 +1,375 @@
+//! Log-bucketed latency histogram (HDR-style, power-of-2 sub-bucketed).
+//!
+//! Values are non-negative integers — nanoseconds on every instrumented
+//! path. The bucket layout is the classic high-dynamic-range scheme:
+//! values below [`SUB_BUCKETS`] get one exact bucket each, and every
+//! power-of-2 octave above that is split into [`SUB_BUCKETS`] linear
+//! sub-buckets. A recorded value `v` therefore lands in a bucket whose
+//! width is at most `v / SUB_BUCKETS`, which gives the documented
+//! quantile guarantee:
+//!
+//! > For any quantile `p`, the reported value `q̂` and the exact
+//! > nearest-rank sample `q` satisfy `q ≤ q̂ ≤ q + q / SUB_BUCKETS`
+//! > (relative error ≤ 2⁻⁵ ≈ 3.2%), and `max` is exact.
+//!
+//! Memory is bounded and preallocated: [`BUCKETS`] fixed `AtomicU64`
+//! slots (15 KiB) per histogram, allocated once at registration — the
+//! hot-path [`Histogram::record`] touches only relaxed atomics, so the
+//! streamed solver loop stays allocation-free with telemetry enabled.
+//! Recording is lock-free and thread-safe; per-shard histograms merge by
+//! plain bucket addition ([`HistSnapshot::merge`]), which is exact and
+//! associative.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// log2 of the sub-bucket count per octave.
+pub const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-2 octave; also the exact-bucket range.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket slots: one exact group plus 59 sub-divided octaves.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// Bucket index for a value. Exact below [`SUB_BUCKETS`]; above that,
+/// octave-major with linear sub-buckets.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let group = (msb - SUB_BITS + 1) as usize;
+        let sub = ((v - (1u64 << msb)) >> (msb - SUB_BITS)) as usize;
+        group * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_low(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let group = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        let msb = group as u32 + SUB_BITS - 1;
+        (1u64 << msb) + sub * (1u64 << (msb - SUB_BITS))
+    }
+}
+
+/// Exclusive upper bound of a bucket.
+fn bucket_high(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64 + 1
+    } else {
+        let group = index / SUB_BUCKETS;
+        let msb = group as u32 + SUB_BITS - 1;
+        bucket_low(index) + (1u64 << (msb - SUB_BITS))
+    }
+}
+
+/// A concurrent log-bucket histogram. All recording operations are
+/// relaxed atomics; readout goes through [`Histogram::snapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram with all [`BUCKETS`] slots preallocated.
+    pub fn new() -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Starts a span over this histogram if telemetry is enabled; the
+    /// guard records the elapsed nanoseconds when dropped. When
+    /// telemetry is disabled the guard is inert and no clock is read.
+    #[inline]
+    pub fn span(&self) -> Span<'_> {
+        if crate::enabled() {
+            Span {
+                live: Some((Instant::now(), self)),
+            }
+        } else {
+            Span { live: None }
+        }
+    }
+
+    /// A point-in-time copy for readout. Allocates (readout path only).
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII span guard: created by [`Histogram::span`], records the elapsed
+/// wall time (monotonic clock) into the histogram on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    live: Option<(Instant, &'a Histogram)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.live.take() {
+            hist.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Immutable readout of a [`Histogram`]: bucket counts plus exact
+/// count/sum/min/max. Merging snapshots is exact bucket addition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (identity element for [`HistSnapshot::merge`]).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate for `p` in `[0, 100]`.
+    ///
+    /// Returns the upper inclusive bound of the bucket holding the
+    /// rank-`⌈p/100·n⌉` sample, clamped to the exact observed min/max, so
+    /// the estimate `q̂` satisfies `q ≤ q̂ ≤ q + q/`[`SUB_BUCKETS`] where
+    /// `q` is the exact nearest-rank sample. `p = 0` returns the exact
+    /// min, `p = 100` the exact max; an empty snapshot returns 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or NaN.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!(
+            (0.0..=100.0).contains(&p),
+            "quantile {p} out of range [0, 100]"
+        );
+        if self.count == 0 {
+            return 0;
+        }
+        if p == 0.0 {
+            return self.min;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return (bucket_high(i) - 1).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s buckets into `self`. Exact and associative:
+    /// merging per-shard histograms in any grouping equals recording
+    /// every value into one histogram.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending —
+    /// the compact form used by the `stats` wire response and the
+    /// `lovm top` sparklines.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_low(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_threshold() {
+        for v in 0..SUB_BUCKETS as u64 {
+            let i = bucket_index(v);
+            assert_eq!(bucket_low(i), v);
+            assert_eq!(bucket_high(i), v + 1);
+        }
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_cover_u64() {
+        // Every bucket's upper bound is the next bucket's lower bound.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(
+                bucket_high(i),
+                bucket_low(i + 1),
+                "gap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        assert_eq!(bucket_low(0), 0);
+        // The last bucket reaches the top of the u64 range.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_width_bounds_relative_error() {
+        for v in [
+            0u64,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            123_456,
+            987_654_321,
+            u64::MAX / 3,
+        ] {
+            let i = bucket_index(v);
+            let (lo, hi) = (bucket_low(i), bucket_high(i));
+            assert!(lo <= v && v < hi, "value {v} outside bucket [{lo}, {hi})");
+            if v >= SUB_BUCKETS as u64 {
+                assert!(
+                    hi - lo <= v / SUB_BUCKETS as u64 + 1,
+                    "bucket width {} too wide for {v}",
+                    hi - lo
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_on_small_exact_values() {
+        let h = Histogram::new();
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.quantile(0.0), 1);
+        assert_eq!(s.quantile(50.0), 5);
+        assert_eq!(s.quantile(100.0), 10);
+        assert_eq!(s.max(), 10);
+        assert_eq!(s.min(), 1);
+        assert!((s.mean() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_reads_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(50.0), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile 101 out of range")]
+    fn quantile_rejects_out_of_range() {
+        Histogram::new().snapshot().quantile(101.0);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        crate::force_configure(true, crate::SinkSpec::None);
+        let h = Histogram::new();
+        {
+            let _s = h.span();
+        }
+        assert_eq!(h.snapshot().count, 1);
+    }
+
+    #[test]
+    fn merge_identity() {
+        let h = Histogram::new();
+        for v in [5u64, 700, 90_000] {
+            h.record(v);
+        }
+        let mut a = HistSnapshot::empty();
+        a.merge(&h.snapshot());
+        assert_eq!(a, h.snapshot());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property suite for the log-bucket histogram: quantile estimates stay
+//! inside the documented relative-error bound against exact sorted-slice
+//! percentiles, and per-shard merging is exact and associative.
+
+use telemetry::{HistSnapshot, Histogram, SUB_BUCKETS};
+
+/// Deterministic 64-bit LCG (Knuth constants) — the same generator the
+/// zero-alloc suite uses; no external dependencies.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Exact nearest-rank percentile over a sorted slice: the reference the
+/// histogram estimate is held to.
+fn exact_nearest_rank(sorted: &[u64], p: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    if p == 0.0 {
+        return sorted[0];
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Documented contract: estimate q̂ of the nearest-rank sample q obeys
+/// `q ≤ q̂ ≤ q + q / SUB_BUCKETS` (and is exact below SUB_BUCKETS).
+fn assert_within_bound(est: u64, exact: u64, p: f64, dist: &str) {
+    assert!(
+        est >= exact,
+        "{dist} p{p}: estimate {est} below exact {exact}"
+    );
+    let slack = exact / SUB_BUCKETS as u64;
+    assert!(
+        est <= exact + slack,
+        "{dist} p{p}: estimate {est} exceeds exact {exact} + bound {slack}"
+    );
+}
+
+fn check_distribution(name: &str, values: &[u64]) {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    let snap = h.snapshot();
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    assert_eq!(snap.count, values.len() as u64);
+    assert_eq!(snap.max(), *sorted.last().unwrap(), "max must be exact");
+    assert_eq!(snap.min(), sorted[0], "min must be exact");
+    for p in [50.0, 95.0, 99.0] {
+        assert_within_bound(snap.quantile(p), exact_nearest_rank(&sorted, p), p, name);
+    }
+    assert_eq!(snap.quantile(100.0), *sorted.last().unwrap());
+}
+
+#[test]
+fn quantiles_match_exact_percentiles_within_bound() {
+    let mut rng = Lcg(0x0B5E_4A11_7E1E_0001);
+    // Uniform ns-scale latencies.
+    let uniform: Vec<u64> = (0..5000)
+        .map(|_| (rng.unit() * 2_000_000.0) as u64)
+        .collect();
+    check_distribution("uniform", &uniform);
+
+    // Heavy-tailed: exponentiated uniform spans ~6 orders of magnitude,
+    // the shape real fsync/solve latencies take.
+    let heavy: Vec<u64> = (0..5000)
+        .map(|_| (64.0 * (1.0f64 + rng.unit() * 9999.0).powf(1.5)) as u64)
+        .collect();
+    check_distribution("heavy-tail", &heavy);
+
+    // Bimodal: fast path plus rare stalls.
+    let bimodal: Vec<u64> = (0..5000)
+        .map(|_| {
+            if rng.unit() < 0.95 {
+                500 + (rng.unit() * 300.0) as u64
+            } else {
+                2_000_000 + (rng.unit() * 8_000_000.0) as u64
+            }
+        })
+        .collect();
+    check_distribution("bimodal", &bimodal);
+
+    // Tiny inputs: single element and two elements are exact.
+    check_distribution("single", &[777]);
+    check_distribution("pair", &[3, 900_000]);
+    // All-equal degenerate pile.
+    check_distribution("constant", &vec![42_000u64; 257]);
+}
+
+#[test]
+fn merging_shard_histograms_equals_recording_into_one() {
+    let mut rng = Lcg(0x0B5E_4A11_7E1E_0002);
+    let values: Vec<u64> = (0..4096)
+        .map(|_| (rng.unit() * 50_000_000.0) as u64)
+        .collect();
+
+    // One histogram sees everything.
+    let whole = Histogram::new();
+    for &v in &values {
+        whole.record(v);
+    }
+
+    // Eight "shards" each see a round-robin slice.
+    let shards: Vec<Histogram> = (0..8).map(|_| Histogram::new()).collect();
+    for (i, &v) in values.iter().enumerate() {
+        shards[i % 8].record(v);
+    }
+
+    // Left fold.
+    let mut left = HistSnapshot::empty();
+    for s in &shards {
+        left.merge(&s.snapshot());
+    }
+    // A different association: pairwise tree merge.
+    let mut layer: Vec<HistSnapshot> = shards.iter().map(|s| s.snapshot()).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::new();
+        for pair in layer.chunks(2) {
+            let mut m = pair[0].clone();
+            if let Some(b) = pair.get(1) {
+                m.merge(b);
+            }
+            next.push(m);
+        }
+        layer = next;
+    }
+    let tree = layer.pop().unwrap();
+
+    let reference = whole.snapshot();
+    assert_eq!(left, reference, "left-fold merge diverged from direct");
+    assert_eq!(tree, reference, "tree merge diverged from direct");
+    for p in [50.0, 95.0, 99.0, 100.0] {
+        assert_eq!(left.quantile(p), reference.quantile(p));
+    }
+}

@@ -27,6 +27,14 @@ for shards in 1 8; do
     LOVM_SHARDS=$shards LOVM_THREADS=$threads cargo test -q
   done
 done
+# One more whole-suite pass with telemetry live: the sink is a real file,
+# so every golden-output and determinism test re-proves the pure-observer
+# contract with recording and emission enabled (the zero-alloc audit also
+# covers its telemetry-on phase under a configured global sink).
+telemetry_log=$(mktemp)
+echo "ci: test pass LOVM_TELEMETRY=$telemetry_log"
+LOVM_TELEMETRY="$telemetry_log" cargo test -q
+rm -f "$telemetry_log"
 cargo clippy --all-targets -- -D warnings
 
 # Smoke the sharded-market experiment: a 10⁵-bidder (scale 0.1) budgeted
@@ -145,6 +153,26 @@ if ! ./target/release/bench_solver --check BENCH_solver.json; then
   echo "ci: FAIL — BENCH_solver.json failed metrics::json validation"; exit 1
 fi
 echo "ci: BENCH_solver.json written and parse-validated"
+
+# Telemetry overhead gate: observing the full streamed round loop must
+# cost no more than 5% vs telemetry disabled. bench_telemetry times the
+# two modes as back-to-back pairs (no sink, so the delta is pure
+# recording) and reports the median per-pair on/off ratio — pairing is
+# what makes the gate stable on a noisy box, where sequential phases
+# drift by far more than the effect being measured.
+tel_bench=$(LOVM_THREADS=1 LOVM_BENCH_SAMPLES=25 ./target/release/bench_telemetry)
+ratio=$(printf '%s\n' "$tel_bench" \
+  | { grep -F "\"bench\":\"telemetry_stream/overhead\"" || true; } \
+  | sed 's/.*"median_ratio":\([0-9.e+-]*\).*/\1/')
+awk -v r="$ratio" 'BEGIN {
+  if (r == "" || r <= 0) {
+    print "ci: overhead row missing from bench_telemetry output"; exit 1
+  }
+  printf "ci: telemetry round-loop overhead %+.2f%% (paired median)\n", (r - 1.0) * 100
+  if (r > 1.05) {
+    print "ci: FAIL — telemetry overhead above the 5% ceiling"; exit 1
+  }
+}'
 
 # Kill-and-recover smoke for the event-sourced market server: run an
 # uninterrupted reference session, then the same session interrupted by
@@ -271,5 +299,36 @@ if ! diff -q <(grep '"event":"state"' "$smoke_dir/p2.out") \
   exit 1
 fi
 echo "ci: follower kill-and-promote smoke ok (byte-identical after leader SIGKILL)"
+
+# Telemetry serve smoke: the same served session with LOVM_TELEMETRY on
+# must be a pure observer — the drive client's full output byte-identical
+# to the telemetry-off reference run above — while the server emits one
+# valid lovm.telemetry.round.v1 record per sealed round, and the live
+# `stats` wire command must feed a `lovm top` frame.
+compact_every=0
+telemetry_file="$smoke_dir/telemetry.jsonl"
+export LOVM_TELEMETRY="$telemetry_file"
+start_server "$smoke_dir/tel" "$smoke_dir/tel.log"
+drive --from 0 --to 8 >"$smoke_dir/tel.out"
+top_out=$(./target/release/lovm top --addr "$serve_addr" --frames 1)
+stop_server TERM
+unset LOVM_TELEMETRY
+if ! diff -q "$smoke_dir/tel.out" "$smoke_dir/ref.out" >/dev/null; then
+  echo "ci: FAIL — telemetry-on serve output differs from the telemetry-off run"
+  diff "$smoke_dir/tel.out" "$smoke_dir/ref.out" || true
+  exit 1
+fi
+./target/release/lovm telemetry-check --file "$telemetry_file"
+records=$(wc -l <"$telemetry_file")
+if [ "$records" -ne 8 ]; then
+  echo "ci: FAIL — expected 8 telemetry records (one per sealed round), got $records"
+  exit 1
+fi
+if ! printf '%s\n' "$top_out" | grep -q "rounds.sealed"; then
+  echo "ci: FAIL — lovm top frame is missing the rounds.sealed counter"
+  printf '%s\n' "$top_out"
+  exit 1
+fi
+echo "ci: telemetry serve smoke ok (pure observer, $records valid records, live top frame)"
 
 echo "ci: all green"

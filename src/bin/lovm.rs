@@ -69,6 +69,9 @@ struct Args {
     trace: String,
     workload: String,
     rounds: usize,
+    frames: usize,
+    interval_ms: u64,
+    file: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -91,6 +94,9 @@ fn parse_args() -> Result<Args, String> {
         trace: String::new(),
         workload: "steady".into(),
         rounds: 40,
+        frames: 0,
+        interval_ms: 1000,
+        file: String::new(),
     };
     let mut it = std::env::args().skip(1);
     args.command = it.next().ok_or_else(usage)?;
@@ -119,6 +125,13 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = value()?,
             "--workload" => args.workload = value()?,
             "--rounds" => args.rounds = value()?.parse().map_err(|e| format!("--rounds: {e}"))?,
+            "--frames" => args.frames = value()?.parse().map_err(|e| format!("--frames: {e}"))?,
+            "--interval-ms" => {
+                args.interval_ms = value()?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--file" => args.file = value()?,
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
@@ -126,12 +139,16 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: lovm <list|simulate|stream|compare|csv|serve|drive|follow|attack> [--scenario NAME] \
+    "usage: lovm <list|simulate|stream|compare|csv|serve|drive|follow|attack|top|telemetry-check> \
+     [--scenario NAME] \
      [--mechanism NAME] [--v V] [--seed SEED] [--price P] [--k K] [--budget RHO] \
      [--addr HOST:PORT] [--serve-addr HOST:PORT] [--session NAME] [--from R] [--to R] \
-     [--bidders N] [--partial] [--trace FILE.csv] [--workload steady|late-rush] [--rounds R]\n\
+     [--bidders N] [--partial] [--trace FILE.csv] [--workload steady|late-rush] [--rounds R] \
+     [--frames N] [--interval-ms MS] [--file PATH]\n\
      scenarios: small, standard, energy-heterogeneous, solar-fleet, large-<N>\n\
-     mechanisms: lovm, myopic, greedy, proportional, fixed, random, all"
+     mechanisms: lovm, myopic, greedy, proportional, fixed, random, all\n\
+     top polls a serving market's `stats` command (--frames 0 = forever); \
+     telemetry-check validates a LOVM_TELEMETRY record file"
         .into()
 }
 
@@ -290,6 +307,8 @@ fn run() -> Result<(), String> {
         "drive" => drive(&args),
         "follow" => follow(&args),
         "attack" => attack(&args),
+        "top" => top(&args),
+        "telemetry-check" => telemetry_check(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
@@ -596,6 +615,212 @@ fn drive(args: &Args) -> Result<(), String> {
     println!("{state_raw}");
     send_line(&mut out, JsonValue::object().field("cmd", "quit"))?;
     let _ = read_line(&mut reader);
+    Ok(())
+}
+
+/// `lovm top` — polls a serving market's `stats` command and renders a
+/// terminal dashboard: counter rates, gauges, latency histograms with
+/// exact quantiles, and bucket-distribution sparklines for the solver
+/// and journal hot spots. `--frames N` bounds the run (0 = forever) so
+/// CI can take one frame non-interactively; on a TTY each frame redraws
+/// in place.
+fn top(args: &Args) -> Result<(), String> {
+    use std::io::IsTerminal;
+    let stream =
+        TcpStream::connect(&args.addr).map_err(|e| format!("connect {}: {e}", args.addr))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut out = stream;
+    let redraw = std::io::stdout().is_terminal();
+    let mut prev: Option<(std::time::Instant, Vec<(String, f64)>)> = None;
+    let mut frame = 0usize;
+    loop {
+        send_line(&mut out, JsonValue::object().field("cmd", "stats"))?;
+        let (_, v) = read_event(&mut reader)?;
+        let registry = v
+            .get("registry")
+            .ok_or("stats response carries no registry")?;
+        let now = std::time::Instant::now();
+        let rates = prev
+            .as_ref()
+            .map(|(t, c)| (now.duration_since(*t).as_secs_f64(), c.as_slice()));
+        let text = render_top(registry, rates, &args.addr);
+        if redraw {
+            // Clear + home, so the dashboard redraws in place.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("{text}");
+        prev = Some((now, counter_values(registry)));
+        frame += 1;
+        if args.frames != 0 && frame >= args.frames {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+    send_line(&mut out, JsonValue::object().field("cmd", "quit"))?;
+    Ok(())
+}
+
+/// The `(name, value)` counter list of a `stats` registry, for rate
+/// deltas between frames.
+fn counter_values(registry: &JsonValue) -> Vec<(String, f64)> {
+    registry
+        .get("counters")
+        .and_then(JsonValue::entries)
+        .map(|fields| {
+            fields
+                .iter()
+                .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Nanoseconds, humanized (`842ns`, `13.5us`, `2.41ms`, `1.07s`).
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+fn render_top(registry: &JsonValue, rates: Option<(f64, &[(String, f64)])>, addr: &str) -> String {
+    let mut text = String::new();
+    let enabled = registry
+        .get("enabled")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    text.push_str(&format!(
+        "lovm top — {addr} — telemetry {}\n\n",
+        if enabled {
+            "on"
+        } else {
+            "off (set LOVM_TELEMETRY on the server)"
+        }
+    ));
+
+    let mut counters = metrics::Table::new(vec!["counter".into(), "total".into(), "per-s".into()]);
+    for (name, v) in registry
+        .get("counters")
+        .and_then(JsonValue::entries)
+        .unwrap_or(&[])
+    {
+        let Some(total) = v.as_f64() else { continue };
+        let rate = rates
+            .and_then(|(dt, prev)| {
+                let before = prev.iter().find(|(k, _)| k == name)?.1;
+                (dt > 0.0).then(|| format!("{:.1}", (total - before).max(0.0) / dt))
+            })
+            .unwrap_or_else(|| "-".into());
+        counters.row(vec![name.clone(), format!("{total:.0}"), rate]);
+    }
+    text.push_str(&counters.to_markdown());
+    text.push('\n');
+
+    let mut gauges = metrics::Table::new(vec!["gauge".into(), "value".into()]);
+    for (name, v) in registry
+        .get("gauges")
+        .and_then(JsonValue::entries)
+        .unwrap_or(&[])
+    {
+        let Some(value) = v.as_f64() else { continue };
+        gauges.row(vec![name.clone(), format!("{value:.1}")]);
+    }
+    text.push_str(&gauges.to_markdown());
+    text.push('\n');
+
+    let mut hists = metrics::Table::new(vec![
+        "histogram".into(),
+        "count".into(),
+        "p50".into(),
+        "p95".into(),
+        "p99".into(),
+        "max".into(),
+    ]);
+    let hist_fields = registry
+        .get("hists")
+        .and_then(JsonValue::entries)
+        .unwrap_or(&[]);
+    for (name, h) in hist_fields {
+        let count = h.get("count").and_then(JsonValue::as_u64).unwrap_or(0);
+        if count == 0 {
+            continue;
+        }
+        let q = |key: &str| {
+            h.get(key)
+                .and_then(JsonValue::as_f64)
+                .map_or_else(|| "-".into(), fmt_ns)
+        };
+        hists.row(vec![
+            name.clone(),
+            count.to_string(),
+            q("p50_ns"),
+            q("p95_ns"),
+            q("p99_ns"),
+            q("max_ns"),
+        ]);
+    }
+    text.push_str(&hists.to_markdown());
+
+    // Bucket-distribution sparklines for the hot spots: per-shard WDP
+    // solves, whole rounds, and the fsync cliff.
+    for spark in ["solve.shard_ns", "solve.round_ns", "journal.fsync_ns"] {
+        let Some(h) = hist_fields.iter().find(|(k, _)| k == spark).map(|(_, h)| h) else {
+            continue;
+        };
+        let counts: Vec<f64> = h
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .map(|pairs| {
+                pairs
+                    .iter()
+                    .filter_map(|p| p.as_array()?.get(1)?.as_f64())
+                    .collect()
+            })
+            .unwrap_or_default();
+        if counts.len() < 2 {
+            continue;
+        }
+        text.push('\n');
+        text.push_str(&format!(
+            "{spark} — occupied latency buckets, low to high:\n"
+        ));
+        text.push_str(&metrics::plot::ascii_chart(
+            &[(spark, &counts)],
+            counts.len().min(64),
+            6,
+        ));
+    }
+    text
+}
+
+/// `lovm telemetry-check --file PATH` — validates every line of an
+/// emitted `LOVM_TELEMETRY` record file: parseable via the same JSON
+/// layer the repo journals with, schema-tagged, all contract fields
+/// present. Nonzero exit (with the offending line) on the first failure.
+fn telemetry_check(args: &Args) -> Result<(), String> {
+    if args.file.is_empty() {
+        return Err("telemetry-check needs --file PATH".into());
+    }
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let mut checked = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        sustainable_fl::core::obs::validate_round_line(line)
+            .map_err(|e| format!("{}:{}: {e}\n  {line}", args.file, i + 1))?;
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(format!("{}: no telemetry records found", args.file));
+    }
+    println!("{checked} telemetry records validated ({})", args.file);
     Ok(())
 }
 
